@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bidel Fmt Inverda List Minidb Scenarios String

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments Fmt List Micro String Term Unix

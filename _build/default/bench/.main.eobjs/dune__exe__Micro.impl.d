@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bidel Fmt Hashtbl Instance Inverda Lazy List Measure Minidb Scenarios Staged Test Time Toolkit

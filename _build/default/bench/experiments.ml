@@ -1,0 +1,557 @@
+(** One function per table/figure of the paper's evaluation (Section 8).
+    Each prints the same rows/series the paper reports, at a configurable
+    scale. EXPERIMENTS.md records paper-reported vs. measured values. *)
+
+module I = Inverda.Api
+module W = Scenarios.Workload
+
+type scale = {
+  fig8_tasks : int;
+  fig9_tasks : int;
+  fig9_slices : int;
+  fig9_ops_per_slice : int;
+  fig11_tasks : int;
+  fig11_ops : int;
+  fig12_versions : int;
+  fig12_pages : int;
+  fig12_links : int;
+  fig13_sizes : int list;
+  runs : int;
+}
+
+let default_scale =
+  {
+    fig8_tasks = 5_000;
+    fig9_tasks = 1_000;
+    fig9_slices = 16;
+    fig9_ops_per_slice = 40;
+    fig11_tasks = 2_000;
+    fig11_ops = 60;
+    fig12_versions = 60;
+    fig12_pages = 400;
+    fig12_links = 1_200;
+    fig13_sizes = [ 100; 400; 1_600 ];
+    runs = 3;
+  }
+
+let paper_scale =
+  {
+    fig8_tasks = 100_000;
+    fig9_tasks = 10_000;
+    fig9_slices = 100;
+    fig9_ops_per_slice = 200;
+    fig11_tasks = 20_000;
+    fig11_ops = 200;
+    fig12_versions = 171;
+    fig12_pages = 14_359;
+    fig12_links = 100_000;
+    fig13_sizes = [ 1_000; 4_000; 16_000 ];
+    runs = 5;
+  }
+
+let section title =
+  Fmt.pr "@.=== %s ===@." title
+
+let ms t = t *. 1000.0
+
+(* --- Table 1: the related-work matrix (documentation, not measured) -------- *)
+
+let table1 () =
+  section "Table 1: contribution matrix (as documented in the paper)";
+  Fmt.pr
+    "%-28s %8s %8s %8s %8s@." "" "SQL" "PRISM" "CoDEL" "BiDEL";
+  List.iter
+    (fun (row, cells) ->
+      Fmt.pr "%-28s %8s %8s %8s %8s@." row
+        (List.nth cells 0) (List.nth cells 1) (List.nth cells 2) (List.nth cells 3))
+    [
+      ("Database Evolution Language", [ "no"; "yes"; "yes"; "yes" ]);
+      ("Relationally Complete", [ "yes"; "no"; "yes"; "yes" ]);
+      ("Co-Existing Schema Versions", [ "no"; "no"; "no"; "yes" ]);
+      ("- Backward Query Rewriting", [ "no"; "no"; "no"; "yes" ]);
+      ("- Backward Migration", [ "no"; "no"; "no"; "yes" ]);
+      ("Guaranteed Bidirectionality", [ "no"; "no"; "no"; "yes" ]);
+    ]
+
+(* --- Table 2: materialization schemas of the TasKy example ------------------ *)
+
+let table2 () =
+  section "Table 2: valid materialization schemas of the TasKy genealogy";
+  let t = Scenarios.Tasky.setup_full () in
+  let gen = I.genealogy t in
+  let mats = Inverda.Genealogy.enumerate_materializations gen in
+  Fmt.pr "found %d valid materialization schemas (paper: 5)@." (List.length mats);
+  List.iter
+    (fun mat ->
+      let smo_names =
+        List.filter_map
+          (fun id ->
+            let si = Inverda.Genealogy.smo gen id in
+            match si.Inverda.Genealogy.si_smo with
+            | Bidel.Ast.Create_table _ -> None
+            | smo -> Some (Bidel.Ast.smo_name smo))
+          mat
+      in
+      let phys =
+        Inverda.Genealogy.physical_tables_for gen mat
+        |> List.map (fun v ->
+               Fmt.str "%s-%d" v.Inverda.Genealogy.tv_table v.Inverda.Genealogy.tv_id)
+      in
+      Fmt.pr "  M = {%s}  ->  P = {%s}@."
+        (String.concat ", " smo_names)
+        (String.concat ", " phys))
+    mats
+
+(* --- Table 3: code size BiDEL vs handwritten SQL ----------------------------- *)
+
+let table3 () =
+  section "Table 3: BiDEL vs handwritten SQL (LoC / statements / characters)";
+  let show name bidel sql (paper_ratio : string) =
+    let b = Bidel.Metrics.measure bidel and s = Bidel.Metrics.measure sql in
+    Fmt.pr "%-10s BiDEL: %3d / %3d / %5d   SQL: %3d / %3d / %5d   LoC ratio: x%.1f (paper: %s)@."
+      name b.Bidel.Metrics.lines b.Bidel.Metrics.statements b.Bidel.Metrics.characters
+      s.Bidel.Metrics.lines s.Bidel.Metrics.statements s.Bidel.Metrics.characters
+      (Bidel.Metrics.ratio s.Bidel.Metrics.lines b.Bidel.Metrics.lines)
+      paper_ratio
+  in
+  show "initially" Scenarios.Tasky.bidel_initial Scenarios.Tasky_sql.initial_schema "x1.0";
+  show "evolution"
+    (Scenarios.Tasky.bidel_do ^ "\n" ^ Scenarios.Tasky.bidel_tasky2)
+    Scenarios.Tasky_sql.evolution_script "x119.7";
+  show "migration" Scenarios.Tasky.bidel_migration Scenarios.Tasky_sql.migration_script
+    "x182.0"
+
+(* --- Table 4: the Wikimedia SMO histogram ------------------------------------ *)
+
+let table4 () =
+  section "Table 4: SMOs in the (synthesized) Wikimedia evolution";
+  let api, names = Scenarios.Wikimedia.build () in
+  Fmt.pr "schema versions: %d (paper: 171)@." (Array.length names);
+  List.iter
+    (fun (name, n) -> Fmt.pr "  %-14s %3d@." name n)
+    (Scenarios.Wikimedia.histogram api)
+
+(* --- Section 8.1: delta code generation time ---------------------------------- *)
+
+let generation_time () =
+  section "Delta code generation time (paper: TasKy 154 ms, TasKy2 230 ms, Do! 177 ms)";
+  let t = I.create () in
+  let time_evolve name script =
+    let _, dt = W.time (fun () -> I.evolve t script) in
+    Fmt.pr "  %-8s %6.1f ms@." name (ms dt)
+  in
+  time_evolve "TasKy" Scenarios.Tasky.bidel_initial;
+  Scenarios.Tasky.load_tasks t 1000;
+  time_evolve "TasKy2" Scenarios.Tasky.bidel_tasky2;
+  time_evolve "Do!" Scenarios.Tasky.bidel_do
+
+(* --- Figure 8: overhead of generated vs handwritten delta code ---------------- *)
+
+let fig8 scale =
+  section
+    (Fmt.str "Figure 8: generated vs handwritten delta code (%d tasks)"
+       scale.fig8_tasks);
+  let setup_inverda mat =
+    let t = Scenarios.Tasky.setup_full ~tasks:scale.fig8_tasks () in
+    if mat = `Evolved then I.materialize t [ "TasKy2" ];
+    I.database t
+  in
+  let setup_hand mat =
+    Scenarios.Tasky_sql.setup ~tasks:scale.fig8_tasks
+      ~materialization:
+        (match mat with
+        | `Initial -> Scenarios.Tasky_sql.Initial
+        | `Evolved -> Scenarios.Tasky_sql.Evolved)
+      ()
+  in
+  let configs =
+    [
+      ("SQL, initial mat.", setup_hand `Initial);
+      ("BiDEL, initial mat.", setup_inverda `Initial);
+      ("SQL, evolved mat.", setup_hand `Evolved);
+      ("BiDEL, evolved mat.", setup_inverda `Evolved);
+    ]
+  in
+  Fmt.pr "%-22s %14s %14s %16s %16s@." "" "read TasKy" "read TasKy2"
+    "100 ins TasKy" "100 ins TasKy2";
+  List.iter
+    (fun (name, db) ->
+      let r = W.make_runner db in
+      let read_tasky =
+        W.median_time ~runs:scale.runs (fun () ->
+            ignore (Minidb.Engine.query db (Scenarios.Tasky.tasky_read r.W.rng)))
+      in
+      let read_tasky2 =
+        W.median_time ~runs:scale.runs (fun () ->
+            ignore (Minidb.Engine.query db (Scenarios.Tasky.tasky2_read r.W.rng)))
+      in
+      let ins_tasky =
+        W.time_unit (fun () ->
+            for i = 1 to 100 do
+              ignore
+                (Minidb.Engine.exec db (Scenarios.Tasky.tasky_insert r.W.rng (900000 + i)))
+            done)
+      in
+      let author =
+        try Minidb.Engine.query_int db "SELECT MIN(p) FROM TasKy2.Author"
+        with _ -> 1
+      in
+      let ins_tasky2 =
+        W.time_unit (fun () ->
+            for i = 1 to 100 do
+              ignore
+                (Minidb.Engine.exec db
+                   (Scenarios.Tasky.tasky2_insert r.W.rng (910000 + i) author))
+            done)
+      in
+      Fmt.pr "%-22s %11.2f ms %11.2f ms %13.2f ms %13.2f ms@." name
+        (ms read_tasky) (ms read_tasky2) (ms ins_tasky) (ms ins_tasky2))
+    configs
+
+(* --- Figures 9/10: flexible materialization under a workload shift ------------ *)
+
+let shift_run ?(flexible = []) db ~v_old ~v_new ~slices ~ops =
+  (* returns the accumulated time series; [flexible] lists
+     (slice_fraction, migration targets) switch points *)
+  let r = W.make_runner db in
+  let acc = ref 0.0 in
+  let series = ref [] in
+  let pending = ref flexible in
+  List.iter
+    (fun slice ->
+      let frac = W.adoption_fraction ~slice ~slices in
+      (match !pending with
+      | (threshold, action) :: rest when frac >= threshold ->
+        (* migration cost counts into the accumulated overhead *)
+        acc := !acc +. W.time_unit action;
+        pending := rest
+      | _ -> ());
+      acc := !acc +. W.run_slice r ~v_old ~v_new ~frac ~mix:W.paper_mix ~ops;
+      series := (slice, !acc) :: !series)
+    (List.init slices (fun i -> i + 1));
+  List.rev !series
+
+let print_series name series =
+  let n = List.length series in
+  let checkpoints = [ n / 4; n / 2; 3 * n / 4; n ] in
+  Fmt.pr "%-26s" name;
+  List.iter
+    (fun c ->
+      match List.nth_opt series (max 0 (c - 1)) with
+      | Some (_, acc) -> Fmt.pr "  %8.2f s" acc
+      | None -> ())
+    checkpoints;
+  Fmt.pr "@."
+
+let fig9 scale =
+  section
+    (Fmt.str
+       "Figure 9: workload shift TasKy -> TasKy2 (%d tasks, %d slices x %d ops; accumulated seconds at 25/50/75/100%%)"
+       scale.fig9_tasks scale.fig9_slices scale.fig9_ops_per_slice);
+  let slices = scale.fig9_slices and ops = scale.fig9_ops_per_slice in
+  (* fixed handwritten baselines *)
+  let hand_initial =
+    Scenarios.Tasky_sql.setup ~tasks:scale.fig9_tasks ()
+  in
+  print_series "SQL, initial mat."
+    (shift_run hand_initial ~v_old:W.V_tasky ~v_new:W.V_tasky2 ~slices ~ops);
+  let hand_evolved =
+    Scenarios.Tasky_sql.setup ~tasks:scale.fig9_tasks
+      ~materialization:Scenarios.Tasky_sql.Evolved ()
+  in
+  print_series "SQL, evolved mat."
+    (shift_run hand_evolved ~v_old:W.V_tasky ~v_new:W.V_tasky2 ~slices ~ops);
+  (* InVerDa with a single-line migration at the crossover *)
+  let flex = Scenarios.Tasky.setup_full ~tasks:scale.fig9_tasks () in
+  print_series "BiDEL, flexible mat."
+    (shift_run (I.database flex)
+       ~flexible:[ (0.5, fun () -> I.materialize flex [ "TasKy2" ]) ]
+       ~v_old:W.V_tasky ~v_new:W.V_tasky2 ~slices ~ops)
+
+let fig10 scale =
+  section
+    (Fmt.str
+       "Figure 10: workload shift Do! -> TasKy2 (%d tasks; accumulated seconds at 25/50/75/100%%)"
+       scale.fig9_tasks);
+  let slices = scale.fig9_slices and ops = scale.fig9_ops_per_slice in
+  let fixed name targets =
+    let t = Scenarios.Tasky.setup_full ~tasks:scale.fig9_tasks () in
+    (match targets with [] -> () | _ -> I.materialize t targets);
+    print_series name
+      (shift_run (I.database t) ~v_old:W.V_do ~v_new:W.V_tasky2 ~slices ~ops)
+  in
+  fixed "Do! materialized" [ "Do!" ];
+  fixed "TasKy materialized" [];
+  fixed "TasKy2 materialized" [ "TasKy2" ];
+  let flex = Scenarios.Tasky.setup_full ~tasks:scale.fig9_tasks () in
+  I.materialize flex [ "Do!" ];
+  print_series "BiDEL, flexible mat."
+    (shift_run (I.database flex)
+       ~flexible:
+         [
+           (0.33, fun () -> I.materialize flex [ "TasKy" ]);
+           (0.66, fun () -> I.materialize flex [ "TasKy2" ]);
+         ]
+       ~v_old:W.V_do ~v_new:W.V_tasky2 ~slices ~ops)
+
+(* --- Figure 11: all materializations x all versions x three workloads --------- *)
+
+let fig11 scale =
+  section
+    (Fmt.str "Figure 11: per-version cost under all 5 materializations (%d tasks, %d ops)"
+       scale.fig11_tasks scale.fig11_ops);
+  let t = Scenarios.Tasky.setup_full ~tasks:scale.fig11_tasks () in
+  let gen = I.genealogy t in
+  let mats = Inverda.Genealogy.enumerate_materializations gen in
+  let mat_label mat =
+    let labels =
+      List.filter_map
+        (fun id ->
+          let si = Inverda.Genealogy.smo gen id in
+          match si.Inverda.Genealogy.si_smo with
+          | Bidel.Ast.Create_table _ -> None
+          | Bidel.Ast.Split _ -> Some "S"
+          | Bidel.Ast.Drop_column _ -> Some "DC"
+          | Bidel.Ast.Decompose _ -> Some "D"
+          | Bidel.Ast.Rename_column _ -> Some "RC"
+          | _ -> Some "?")
+        mat
+    in
+    if labels = [] then "[initial]" else "[" ^ String.concat "," labels ^ "]"
+  in
+  List.iter
+    (fun (wname, mix) ->
+      Fmt.pr "@.workload %s:@." wname;
+      Fmt.pr "%-16s %12s %12s %12s@." "materialization" "TasKy" "Do!" "TasKy2";
+      List.iter
+        (fun mat ->
+          I.set_materialization t mat;
+          let r = W.make_runner (I.database t) in
+          let cost version = W.run_mix r ~version ~mix ~ops:scale.fig11_ops in
+          let c1 = cost W.V_tasky and c2 = cost W.V_do and c3 = cost W.V_tasky2 in
+          Fmt.pr "%-16s %9.2f ms %9.2f ms %9.2f ms@." (mat_label mat) (ms c1)
+            (ms c2) (ms c3))
+        mats)
+    [ ("mix 50/20/20/10 (a)", W.paper_mix); ("100% reads (b)", W.read_only);
+      ("100% inserts (c)", W.insert_only) ]
+
+(* --- Figure 12: Wikimedia optimization potential ------------------------------- *)
+
+let fig12 scale =
+  section
+    (Fmt.str
+       "Figure 12: Wikimedia read cost vs materialized version (%d versions, %d pages, %d links)"
+       scale.fig12_versions scale.fig12_pages scale.fig12_links);
+  let api, names = Scenarios.Wikimedia.build ~versions:scale.fig12_versions () in
+  let n = Array.length names in
+  let v_first = names.(0) in
+  let v_mid = names.(64 * (n - 1) / 100) in
+  (* the paper loads at the 109th of 171 = ~64% *)
+  let v_last = names.(n - 1) in
+  let v_query_early = names.(16 * (n - 1) / 100) in
+  (* 28th of 171 = ~16% *)
+  Scenarios.Wikimedia.load api ~version:v_mid ~pages:scale.fig12_pages
+    ~links:scale.fig12_links;
+  let db = I.database api in
+  Fmt.pr "%-24s %18s %18s@." "materialized at" ("queries on " ^ v_query_early)
+    ("queries on " ^ v_last);
+  List.iter
+    (fun mat_version ->
+      I.materialize api [ mat_version ];
+      let run version =
+        W.median_time ~runs:scale.runs (fun () ->
+            ignore (Minidb.Engine.query db (Scenarios.Wikimedia.query_page_by_title ~version ~i:7));
+            ignore (Minidb.Engine.query db (Scenarios.Wikimedia.query_link_count ~version)))
+      in
+      Fmt.pr "%-24s %15.2f ms %15.2f ms@." mat_version (ms (run v_query_early))
+        (ms (run v_last)))
+    [ v_first; v_mid; v_last ]
+
+(* --- Figure 13: two-SMO chains ------------------------------------------------- *)
+
+let fig13 scale =
+  section "Figure 13: two-SMO evolutions, local vs propagated access";
+  Fmt.pr
+    "scaling series per combo (2nd SMO = ADD COLUMN, as in the paper's figure):@.";
+  Fmt.pr "read v3: local / via 1 SMO / via 2 SMOs, plus the calculated 2-SMO estimate@.";
+  let results = ref [] in
+  List.iter
+    (fun k1 ->
+      let k2 = Scenarios.Two_smo.K_add in
+      Fmt.pr "%-12s + ADD COLUMN@."
+        (Scenarios.Two_smo.kind_name k1);
+      List.iter
+        (fun size ->
+          let t = Scenarios.Two_smo.build (k1, k2) in
+          Scenarios.Two_smo.load t size;
+          let measure version =
+            W.median_time ~runs:scale.runs (fun () ->
+                Scenarios.Two_smo.read_all t version)
+          in
+          Scenarios.Two_smo.materialize_at t "v1";
+          let v2_via1 = measure "v2" in
+          let v3_via2smo = measure "v3" in
+          Scenarios.Two_smo.materialize_at t "v2";
+          let v2_local = measure "v2" in
+          let v3_via1 = measure "v3" in
+          Scenarios.Two_smo.materialize_at t "v3";
+          let v3_local = measure "v3" in
+          let calculated = v3_via1 +. v2_via1 -. v2_local in
+          if size = List.nth scale.fig13_sizes (List.length scale.fig13_sizes - 1)
+          then
+            results :=
+              (k1, k2, v3_local, v3_via1, v3_via2smo, calculated) :: !results;
+          Fmt.pr "  %6d tuples: local %7.2f ms   1 SMO %7.2f ms   2 SMOs %7.2f ms   calc %7.2f ms@."
+            size (ms v3_local) (ms v3_via1) (ms v3_via2smo) (ms calculated))
+        scale.fig13_sizes)
+    Scenarios.Two_smo.all_kinds;
+  (* summary statistics over the ADD COLUMN row, like the paper's text *)
+  let rs = !results in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0.0 rs /. float_of_int (List.length rs) in
+  let speedup = avg (fun (_, _, local, _, via2, _) -> via2 /. max 1e-9 local) in
+  let deviation =
+    avg (fun (_, _, _, _, via2, calc) ->
+        abs_float (via2 -. calc) /. max 1e-9 via2)
+  in
+  Fmt.pr "average 2-SMO/local slowdown: x%.2f (paper reports ~x2 speedup potential)@." speedup;
+  Fmt.pr "measured vs calculated deviation: %.1f%% (paper: 6.3%%)@." (deviation *. 100.0)
+
+(* --- formal evaluation summary --------------------------------------------------- *)
+
+let formal () =
+  section "Formal evaluation: bidirectionality of every SMO (conditions 26/27)";
+  let check name schemas smo src tgt =
+    let inst =
+      Bidel.Smo_semantics.instantiate ~smo:(Bidel.Parser.smo_of_string smo)
+        ~source_cols:(fun t -> List.assoc t schemas)
+        ~name_src:(fun t -> "src!" ^ t)
+        ~name_tgt:(fun t -> "tgt!" ^ t)
+        ~aux_name:(fun k -> "aux!" ^ k)
+        ~skolem_name:Bidel.Verify.skolem_name
+    in
+    let r27 = Bidel.Verify.check_src inst src in
+    let r26 = Bidel.Verify.check_tgt inst tgt in
+    let sym r =
+      match r with
+      | Bidel.Verify.Identity how -> how
+      | Bidel.Verify.Residual _ -> "RESIDUAL"
+      | Bidel.Verify.Skipped _ -> "skipped (stateful ids)"
+    in
+    Fmt.pr "  %-22s (27): %-4s (26): %-4s  symbolic: %s / %s@." name
+      (if r27.Bidel.Verify.ok then "ok" else "FAIL")
+      (if r26.Bidel.Verify.ok then "ok" else "FAIL")
+      (sym (Bidel.Verify.symbolic_src inst))
+      (sym (Bidel.Verify.symbolic_tgt inst))
+  in
+  let i n = Minidb.Value.Int n in
+  let rows2 = [ [| i 1; i 10; i 20 |]; [| i 2; i 4; i 1 |] ] in
+  check "ADD COLUMN" [ ("t", [ "a"; "b" ]) ] "ADD COLUMN c AS a + 1 INTO t"
+    [ ("src!t", rows2) ]
+    [ ("tgt!t", [ [| i 1; i 10; i 20; i 9 |] ]) ];
+  check "DROP COLUMN" [ ("t", [ "a"; "b" ]) ] "DROP COLUMN b FROM t DEFAULT 0"
+    [ ("src!t", rows2) ]
+    [ ("tgt!t", [ [| i 1; i 10 |] ]) ];
+  check "SPLIT" [ ("t", [ "a"; "b" ]) ]
+    "SPLIT TABLE t INTO r WITH a < 8, q WITH a > 2"
+    [ ("src!t", rows2) ]
+    [ ("tgt!r", [ [| i 1; i 3; i 5 |] ]); ("tgt!q", [ [| i 2; i 9; i 9 |] ]) ];
+  check "MERGE"
+    [ ("r", [ "a"; "b" ]); ("q", [ "a"; "b" ]) ]
+    "MERGE TABLE r (a < 8), q (a > 2) INTO t"
+    [ ("src!r", [ [| i 1; i 3; i 5 |] ]); ("src!q", [ [| i 2; i 9; i 9 |] ]) ]
+    [ ("tgt!t", rows2) ];
+  check "DECOMPOSE ON PK" [ ("t", [ "a"; "b" ]) ]
+    "DECOMPOSE TABLE t INTO s(a), u(b) ON PK"
+    [ ("src!t", rows2) ]
+    [ ("tgt!s", [ [| i 1; i 10 |] ]); ("tgt!u", [ [| i 1; i 20 |]; [| i 2; i 3 |] ]) ];
+  check "DECOMPOSE ON FK" [ ("t", [ "a"; "b" ]) ]
+    "DECOMPOSE TABLE t INTO s(a), u(b) ON FOREIGN KEY fk"
+    [ ("src!t", rows2) ]
+    [ ("tgt!s", [ [| i 1; i 10; i 100 |] ]); ("tgt!u", [ [| i 100; i 20 |] ]) ];
+  check "DECOMPOSE ON COND" [ ("t", [ "a"; "b" ]) ]
+    "DECOMPOSE TABLE t INTO s(a), u(b) ON a = b"
+    [ ("src!t", rows2) ]
+    [ ("tgt!s", [ [| i 100; i 10 |] ]); ("tgt!u", [ [| i 200; i 10 |] ]) ];
+  check "JOIN ON PK"
+    [ ("s", [ "a" ]); ("u", [ "b" ]) ]
+    "JOIN TABLE s, u INTO t ON PK"
+    [ ("src!s", [ [| i 1; i 10 |] ]); ("src!u", [ [| i 1; i 20 |]; [| i 3; i 4 |] ]) ]
+    [ ("tgt!t", [ [| i 1; i 10; i 20 |] ]) ];
+  check "OUTER JOIN ON PK"
+    [ ("s", [ "a" ]); ("u", [ "b" ]) ]
+    "OUTER JOIN TABLE s, u INTO t ON PK"
+    [ ("src!s", [ [| i 1; i 10 |] ]); ("src!u", [ [| i 3; i 4 |] ]) ]
+    [ ("tgt!t", [ [| i 1; i 10; Minidb.Value.Null |] ]) ];
+  Fmt.pr
+    "  (the full randomized evaluation runs in the test suite: dune runtest)@."
+
+
+(* --- ablations (DESIGN.md section 6) ------------------------------------------ *)
+
+(** Ablation 1: the engine's planner fast paths (index probes, predicate
+    pushdown through view chains, index nested-loop joins). The paper's
+    future-work item (4) asks for "optimized delta code within a database
+    system"; this quantifies what the optimizations buy on InVerDa's
+    generated delta code. *)
+let ablation_pushdown scale =
+  section "Ablation: planner fast paths on generated delta code";
+  let tasks = min 2_000 scale.fig8_tasks in
+  let run optimizations =
+    let t = Scenarios.Tasky.setup_full ~tasks () in
+    let db = I.database t in
+    db.Minidb.Database.optimizations <- optimizations;
+    let point_read =
+      W.median_time ~runs:scale.runs (fun () ->
+          ignore
+            (Minidb.Engine.query db
+               (Fmt.str "SELECT task FROM TasKy2.Task WHERE p = %d" (tasks / 2))))
+    in
+    let author =
+      db.Minidb.Database.optimizations <- true;
+      let a = try Minidb.Engine.query_int db "SELECT MIN(p) FROM TasKy2.Author" with _ -> 1 in
+      db.Minidb.Database.optimizations <- optimizations;
+      a
+    in
+    let writes =
+      W.time_unit (fun () ->
+          for i = 1 to 20 do
+            ignore
+              (Minidb.Engine.exec db
+                 (Scenarios.Tasky.tasky2_insert (Scenarios.Rng.create ()) (777000 + i) author))
+          done)
+    in
+    (point_read, writes)
+  in
+  let on_read, on_write = run true in
+  let off_read, off_write = run false in
+  Fmt.pr "%-26s %14s %16s@." "" "point read v2" "20 inserts v2";
+  Fmt.pr "%-26s %11.3f ms %13.2f ms@." "fast paths on" (ms on_read) (ms on_write);
+  Fmt.pr "%-26s %11.3f ms %13.2f ms@." "fast paths off" (ms off_read) (ms off_write);
+  Fmt.pr "speedup: x%.1f reads, x%.1f writes@."
+    (off_read /. max 1e-9 on_read)
+    (off_write /. max 1e-9 on_write)
+
+(** Ablation 2: write-propagation cost versus evolution-chain length — each
+    additional virtualized SMO adds one trigger hop (the "more SMOs = more
+    delta code = more overhead" observation of Section 2). *)
+let ablation_chain scale =
+  section "Ablation: write cost vs evolution chain length (ADD COLUMN chains)";
+  List.iter
+    (fun len ->
+      let t = I.create () in
+      I.evolve t "CREATE SCHEMA VERSION v0 WITH CREATE TABLE r(a);";
+      for i = 1 to len do
+        I.evolve t
+          (Fmt.str "CREATE SCHEMA VERSION v%d FROM v%d WITH ADD COLUMN c%d AS 0 INTO r;"
+             i (i - 1) i)
+      done;
+      let db = I.database t in
+      let cost =
+        W.median_time ~runs:scale.runs (fun () ->
+            for i = 1 to 20 do
+              ignore
+                (Minidb.Engine.execf db "INSERT INTO v%d.r (a) VALUES (%d)" len i)
+            done)
+      in
+      Fmt.pr "  chain length %2d: %7.2f ms / 20 writes@." len (ms cost))
+    [ 1; 2; 4; 8; 16 ]

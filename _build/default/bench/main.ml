@@ -1,0 +1,72 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8). By default all experiments run at a scaled-down
+   size that finishes in a few minutes; --full uses paper-scale parameters.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, scaled down
+     dune exec bench/main.exe -- --only fig8,table3
+     dune exec bench/main.exe -- --full       # paper-scale parameters *)
+
+let all_experiments : (string * (Experiments.scale -> unit)) list =
+  [
+    ("table1", fun _ -> Experiments.table1 ());
+    ("table2", fun _ -> Experiments.table2 ());
+    ("table3", fun _ -> Experiments.table3 ());
+    ("table4", fun _ -> Experiments.table4 ());
+    ("gen_time", fun _ -> Experiments.generation_time ());
+    ("fig8", Experiments.fig8);
+    ("fig9", Experiments.fig9);
+    ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11);
+    ("fig12", Experiments.fig12);
+    ("fig13", Experiments.fig13);
+    ("formal", fun _ -> Experiments.formal ());
+    ("ablation_pushdown", Experiments.ablation_pushdown);
+    ("ablation_chain", Experiments.ablation_chain);
+  ]
+
+let run only full bechamel =
+  if bechamel then Micro.run ()
+  else
+  let scale =
+    if full then Experiments.paper_scale else Experiments.default_scale
+  in
+  let selected =
+    match only with
+    | [] -> all_experiments
+    | names ->
+      List.filter (fun (name, _) -> List.mem name names) all_experiments
+  in
+  if selected = [] then begin
+    Fmt.epr "no experiment selected; available: %s@."
+      (String.concat ", " (List.map fst all_experiments));
+    exit 1
+  end;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f scale;
+      Fmt.pr "[%s done in %.1f s]@." name (Unix.gettimeofday () -. t))
+    selected;
+  Fmt.pr "@.total: %.1f s@." (Unix.gettimeofday () -. t0)
+
+open Cmdliner
+
+let bechamel =
+  let doc = "Run the Bechamel micro-benchmarks instead of the macro harness." in
+  Arg.(value & flag & info [ "bechamel" ] ~doc)
+
+let only =
+  let doc = "Comma-separated experiment names (default: all)." in
+  Arg.(value & opt (list string) [] & info [ "only" ] ~doc)
+
+let full =
+  let doc = "Use paper-scale parameters (much slower)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the tables and figures of the InVerDa paper" in
+  Cmd.v (Cmd.info "inverda-bench" ~doc) Term.(const run $ only $ full $ bechamel)
+
+let () = exit (Cmd.eval cmd)

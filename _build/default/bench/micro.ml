@@ -1,0 +1,128 @@
+(** Bechamel micro-benchmarks: one [Test.make] per table/figure, measuring
+    the core operation behind each experiment with proper warm-up and OLS
+    regression (complementing the macro harness in {!Experiments}, which
+    reproduces the full workload sweeps). Run via
+    [dune exec bench/main.exe -- --bechamel]. *)
+
+open Bechamel
+open Toolkit
+
+module I = Inverda.Api
+
+(* shared fixtures, built once *)
+let tasky_initial = lazy (Scenarios.Tasky.setup_full ~tasks:2_000 ())
+
+let tasky_evolved =
+  lazy
+    (let t = Scenarios.Tasky.setup_full ~tasks:2_000 () in
+     I.materialize t [ "TasKy2" ];
+     t)
+
+let hand_initial = lazy (Scenarios.Tasky_sql.setup ~tasks:2_000 ())
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+let tests =
+  [
+    (* Table 3: parsing + measuring the BiDEL evolution script *)
+    Test.make ~name:"table3: parse bidel evolution"
+      (Staged.stage (fun () ->
+           ignore (Bidel.Parser.script_of_string Scenarios.Tasky.bidel_tasky2)));
+    (* Section 8.1: full delta-code generation for the TasKy catalog *)
+    Test.make ~name:"gen: regenerate delta code"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_initial in
+           Inverda.Codegen.regenerate (I.database t) (I.genealogy t)));
+    (* Figure 8: reads and writes per configuration *)
+    Test.make ~name:"fig8: read TasKy2 (initial mat, generated)"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_initial in
+           ignore
+             (Minidb.Engine.query (I.database t)
+                "SELECT task, prio FROM TasKy2.Task WHERE prio = 1")));
+    Test.make ~name:"fig8: read TasKy2 (evolved mat, generated)"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_evolved in
+           ignore
+             (Minidb.Engine.query (I.database t)
+                "SELECT task, prio FROM TasKy2.Task WHERE prio = 1")));
+    Test.make ~name:"fig8: read TasKy2 (initial mat, handwritten)"
+      (Staged.stage (fun () ->
+           ignore
+             (Minidb.Engine.query
+                (Lazy.force hand_initial)
+                "SELECT task, prio FROM TasKy2.Task WHERE prio = 1")));
+    Test.make ~name:"fig8: insert TasKy (initial mat, generated)"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_initial in
+           ignore
+             (Minidb.Engine.execf (I.database t)
+                "INSERT INTO TasKy.Task (author, task, prio) VALUES ('B', 'm%d', 2)"
+                (fresh ()))));
+    (* Figure 11/12: point reads at distance 0 vs distance 2 *)
+    Test.make ~name:"fig12: point read, local"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_initial in
+           ignore
+             (Minidb.Engine.query (I.database t)
+                "SELECT task FROM TasKy.Task WHERE p = 100")));
+    Test.make ~name:"fig12: point read, 2 SMOs away"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tasky_initial in
+           ignore
+             (Minidb.Engine.query (I.database t)
+                "SELECT task FROM TasKy2.Task WHERE p = 100")));
+    (* the formal evaluation: one full executable round trip *)
+    Test.make ~name:"formal: split round trip (oracle)"
+      (Staged.stage (fun () ->
+           let inst =
+             Bidel.Smo_semantics.instantiate
+               ~smo:
+                 (Bidel.Parser.smo_of_string
+                    "SPLIT TABLE t INTO r WITH a < 3, s WITH a > 1")
+               ~source_cols:(fun _ -> [ "a" ])
+               ~name_src:(fun t -> "src!" ^ t)
+               ~name_tgt:(fun t -> "tgt!" ^ t)
+               ~aux_name:(fun k -> "aux!" ^ k)
+               ~skolem_name:Bidel.Verify.skolem_name
+           in
+           let data =
+             [
+               ( "src!t",
+                 List.init 16 (fun i ->
+                     [| Minidb.Value.Int i; Minidb.Value.Int (i mod 5) |]) );
+             ]
+           in
+           assert (Bidel.Verify.check_src inst data).Bidel.Verify.ok));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"inverda" ~fmt:"%s %s" tests)
+  in
+  let results =
+    List.map (fun i -> Analyze.all ols i raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Fmt.pr "%-55s %12.1f ns/run (%s)@." test est name
+          | _ -> Fmt.pr "%-55s (no estimate)@." test)
+        tbl)
+    results

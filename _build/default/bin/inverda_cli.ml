@@ -1,0 +1,139 @@
+(* Interactive InVerDa shell: BiDEL evolution statements, the MATERIALIZE
+   migration command, and plain SQL against any "version.table" view, all in
+   one REPL.
+
+     dune exec bin/inverda_cli.exe            # interactive
+     dune exec bin/inverda_cli.exe -- --demo  # pre-load the TasKy example
+     echo "script" | dune exec bin/inverda_cli.exe
+
+   Statements end with ';'. Meta commands: .help .catalog .versions .smos
+   .quit *)
+
+module I = Inverda.Api
+
+let help_text =
+  {|Statements (end with ';'):
+  CREATE SCHEMA VERSION <v> [FROM <v0>] WITH <smo>; <smo>; ...
+      SMOs: CREATE TABLE t(a,b) | DROP TABLE t | RENAME TABLE t INTO u
+            ADD COLUMN c AS <expr> INTO t | DROP COLUMN c FROM t DEFAULT <expr>
+            RENAME COLUMN c IN t TO d
+            DECOMPOSE TABLE t INTO r(a,..)[, s(b,..)] ON PK|FOREIGN KEY fk|<cond>
+            [OUTER] JOIN TABLE r, s INTO t ON PK|FOREIGN KEY fk|<cond>
+            SPLIT TABLE t INTO r WITH <cond> [, s WITH <cond>]
+            MERGE TABLE r (<cond>), s (<cond>) INTO t
+  DROP SCHEMA VERSION <v>;
+  MATERIALIZE '<version>' | '<version>.<table>', ...;
+  any SQL: SELECT/INSERT/UPDATE/DELETE ... FROM <version>.<table>
+Meta commands: .help  .catalog  .versions  .smos  .quit|}
+
+let is_bidel sql =
+  let up = String.uppercase_ascii (String.trim sql) in
+  let starts p =
+    String.length up >= String.length p && String.sub up 0 (String.length p) = p
+  in
+  starts "CREATE SCHEMA" || starts "DROP SCHEMA" || starts "MATERIALIZE"
+
+let print_relation (rel : Minidb.Exec.relation) =
+  Fmt.pr "%s@." (String.concat " | " rel.Minidb.Exec.rel_cols);
+  List.iter
+    (fun row ->
+      Fmt.pr "%s@."
+        (String.concat " | " (Array.to_list (Array.map Minidb.Value.to_string row))))
+    rel.Minidb.Exec.rel_rows;
+  Fmt.pr "(%d rows)@." (List.length rel.Minidb.Exec.rel_rows)
+
+let execute t input =
+  try
+    if is_bidel input then begin
+      I.evolve t input;
+      Fmt.pr "ok@."
+    end
+    else
+      match Minidb.Engine.exec (I.database t) input with
+      | Minidb.Exec.Rows rel -> print_relation rel
+      | Minidb.Exec.Affected n -> Fmt.pr "%d rows affected@." n
+      | Minidb.Exec.Done -> Fmt.pr "ok@."
+  with
+  | Minidb.Sql_lexer.Cursor.Parse_error msg -> Fmt.pr "parse error: %s@." msg
+  | Minidb.Sql_lexer.Lex_error (msg, _) -> Fmt.pr "lex error: %s@." msg
+  | Minidb.Database.Engine_error msg
+  | Minidb.Exec.Exec_error msg
+  | Inverda.Genealogy.Catalog_error msg
+  | Inverda.Migration.Migration_error msg ->
+    Fmt.pr "error: %s@." msg
+  | Minidb.Table.Constraint_violation msg -> Fmt.pr "constraint violation: %s@." msg
+  | Minidb.Value.Type_error msg -> Fmt.pr "type error: %s@." msg
+  | Bidel.Smo_semantics.Semantics_error msg -> Fmt.pr "SMO error: %s@." msg
+
+let meta t line =
+  match String.trim line with
+  | ".help" -> Fmt.pr "%s@." help_text
+  | ".catalog" -> Fmt.pr "%s@." (I.describe t)
+  | ".versions" ->
+    List.iter
+      (fun v ->
+        Fmt.pr "%s: %s@." v (String.concat ", " (I.version_tables t v)))
+      (I.versions t)
+  | ".smos" ->
+    List.iter
+      (fun (si : Inverda.Genealogy.smo_instance) ->
+        Fmt.pr "#%d %s (%s)@." si.Inverda.Genealogy.si_id
+          (Bidel.Printer.smo_to_string si.Inverda.Genealogy.si_smo)
+          (if si.Inverda.Genealogy.si_materialized then "materialized"
+           else "virtualized"))
+      (Inverda.Genealogy.all_smos (I.genealogy t))
+  | ".quit" | ".exit" -> exit 0
+  | other -> Fmt.pr "unknown meta command %s (try .help)@." other
+
+let repl t =
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then begin
+    Fmt.pr "InVerDa shell — co-existing schema versions (type .help)@.";
+    Fmt.pr "inverda> %!"
+  end;
+  let buf = Buffer.create 256 in
+  try
+    while true do
+      let line = input_line stdin in
+      let trimmed = String.trim line in
+      if String.length trimmed > 0 && trimmed.[0] = '.' && Buffer.length buf = 0
+      then meta t trimmed
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        (* a statement ends when the buffered input ends with ';' *)
+        let s = String.trim (Buffer.contents buf) in
+        if String.length s > 0 && s.[String.length s - 1] = ';' then begin
+          Buffer.clear buf;
+          execute t s
+        end
+      end;
+      if interactive then Fmt.pr "inverda> %!"
+    done
+  with End_of_file ->
+    let rest = String.trim (Buffer.contents buf) in
+    if rest <> "" then execute t rest
+
+let run demo =
+  let t = I.create () in
+  if demo then begin
+    I.evolve t Scenarios.Tasky.bidel_initial;
+    Scenarios.Tasky.load_tasks t 20;
+    I.evolve t Scenarios.Tasky.bidel_do;
+    I.evolve t Scenarios.Tasky.bidel_tasky2;
+    Fmt.pr "loaded the TasKy demo: versions %s@."
+      (String.concat ", " (I.versions t))
+  end;
+  repl t
+
+open Cmdliner
+
+let demo =
+  let doc = "Preload the TasKy example (three schema versions, 20 tasks)." in
+  Arg.(value & flag & info [ "demo" ] ~doc)
+
+let cmd =
+  let doc = "Interactive shell for co-existing schema versions" in
+  Cmd.v (Cmd.info "inverda" ~doc) Term.(const run $ demo)
+
+let () = exit (Cmd.eval cmd)

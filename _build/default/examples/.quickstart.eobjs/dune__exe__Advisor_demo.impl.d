@@ -1,0 +1,1 @@
+examples/advisor_demo.ml: Bidel Fmt Inverda List Scenarios String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Inverda List Minidb String

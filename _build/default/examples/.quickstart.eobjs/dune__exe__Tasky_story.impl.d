@@ -1,0 +1,1 @@
+examples/tasky_story.ml: Bidel Fmt Inverda List Minidb Scenarios String

@@ -1,0 +1,1 @@
+examples/tasky_story.mli:

@@ -1,0 +1,1 @@
+examples/wikimedia_replay.ml: Array Fmt Inverda List Minidb Scenarios Unix

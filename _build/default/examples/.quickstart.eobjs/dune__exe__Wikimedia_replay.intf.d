@@ -1,0 +1,1 @@
+examples/wikimedia_replay.mli:

@@ -1,0 +1,58 @@
+(* The materialization advisor: scoring every valid materialization schema
+   against a workload profile and migrating to the best one — the "advisor
+   tool" the paper sketches as an extension (Section 8.2).
+
+   Run with: dune exec examples/advisor_demo.exe *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+
+let mat_label gen mat =
+  let labels =
+    List.filter_map
+      (fun id ->
+        match (G.smo gen id).G.si_smo with
+        | Bidel.Ast.Create_table _ -> None
+        | smo -> Some (Bidel.Ast.smo_name smo))
+      mat
+  in
+  if labels = [] then "{initial}" else "{" ^ String.concat ", " labels ^ "}"
+
+let advise_for t profile =
+  let gen = I.genealogy t in
+  Fmt.pr "@.workload profile: %s@."
+    (String.concat ", "
+       (List.map (fun (v, w) -> Fmt.str "%s %.0f%%" v (w *. 100.0)) profile));
+  match Inverda.Advisor.advise gen profile with
+  | None -> Fmt.pr "  no candidates?@."
+  | Some r ->
+    List.iter
+      (fun (mat, cost) ->
+        Fmt.pr "  %-40s estimated cost %.2f%s@." (mat_label gen mat) cost
+          (if mat = r.Inverda.Advisor.materialization then "   <- recommended" else ""))
+      r.Inverda.Advisor.alternatives;
+    let changed = Inverda.Advisor.advise_and_migrate (I.database t) gen profile in
+    Fmt.pr "  migrated: %b; physical tables now: %s@." changed
+      (String.concat ", "
+         (List.map
+            (fun v -> v.G.tv_table)
+            (List.filter (G.is_physical gen) (G.all_table_versions gen))))
+
+let () =
+  let t = Scenarios.Tasky.setup_full ~tasks:500 () in
+  Fmt.pr "three co-existing versions: %s@." (String.concat ", " (I.versions t));
+
+  (* early days: everybody uses the original TasKy *)
+  advise_for t [ ("TasKy", 0.9); ("Do!", 0.1); ("TasKy2", 0.0) ];
+
+  (* the phone app takes over *)
+  advise_for t [ ("TasKy", 0.2); ("Do!", 0.8); ("TasKy2", 0.0) ];
+
+  (* everyone adopted TasKy2 *)
+  advise_for t [ ("TasKy", 0.05); ("Do!", 0.05); ("TasKy2", 0.9) ];
+
+  (* all versions still work after the advisor's migrations *)
+  Fmt.pr "@.TasKy tasks: %d, Do! todos: %d, TasKy2 tasks: %d@."
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task")
+    (I.query_int t "SELECT COUNT(*) FROM Do!.Todo")
+    (I.query_int t "SELECT COUNT(*) FROM TasKy2.Task")

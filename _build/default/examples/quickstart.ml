@@ -1,0 +1,53 @@
+(* Quickstart: two co-existing schema versions over one data set.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module I = Inverda.Api
+
+let show t title sql =
+  Fmt.pr "@.%s@.  %s@." title sql;
+  let rel = I.query t sql in
+  Fmt.pr "  %s@." (String.concat " | " rel.Minidb.Exec.rel_cols);
+  List.iter
+    (fun row ->
+      Fmt.pr "  %s@."
+        (String.concat " | "
+           (Array.to_list (Array.map Minidb.Value.to_string row))))
+    rel.Minidb.Exec.rel_rows
+
+let () =
+  let t = I.create () in
+
+  (* 1. the first release defines its schema with BiDEL *)
+  I.evolve t "CREATE SCHEMA VERSION v1 WITH CREATE TABLE person(name, city, zip);";
+  ignore
+    (I.exec_sql t
+       "INSERT INTO v1.person (name, city, zip) VALUES \
+        ('Ada', 'London', 'NW1'), ('Grace', 'New York', '10001'), \
+        ('Edsger', 'Austin', '78701')");
+
+  (* 2. release two normalizes the address into its own table — one BiDEL
+        statement, and both versions stay fully readable and writable *)
+  I.evolve t
+    "CREATE SCHEMA VERSION v2 FROM v1 WITH \
+       DECOMPOSE TABLE person INTO person(name), address(city, zip) ON FOREIGN KEY addr;";
+
+  show t "v1 sees the flat table:" "SELECT name, city, zip FROM v1.person";
+  show t "v2 sees the normalized tables:"
+    "SELECT p.name, a.city FROM v2.person p JOIN v2.address a ON p.addr = a.p";
+
+  (* 3. writes through either version are visible in both *)
+  ignore
+    (I.exec_sql t
+       "INSERT INTO v1.person (name, city, zip) VALUES ('Barbara', 'London', 'NW1')");
+  ignore (I.exec_sql t "UPDATE v2.address SET city = 'Cambridge' WHERE zip = '78701'");
+  show t "v1 after writes through both versions:"
+    "SELECT name, city, zip FROM v1.person";
+  show t "v2 shares the deduplicated London address:"
+    "SELECT a.p, a.city, COUNT(*) FROM v2.person p JOIN v2.address a ON p.addr = a.p \
+     GROUP BY a.p, a.city";
+
+  (* 4. the DBA moves the physical data under v2 — one line, nothing breaks *)
+  I.materialize t [ "v2" ];
+  Fmt.pr "@.after MATERIALIZE 'v2':@.%s@." (I.describe t);
+  show t "v1 still answers:" "SELECT name, city FROM v1.person"

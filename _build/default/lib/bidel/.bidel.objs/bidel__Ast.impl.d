@@ -1,0 +1,1 @@
+lib/bidel/ast.ml: Minidb

@@ -1,0 +1,1 @@
+lib/bidel/metrics.ml: Float Fmt List String

@@ -1,0 +1,1 @@
+lib/bidel/metrics.mli: Format

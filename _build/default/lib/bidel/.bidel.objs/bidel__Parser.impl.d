@@ -1,0 +1,1 @@
+lib/bidel/parser.ml: Ast List Minidb

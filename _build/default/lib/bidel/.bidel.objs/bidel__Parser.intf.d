@@ -1,0 +1,1 @@
+lib/bidel/parser.mli: Ast Minidb

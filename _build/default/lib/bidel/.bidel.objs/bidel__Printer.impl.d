@@ -1,0 +1,1 @@
+lib/bidel/printer.ml: Ast Fmt List Minidb String

@@ -1,0 +1,1 @@
+lib/bidel/printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/bidel/smo_semantics.ml: Ast Datalog Fmt List Minidb Option String

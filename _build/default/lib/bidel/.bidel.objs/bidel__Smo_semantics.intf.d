@@ -1,0 +1,1 @@
+lib/bidel/smo_semantics.mli: Ast Datalog

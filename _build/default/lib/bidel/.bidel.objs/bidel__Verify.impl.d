@@ -1,0 +1,1 @@
+lib/bidel/verify.ml: Datalog Fmt Hashtbl List Minidb Option Smo_semantics

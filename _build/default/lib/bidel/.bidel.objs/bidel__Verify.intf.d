@@ -1,0 +1,1 @@
+lib/bidel/verify.mli: Minidb Smo_semantics

@@ -1,0 +1,92 @@
+(** Surface syntax of BiDEL (Figure 2 of the paper).
+
+    An evolution script is a [CREATE SCHEMA VERSION new FROM old WITH smo1;
+    ...; smon;] statement (or a version drop). Each SMO carries enough
+    arguments for both mapping directions — e.g. [DROP COLUMN] takes the
+    DEFAULT function used to reconstruct the dropped value when data written
+    in the new version is read in the old one. *)
+
+type expr = Minidb.Sql_ast.expr
+(** Conditions and value functions range over column names:
+    [Col (None, c)] refers to column [c]. *)
+
+(** Join/decompose linkage: primary key, a named foreign-key column, or an
+    arbitrary condition over the columns of both sides. *)
+type linkage = On_pk | On_fk of string | On_cond of expr
+
+type smo =
+  | Create_table of { table : string; columns : string list }
+  | Drop_table of { table : string }
+  | Rename_table of { table : string; into : string }
+  | Rename_column of { table : string; col : string; into : string }
+  | Add_column of { table : string; col : string; default : expr }
+      (** [ADD COLUMN col AS f(...) INTO table] *)
+  | Drop_column of { table : string; col : string; default : expr }
+      (** [DROP COLUMN col FROM table DEFAULT f(...)] *)
+  | Decompose of {
+      table : string;
+      left : string * string list;  (** S(s1, ..., sn) *)
+      right : (string * string list) option;  (** T(t1, ..., tm) *)
+      linkage : linkage;
+    }
+  | Join of {
+      left : string;
+      right : string;
+      into : string;
+      linkage : linkage;
+      outer : bool;
+    }
+  | Split of {
+      table : string;
+      left : string * expr;  (** R WITH cR *)
+      right : (string * expr) option;  (** S WITH cS *)
+    }
+  | Merge of { left : string * expr; right : string * expr; into : string }
+
+type statement =
+  | Create_schema_version of {
+      name : string;
+      from : string option;
+      smos : smo list;
+    }
+  | Drop_schema_version of string
+  | Materialize of string list
+      (** MATERIALIZE 'TasKy2' or MATERIALIZE 'v.t1', 'v.t2': schema version
+          name or explicit table versions (the DBA migration command) *)
+
+(** Tables read by an SMO (in the source schema version). *)
+let source_tables = function
+  | Create_table _ -> []
+  | Drop_table { table } | Rename_table { table; _ } -> [ table ]
+  | Rename_column { table; _ } -> [ table ]
+  | Add_column { table; _ } | Drop_column { table; _ } -> [ table ]
+  | Decompose { table; _ } -> [ table ]
+  | Join { left; right; _ } -> [ left; right ]
+  | Split { table; _ } -> [ table ]
+  | Merge { left = l, _; right = r, _; _ } -> [ l; r ]
+
+(** Tables created by an SMO (in the target schema version). *)
+let target_tables = function
+  | Create_table { table; _ } -> [ table ]
+  | Drop_table _ -> []
+  | Rename_table { into; _ } -> [ into ]
+  | Rename_column { table; _ } -> [ table ]
+  | Add_column { table; _ } | Drop_column { table; _ } -> [ table ]
+  | Decompose { left = l, _; right; _ } -> (
+    match right with Some (r, _) -> [ l; r ] | None -> [ l ])
+  | Join { into; _ } -> [ into ]
+  | Split { left = l, _; right; _ } -> (
+    match right with Some (r, _) -> [ l; r ] | None -> [ l ])
+  | Merge { into; _ } -> [ into ]
+
+let smo_name = function
+  | Create_table _ -> "CREATE TABLE"
+  | Drop_table _ -> "DROP TABLE"
+  | Rename_table _ -> "RENAME TABLE"
+  | Rename_column _ -> "RENAME COLUMN"
+  | Add_column _ -> "ADD COLUMN"
+  | Drop_column _ -> "DROP COLUMN"
+  | Decompose _ -> "DECOMPOSE"
+  | Join _ -> "JOIN"
+  | Split _ -> "SPLIT"
+  | Merge _ -> "MERGE"

@@ -1,0 +1,58 @@
+(** Code-size metrics for Table 3 of the paper: lines of code, statements and
+    characters (consecutive whitespace counted as one character, as in the
+    paper) of BiDEL and SQL scripts. *)
+
+type t = { lines : int; statements : int; characters : int }
+
+let count_characters s =
+  let n = String.length s in
+  let rec go i in_ws acc =
+    if i >= n then acc
+    else
+      let c = s.[i] in
+      let ws = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+      if ws then go (i + 1) true (if in_ws then acc else acc + 1)
+      else go (i + 1) false (acc + 1)
+  in
+  (* leading/trailing whitespace ignored *)
+  go 0 true 0
+
+let count_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line ->
+         let t = String.trim line in
+         t <> "" && not (String.length t >= 2 && t.[0] = '-' && t.[1] = '-'))
+  |> List.length
+
+(** Statements are ';'-separated chunks with actual content. *)
+let count_statements s =
+  (* strip line comments first *)
+  let comment_start line =
+    let n = String.length line in
+    let rec go i =
+      if i + 1 >= n then None
+      else if line.[i] = '-' && line.[i + 1] = '-' then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let without_comments =
+    String.split_on_char '\n' s
+    |> List.map (fun line ->
+           match comment_start line with
+           | Some i -> String.sub line 0 i
+           | None -> line)
+    |> String.concat "\n"
+  in
+  String.split_on_char ';' without_comments
+  |> List.filter (fun chunk -> String.trim chunk <> "")
+  |> List.length
+
+let measure s =
+  { lines = count_lines s; statements = count_statements s; characters = count_characters s }
+
+let ratio a b =
+  if b = 0 then Float.infinity else float_of_int a /. float_of_int b
+
+let pp ppf m =
+  Fmt.pf ppf "%d LoC, %d statements, %d characters" m.lines m.statements m.characters

@@ -1,0 +1,13 @@
+(** Code-size metrics for Table 3 of the paper: lines of code, statements and
+    characters (consecutive whitespace counted as one, as in the paper). *)
+
+type t = { lines : int; statements : int; characters : int }
+
+val measure : string -> t
+(** Measure a BiDEL or SQL script. Lines exclude blanks and [--] comment
+    lines; statements are non-empty ';'-separated chunks. *)
+
+val ratio : int -> int -> float
+(** [ratio a b] = a/b as a float (infinity for b = 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,214 @@
+(** Recursive-descent parser for BiDEL scripts, reusing the shared lexer and
+    the SQL expression grammar for conditions and value functions. *)
+
+open Ast
+module C = Minidb.Sql_lexer.Cursor
+module L = Minidb.Sql_lexer
+
+exception Parse_error = C.Parse_error
+
+let perror = C.perror
+
+let parse_expr c = Minidb.Sql_parser.parse_expr c
+
+let parse_name_list c =
+  C.expect c L.LPAREN;
+  let rec go acc =
+    let n = C.ident c in
+    if C.peek c = L.COMMA then begin
+      C.advance c;
+      go (n :: acc)
+    end
+    else begin
+      C.expect c L.RPAREN;
+      List.rev (n :: acc)
+    end
+  in
+  go []
+
+let parse_linkage c =
+  C.expect_kw c "ON";
+  if C.accept_kw c "PK" then On_pk
+  else if C.is_kw c "FOREIGN" then begin
+    C.advance c;
+    C.expect_kw c "KEY";
+    On_fk (C.ident c)
+  end
+  else if C.accept_kw c "FK" then On_fk (C.ident c)
+  else On_cond (parse_expr c)
+
+let parse_smo c =
+  if C.accept_kw c "CREATE" then begin
+    C.expect_kw c "TABLE";
+    let table = C.ident c in
+    let columns = parse_name_list c in
+    Create_table { table; columns }
+  end
+  else if C.accept_kw c "DROP" then
+    if C.accept_kw c "TABLE" then Drop_table { table = C.ident c }
+    else begin
+      C.expect_kw c "COLUMN";
+      let col = C.ident c in
+      C.expect_kw c "FROM";
+      let table = C.ident c in
+      C.expect_kw c "DEFAULT";
+      let default = parse_expr c in
+      Drop_column { table; col; default }
+    end
+  else if C.accept_kw c "RENAME" then
+    if C.accept_kw c "TABLE" then begin
+      let table = C.ident c in
+      C.expect_kw c "INTO";
+      Rename_table { table; into = C.ident c }
+    end
+    else begin
+      C.expect_kw c "COLUMN";
+      let col = C.ident c in
+      C.expect_kw c "IN";
+      let table = C.ident c in
+      C.expect_kw c "TO";
+      Rename_column { table; col; into = C.ident c }
+    end
+  else if C.accept_kw c "ADD" then begin
+    C.expect_kw c "COLUMN";
+    let col = C.ident c in
+    C.expect_kw c "AS";
+    let default = parse_expr c in
+    C.expect_kw c "INTO";
+    Add_column { table = C.ident c; col; default }
+  end
+  else if C.accept_kw c "DECOMPOSE" then begin
+    C.expect_kw c "TABLE";
+    let table = C.ident c in
+    C.expect_kw c "INTO";
+    let lname = C.ident c in
+    let lcols = parse_name_list c in
+    let right =
+      if C.peek c = L.COMMA then begin
+        C.advance c;
+        let rname = C.ident c in
+        let rcols = parse_name_list c in
+        Some (rname, rcols)
+      end
+      else None
+    in
+    let linkage = if C.is_kw c "ON" then parse_linkage c else On_pk in
+    Decompose { table; left = (lname, lcols); right; linkage }
+  end
+  else if C.is_kw c "JOIN" || C.is_kw c "OUTER" then begin
+    let outer = C.accept_kw c "OUTER" in
+    C.expect_kw c "JOIN";
+    C.expect_kw c "TABLE";
+    let left = C.ident c in
+    C.expect c L.COMMA;
+    let right = C.ident c in
+    C.expect_kw c "INTO";
+    let into = C.ident c in
+    let linkage = parse_linkage c in
+    Join { left; right; into; linkage; outer }
+  end
+  else if C.accept_kw c "SPLIT" then begin
+    C.expect_kw c "TABLE";
+    let table = C.ident c in
+    C.expect_kw c "INTO";
+    let lname = C.ident c in
+    C.expect_kw c "WITH";
+    let lcond = parse_expr c in
+    let right =
+      if C.peek c = L.COMMA then begin
+        C.advance c;
+        let rname = C.ident c in
+        C.expect_kw c "WITH";
+        Some (rname, parse_expr c)
+      end
+      else None
+    in
+    Split { table; left = (lname, lcond); right }
+  end
+  else if C.accept_kw c "MERGE" then begin
+    C.expect_kw c "TABLE";
+    let lname = C.ident c in
+    C.expect c L.LPAREN;
+    let lcond = parse_expr c in
+    C.expect c L.RPAREN;
+    C.expect c L.COMMA;
+    let rname = C.ident c in
+    C.expect c L.LPAREN;
+    let rcond = parse_expr c in
+    C.expect c L.RPAREN;
+    C.expect_kw c "INTO";
+    Merge { left = (lname, lcond); right = (rname, rcond); into = C.ident c }
+  end
+  else
+    perror "expected an SMO, found %s" (L.token_to_string (C.peek c))
+
+let parse_version_name c =
+  match C.next c with
+  | L.IDENT s -> s
+  | L.STRING s -> s
+  | tok -> perror "expected a schema version name, found %s" (L.token_to_string tok)
+
+let parse_statement c =
+  if C.accept_kw c "CREATE" then begin
+    C.expect_kw c "SCHEMA";
+    C.expect_kw c "VERSION";
+    let name = parse_version_name c in
+    let from =
+      if C.accept_kw c "FROM" then Some (parse_version_name c) else None
+    in
+    C.expect_kw c "WITH";
+    let rec smos acc =
+      let smo = parse_smo c in
+      (match C.peek c with L.SEMI -> C.advance c | _ -> ());
+      if
+        C.at_end c
+        || (C.is_kw c "CREATE" && C.is_kw2 c "SCHEMA")
+        || (C.is_kw c "DROP" && C.is_kw2 c "SCHEMA")
+        || C.is_kw c "MATERIALIZE"
+      then List.rev (smo :: acc)
+      else smos (smo :: acc)
+    in
+    Create_schema_version { name; from; smos = smos [] }
+  end
+  else if C.is_kw c "DROP" && C.is_kw2 c "SCHEMA" then begin
+    C.advance c;
+    C.advance c;
+    C.expect_kw c "VERSION";
+    let name = parse_version_name c in
+    (match C.peek c with L.SEMI -> C.advance c | _ -> ());
+    Drop_schema_version name
+  end
+  else if C.accept_kw c "MATERIALIZE" then begin
+    let rec names acc =
+      let n = parse_version_name c in
+      if C.peek c = L.COMMA then begin
+        C.advance c;
+        names (n :: acc)
+      end
+      else List.rev (n :: acc)
+    in
+    let targets = names [] in
+    (match C.peek c with L.SEMI -> C.advance c | _ -> ());
+    Materialize targets
+  end
+  else
+    perror "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE, found %s"
+      (L.token_to_string (C.peek c))
+
+let script_of_string src =
+  let c = C.make (L.tokenize src) in
+  let rec go acc = if C.at_end c then List.rev acc else go (parse_statement c :: acc) in
+  go []
+
+let statement_of_string src =
+  match script_of_string src with
+  | [ stmt ] -> stmt
+  | stmts -> perror "expected exactly one statement, got %d" (List.length stmts)
+
+let smo_of_string src =
+  let c = C.make (L.tokenize src) in
+  let smo = parse_smo c in
+  (match C.peek c with L.SEMI -> C.advance c | _ -> ());
+  if not (C.at_end c) then
+    perror "trailing input after SMO: %s" (L.token_to_string (C.peek c));
+  smo

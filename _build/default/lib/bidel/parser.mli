@@ -1,0 +1,19 @@
+(** Parser for BiDEL scripts (the syntax of Figure 2), reusing the shared
+    lexer and the SQL expression grammar for conditions and value
+    functions. *)
+
+exception Parse_error of string
+
+val parse_smo : Minidb.Sql_lexer.Cursor.t -> Ast.smo
+
+val parse_statement : Minidb.Sql_lexer.Cursor.t -> Ast.statement
+
+val script_of_string : string -> Ast.statement list
+(** Parse a whole script ([CREATE SCHEMA VERSION ...], [DROP SCHEMA VERSION],
+    [MATERIALIZE] statements). *)
+
+val statement_of_string : string -> Ast.statement
+(** Exactly one statement; raises {!Parse_error} otherwise. *)
+
+val smo_of_string : string -> Ast.smo
+(** A single SMO, e.g. for tests. *)

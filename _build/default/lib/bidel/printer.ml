@@ -1,0 +1,63 @@
+(** Pretty-printer for BiDEL: produces parseable scripts, also used by the
+    code-size metrics of Table 3. *)
+
+open Ast
+
+let pp_expr ppf e = Fmt.string ppf (Minidb.Sql_printer.expr_to_string e)
+
+let pp_cols ppf cols =
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ",") Fmt.string) cols
+
+let pp_linkage ppf = function
+  | On_pk -> Fmt.string ppf "ON PK"
+  | On_fk col -> Fmt.pf ppf "ON FOREIGN KEY %s" col
+  | On_cond e -> Fmt.pf ppf "ON %a" pp_expr e
+
+let pp_smo ppf = function
+  | Create_table { table; columns } ->
+    Fmt.pf ppf "CREATE TABLE %s%a" table pp_cols columns
+  | Drop_table { table } -> Fmt.pf ppf "DROP TABLE %s" table
+  | Rename_table { table; into } ->
+    Fmt.pf ppf "RENAME TABLE %s INTO %s" table into
+  | Rename_column { table; col; into } ->
+    Fmt.pf ppf "RENAME COLUMN %s IN %s TO %s" col table into
+  | Add_column { table; col; default } ->
+    Fmt.pf ppf "ADD COLUMN %s AS %a INTO %s" col pp_expr default table
+  | Drop_column { table; col; default } ->
+    Fmt.pf ppf "DROP COLUMN %s FROM %s DEFAULT %a" col table pp_expr default
+  | Decompose { table; left = lname, lcols; right; linkage } ->
+    Fmt.pf ppf "DECOMPOSE TABLE %s INTO %s%a" table lname pp_cols lcols;
+    (match right with
+    | Some (rname, rcols) -> Fmt.pf ppf ", %s%a" rname pp_cols rcols
+    | None -> ());
+    Fmt.pf ppf " %a" pp_linkage linkage
+  | Join { left; right; into; linkage; outer } ->
+    Fmt.pf ppf "%sJOIN TABLE %s, %s INTO %s %a"
+      (if outer then "OUTER " else "")
+      left right into pp_linkage linkage
+  | Split { table; left = lname, lcond; right } ->
+    Fmt.pf ppf "SPLIT TABLE %s INTO %s WITH %a" table lname pp_expr lcond;
+    (match right with
+    | Some (rname, rcond) -> Fmt.pf ppf ", %s WITH %a" rname pp_expr rcond
+    | None -> ())
+  | Merge { left = lname, lcond; right = rname, rcond; into } ->
+    Fmt.pf ppf "MERGE TABLE %s (%a), %s (%a) INTO %s" lname pp_expr lcond rname
+      pp_expr rcond into
+
+let pp_statement ppf = function
+  | Create_schema_version { name; from; smos } ->
+    Fmt.pf ppf "CREATE SCHEMA VERSION %s" name;
+    (match from with Some f -> Fmt.pf ppf " FROM %s" f | None -> ());
+    Fmt.pf ppf " WITH@.";
+    List.iter (fun smo -> Fmt.pf ppf "%a;@." pp_smo smo) smos
+  | Drop_schema_version name -> Fmt.pf ppf "DROP SCHEMA VERSION %s;@." name
+  | Materialize targets ->
+    Fmt.pf ppf "MATERIALIZE %a;@."
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf t -> Fmt.pf ppf "'%s'" t))
+      targets
+
+let smo_to_string = Fmt.str "%a" pp_smo
+
+let statement_to_string = Fmt.str "%a" pp_statement
+
+let script_to_string stmts = String.concat "" (List.map statement_to_string stmts)

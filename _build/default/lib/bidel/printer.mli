@@ -1,0 +1,12 @@
+(** Pretty-printer for BiDEL producing parseable scripts; also the code the
+    Table 3 size metrics measure. *)
+
+val pp_smo : Format.formatter -> Ast.smo -> unit
+
+val pp_statement : Format.formatter -> Ast.statement -> unit
+
+val smo_to_string : Ast.smo -> string
+
+val statement_to_string : Ast.statement -> string
+
+val script_to_string : Ast.statement list -> string

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Ast Fmt Hashtbl List Minidb Option

@@ -1,0 +1,1 @@
+lib/datalog/simplify.ml: Array Ast Eval Fmt List Minidb Option

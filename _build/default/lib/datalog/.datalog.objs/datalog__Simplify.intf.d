@@ -1,0 +1,1 @@
+lib/datalog/simplify.mli: Ast Minidb

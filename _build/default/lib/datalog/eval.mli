@@ -1,0 +1,24 @@
+(** Naive bottom-up evaluation of non-recursive Datalog rule sets with
+    stratified negation — the semantics oracle for the SMO mapping functions:
+    the generated SQL delta code must compute exactly what this evaluator
+    computes on the same extensional database. *)
+
+type edb = (string * Minidb.Value.t array list) list
+(** Extensional database: predicate name to tuples. *)
+
+exception Eval_error of string
+
+val stratify : Ast.t -> string list
+(** Topological order of the head predicates; raises {!Eval_error} on
+    recursion (SMO rule sets never recurse — the genealogy is acyclic). *)
+
+val eval : ?engine:Minidb.Database.t -> Ast.t -> edb -> edb
+(** Evaluate the rule set bottom-up; returns the derived relations of every
+    head predicate. [engine] supplies registered functions (the memoized
+    skolem identifier generators) for condition/assignment evaluation. *)
+
+val eval_pred : ?engine:Minidb.Database.t -> Ast.t -> edb -> string -> Minidb.Value.t array list
+(** Evaluate and project one predicate. *)
+
+val same_tuples : Minidb.Value.t array list -> Minidb.Value.t array list -> bool
+(** Set equality of tuple collections. *)

@@ -1,0 +1,30 @@
+(** Pretty-printing of Datalog rules in the paper's notation. *)
+
+open Ast
+
+let pp_term ppf = function
+  | Var x -> Fmt.string ppf x
+  | Cst v -> Fmt.string ppf (Minidb.Value.to_literal v)
+  | Anon -> Fmt.string ppf "_"
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%s(%a)" a.pred (Fmt.list ~sep:(Fmt.any ", ") pp_term) a.args
+
+let pp_literal ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Fmt.pf ppf "not %a" pp_atom a
+  | Cond e -> Fmt.string ppf (Minidb.Sql_printer.expr_to_string e)
+  | Assign (x, e) ->
+    Fmt.pf ppf "%s = %s" x (Minidb.Sql_printer.expr_to_string e)
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%a <- %a" pp_atom r.head
+    (Fmt.list ~sep:(Fmt.any ", ") pp_literal)
+    r.body
+
+let pp_rules ppf rules =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_rule) rules
+
+let rule_to_string = Fmt.str "%a" pp_rule
+
+let rules_to_string = Fmt.str "%a" pp_rules

@@ -1,0 +1,16 @@
+(** Pretty-printing of Datalog rules in the paper's notation:
+    [head(args) <- lit, ..., lit] with [not] for negation. *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+
+val pp_atom : Format.formatter -> Ast.atom -> unit
+
+val pp_literal : Format.formatter -> Ast.literal -> unit
+
+val pp_rule : Format.formatter -> Ast.rule -> unit
+
+val pp_rules : Format.formatter -> Ast.t -> unit
+
+val rule_to_string : Ast.rule -> string
+
+val rules_to_string : Ast.t -> string

@@ -1,0 +1,77 @@
+(** Symbolic rule-set simplification: the five lemmas of Section 5 of the
+    paper plus subsumption, used to replay the bidirectionality proofs
+    (Appendix A) mechanically. The machinery relies on the paper's standing
+    assumptions: the first argument of every atom is the unique key
+    (Lemma 5), and condition negation is the closed-world
+    [NOT (COALESCE (e, FALSE))] wrapper the SMO templates produce. *)
+
+type subst = (string * Ast.term) list
+
+val subst_rule : subst -> Ast.rule -> Ast.rule
+
+val freshen_rule : Ast.rule -> Ast.rule
+(** Rename every variable to a globally fresh one. *)
+
+val neg_cond : Minidb.Sql_ast.expr -> Minidb.Sql_ast.expr
+(** Closed-world negation of a condition; involutive on the wrapper form. *)
+
+val definitely_false : Minidb.Sql_ast.expr -> bool
+
+val definitely_true : Minidb.Sql_ast.expr -> bool
+
+val simplify_rule : Ast.rule -> Ast.rule option
+(** Within-rule simplification: unique-key merging (Lemma 5), nullsafe
+    equality unification, duplicate literals, constant conditions, dead
+    assignments; [None] when the rule contains a contradiction (Lemma 4). *)
+
+val unfold_positive :
+  ?derived:string list -> defs:Ast.rule list -> Ast.rule list -> Ast.rule list
+(** Lemma 1.1: replace positive literals over defined predicates by the
+    defining bodies (one output rule per definition). A predicate listed in
+    [derived] but defined by no rule is empty, dropping the host rule. *)
+
+val unfold_negative :
+  ?derived:string list -> defs:Ast.rule list -> Ast.rule list -> Ast.rule list
+(** Lemma 1.2: expand negated literals over defined predicates into the
+    alternatives under which no definition applies — sound under the
+    unique-key assumption. *)
+
+val apply_empty : empty:string list -> Ast.rule list -> Ast.rule list
+(** Lemma 2. *)
+
+val rule_equivalent : Ast.rule -> Ast.rule -> bool
+(** Equality up to variable renaming and body permutation. *)
+
+val subsumes : Ast.rule -> Ast.rule -> bool
+
+val simplify : ?empty:string list -> Ast.rule list -> Ast.rule list
+(** Fixpoint of Lemmas 2–5 (including the Appendix-A twin-merge pattern of
+    Lemma 3), subsumption and deduplication. *)
+
+val compose :
+  ?empty:string list -> inner:Ast.rule list -> Ast.rule list -> Ast.rule list
+(** Unfold the outer rule set's references to the inner rule set's head
+    predicates (Lemma 1 in both polarities), then {!simplify} — the
+    [gamma . gamma] composition of the paper's proofs. *)
+
+(** {1 Identity checks} *)
+
+val is_identity :
+  pred:string -> source:string -> arity:int -> Ast.rule list -> bool
+(** Does [rules] restricted to [pred] equal the single identity rule
+    [pred(p, X) <- source(p, X)]? *)
+
+val is_identity_modulo_null :
+  pred:string -> source:string -> arity:int -> Ast.rule list -> bool
+(** Identity up to the ω-convention: nullness-guarded identity rules covering
+    every payload-nullness combination except all-NULL. *)
+
+val bounded_identity :
+  heads:(string * string) list ->
+  stored:(string * int) list ->
+  Ast.rule list ->
+  int option
+(** Decide identity by exhaustive evaluation over all single-key instances
+    with payload values drawn from the conditions' constants (and their
+    boundary neighbours) plus NULL. Returns the number of instances checked,
+    or [None] on a counterexample. *)

@@ -1,0 +1,1 @@
+lib/inverda/advisor.ml: Genealogy List Migration

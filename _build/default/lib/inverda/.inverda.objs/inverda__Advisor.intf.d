@@ -1,0 +1,1 @@
+lib/inverda/advisor.mli: Genealogy Minidb

@@ -1,0 +1,1 @@
+lib/inverda/api.ml: Bidel Buffer Codegen Datalog Fmt Genealogy List Migration Minidb Naming Rule_sql String

@@ -1,0 +1,1 @@
+lib/inverda/api.mli: Bidel Genealogy Minidb

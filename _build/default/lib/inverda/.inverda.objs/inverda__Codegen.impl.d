@@ -1,0 +1,1 @@
+lib/inverda/codegen.ml: Bidel Genealogy Hashtbl List Minidb Naming Option Rule_sql Triggers

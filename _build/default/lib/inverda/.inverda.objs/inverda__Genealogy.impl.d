@@ -1,0 +1,1 @@
+lib/inverda/genealogy.ml: Bidel Fmt Hashtbl List Naming

@@ -1,0 +1,1 @@
+lib/inverda/genealogy.mli: Bidel Hashtbl

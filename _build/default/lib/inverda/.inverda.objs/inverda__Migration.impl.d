@@ -1,0 +1,1 @@
+lib/inverda/migration.ml: Bidel Codegen Fmt Genealogy List Minidb Naming String

@@ -1,0 +1,1 @@
+lib/inverda/migration.mli: Genealogy Minidb

@@ -1,0 +1,1 @@
+lib/inverda/naming.mli: Minidb

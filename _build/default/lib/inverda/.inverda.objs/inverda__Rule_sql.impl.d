@@ -1,0 +1,1 @@
+lib/inverda/rule_sql.ml: Datalog Fmt Hashtbl List Minidb Option

@@ -1,0 +1,1 @@
+lib/inverda/rule_sql.mli: Datalog Format Minidb

@@ -1,0 +1,1 @@
+lib/inverda/triggers.ml: Bidel Fmt List Minidb Option Rule_sql String

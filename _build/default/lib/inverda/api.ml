@@ -1,0 +1,144 @@
+(** Public facade of InVerDa: one object bundling the relational engine, the
+    schema version catalog and the two operations of the paper — the
+    Database Evolution Operation (BiDEL scripts) and the Database Migration
+    Operation (MATERIALIZE). Applications read and write the
+    ["version.table"] views through plain SQL. *)
+
+module G = Genealogy
+module S = Bidel.Smo_semantics
+module Sql = Minidb.Sql_ast
+module Db = Minidb.Database
+
+type t = {
+  db : Db.t;
+  gen : G.t;
+  counter : int ref;  (** global id sequence: row keys and skolem ids *)
+}
+
+exception Inverda_error = G.Catalog_error
+
+let create () =
+  let db = Db.create () in
+  let counter = ref 0 in
+  Db.register_function db Naming.global_id_function (fun _ _ ->
+      incr counter;
+      Minidb.Value.Int !counter);
+  { db; gen = G.create (); counter }
+
+let database t = t.db
+
+let genealogy t = t.gen
+
+(** Allocate a fresh InVerDa-managed identifier (for loaders that insert
+    explicit keys). *)
+let fresh_id t =
+  incr t.counter;
+  !(t.counter)
+
+(* --- the Database Evolution Operation -------------------------------------- *)
+
+let run_backfill t (si : G.smo_instance) =
+  let lookup = Codegen.schema_lookup t.gen in
+  let rules = si.G.si_inst.S.backfill in
+  List.iter
+    (fun (r : S.rel) ->
+      if List.exists (fun ru -> ru.Datalog.Ast.head.Datalog.Ast.pred = r.S.rel_name) rules
+      then begin
+        ignore
+          (Minidb.Exec.exec_statement t.db
+             (Sql.Insert
+                {
+                  table = r.S.rel_name;
+                  columns = Some r.S.rel_cols;
+                  source =
+                    Sql.Insert_query
+                      (Rule_sql.query_of_rules lookup ~pred:r.S.rel_name rules);
+                }))
+      end)
+    (si.G.si_inst.S.aux_src @ si.G.si_inst.S.aux_both)
+
+(** Execute one BiDEL statement. *)
+let exec_bidel t (stmt : Bidel.Ast.statement) =
+  match stmt with
+  | Bidel.Ast.Create_schema_version { name; from; smos } ->
+    let register_skolem fname =
+      Bidel.Verify.register_skolem t.db ~counter:t.counter fname
+    in
+    let _sv, instances =
+      G.create_schema_version t.gen ~register_skolem ~name ~from ~smos
+    in
+    (* physical storage for the new SMOs (they start virtualized:
+       aux_src + aux_both; CREATE TABLE SMOs get their data tables) *)
+    Codegen.ensure_physical t.db t.gen;
+    (* identifier backfill for pre-existing source data reads the *current*
+       views, which still exist *)
+    List.iter (run_backfill t) instances;
+    Codegen.regenerate t.db t.gen
+  | Bidel.Ast.Drop_schema_version name ->
+    G.drop_schema_version t.gen name;
+    Codegen.regenerate t.db t.gen
+  | Bidel.Ast.Materialize targets -> Migration.materialize t.db t.gen targets
+
+(** Execute a BiDEL script given as text. *)
+let evolve t script =
+  List.iter (exec_bidel t) (Bidel.Parser.script_of_string script)
+
+(** One-line migration command, e.g. [materialize t ["TasKy2"]]. *)
+let materialize t targets = Migration.materialize t.db t.gen targets
+
+let set_materialization t mat = Migration.set_materialization t.db t.gen mat
+
+(* --- data access ------------------------------------------------------------ *)
+
+let exec_sql t sql = Minidb.Engine.exec t.db sql
+
+let query t sql = Minidb.Engine.query t.db sql
+
+let query_rows t sql = Minidb.Engine.query_rows t.db sql
+
+let query_int t sql = Minidb.Engine.query_int t.db sql
+
+let insert_row t ~version ~table values =
+  let view = Naming.version_view ~version ~table in
+  let placeholders =
+    String.concat ", " (List.map Minidb.Value.to_literal values)
+  in
+  ignore (Minidb.Engine.execf t.db "INSERT INTO \"%s\" VALUES (%s)" view placeholders)
+
+(* --- introspection ----------------------------------------------------------- *)
+
+let versions t = List.map (fun v -> v.G.sv_name) t.gen.G.versions
+
+let version_tables t version =
+  List.map fst (G.version t.gen version).G.sv_tables
+
+let current_materialization t = G.current_materialization t.gen
+
+(** Human-readable summary of the catalog (schema versions, SMOs,
+    materialization states, physical tables). *)
+let describe t =
+  let buf = Buffer.create 256 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  add "schema versions:@.";
+  List.iter
+    (fun (sv : G.schema_version) ->
+      add "  %s%s: %s@." sv.G.sv_name
+        (match sv.G.sv_parent with Some p -> " (from " ^ p ^ ")" | None -> "")
+        (String.concat ", "
+           (List.map
+              (fun (name, tvid) -> Fmt.str "%s[tv%d]" name tvid)
+              sv.G.sv_tables)))
+    t.gen.G.versions;
+  add "smo instances:@.";
+  List.iter
+    (fun (si : G.smo_instance) ->
+      add "  #%d %s (%s)@." si.G.si_id
+        (Bidel.Ast.smo_name si.G.si_smo)
+        (if si.G.si_materialized then "materialized" else "virtualized"))
+    (G.all_smos t.gen);
+  add "physical table versions: %s@."
+    (String.concat ", "
+       (List.map
+          (fun v -> Fmt.str "tv%d(%s)" v.G.tv_id v.G.tv_table)
+          (List.filter (G.is_physical t.gen) (G.all_table_versions t.gen))));
+  Buffer.contents buf

@@ -1,0 +1,90 @@
+(** InVerDa's public facade — end-to-end support for co-existing schema
+    versions within one database (the system of the paper).
+
+    One value of type {!t} bundles a relational engine, the schema version
+    catalog and the two operations the paper introduces:
+
+    - the {e Database Evolution Operation}: {!evolve} executes a BiDEL
+      script, creating a new schema version with all delta code generated
+      automatically — the version is immediately readable and writable, and
+      writes in any version are visible in all others;
+    - the {e Database Migration Operation}: {!materialize} moves the physical
+      tables under any schema version with a single command, regenerating all
+      delta code, with every version staying available throughout.
+
+    Applications access data with plain SQL against the ["version.table"]
+    views via {!exec_sql} / {!query}. *)
+
+type t
+(** An InVerDa-managed database. *)
+
+exception Inverda_error of string
+
+val create : unit -> t
+(** A fresh database with an empty schema version catalog. *)
+
+val database : t -> Minidb.Database.t
+(** The underlying relational engine (for direct SQL access). *)
+
+val genealogy : t -> Genealogy.t
+(** The schema version catalog. *)
+
+val fresh_id : t -> int
+(** Allocate an InVerDa-managed row identifier (for loaders that insert
+    explicit keys; normal inserts get keys assigned automatically). *)
+
+(** {1 The Database Evolution Operation} *)
+
+val evolve : t -> string -> unit
+(** Execute a BiDEL script: any sequence of
+    [CREATE SCHEMA VERSION ... WITH smo; ...], [DROP SCHEMA VERSION ...] and
+    [MATERIALIZE ...] statements. Creating a version instantiates the SMOs,
+    backfills identifier auxiliaries for pre-existing data, and regenerates
+    the delta code of every version. *)
+
+val exec_bidel : t -> Bidel.Ast.statement -> unit
+(** As {!evolve}, for a pre-parsed statement. *)
+
+(** {1 The Database Migration Operation} *)
+
+val materialize : t -> string list -> unit
+(** [materialize t targets] — the paper's one-line migration command. Each
+    target is a schema version name (materialize all its table versions) or
+    ["version.table"]. Moves the data stepwise along the genealogy and
+    regenerates all delta code; no version becomes unavailable. *)
+
+val set_materialization : t -> int list -> unit
+(** Low-level variant: materialize exactly the given SMO instances. Raises
+    {!Migration.Migration_error} if the set violates the validity conditions
+    (55)/(56) of the paper. *)
+
+(** {1 Data access} *)
+
+val exec_sql : t -> string -> Minidb.Exec.result
+(** Execute one SQL statement (reads and writes version views like ordinary
+    tables). *)
+
+val query : t -> string -> Minidb.Exec.relation
+
+val query_rows : t -> string -> Minidb.Value.t list list
+
+val query_int : t -> string -> int
+
+val insert_row :
+  t -> version:string -> table:string -> Minidb.Value.t list -> unit
+(** Positional insert through a version view. *)
+
+(** {1 Introspection} *)
+
+val versions : t -> string list
+(** Schema version names, in creation order. *)
+
+val version_tables : t -> string -> string list
+(** Logical table names of a schema version. *)
+
+val current_materialization : t -> int list
+(** The SMO instances whose target side currently holds the data. *)
+
+val describe : t -> string
+(** Human-readable catalog summary: versions, SMO instances with their
+    materialization states, and the physical table schema. *)

@@ -1,0 +1,162 @@
+(** The Database Migration Operation (Section 7): change the materialization
+    schema with a single command. Data is moved stepwise along the genealogy
+    — one SMO instance at a time — by evaluating the mapping rules through
+    the very views the delta-code generator maintains, then regenerating all
+    delta code. No schema version ever becomes unavailable. *)
+
+module G = Genealogy
+module S = Bidel.Smo_semantics
+module Sql = Minidb.Sql_ast
+module Db = Minidb.Database
+
+exception Migration_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Migration_error s)) fmt
+
+let exec db stmt = ignore (Minidb.Exec.exec_statement db stmt)
+
+let copy_into db ~table ~source_view cols =
+  exec db
+    (Sql.Insert
+       {
+         table;
+         columns = Some cols;
+         source =
+           Sql.Insert_query
+             (Sql.select_query
+                (Sql.simple_select
+                   ~from:(Sql.From_table (source_view, None))
+                   (List.map (fun c -> Sql.Sel_expr (Sql.Col (None, c), None)) cols)));
+       })
+
+let drop_table db name = Db.drop_table db ~name ~if_exists:true
+
+(* Flip one SMO instance. The destination side's relations are readable as
+   views in the current state; snapshot them into fresh physical tables, flip
+   the state, regenerate the delta code, then drop the now-derived physical
+   storage of the old side. *)
+let flip db (gen : G.t) (si : G.smo_instance) ~to_materialized =
+  if si.G.si_materialized = to_materialized then ()
+  else begin
+    let i = si.G.si_inst in
+    let dest_tvs, dest_aux, old_tvs, old_aux =
+      if to_materialized then
+        (si.G.si_target_tvs, i.S.aux_tgt, si.G.si_source_tvs, i.S.aux_src)
+      else (si.G.si_source_tvs, i.S.aux_src, si.G.si_target_tvs, i.S.aux_tgt)
+    in
+    (* 0. stateful pair-identifier updates: when virtualizing, the derived
+       IDn view (old entries plus pairs freshly joined by the condition
+       rules) becomes the new content of the persistent ID table *)
+    let staged_state =
+      if to_materialized then []
+      else
+        List.map
+          (fun (fresh, state) ->
+            let cols =
+              match
+                List.find_opt
+                  (fun (r : S.rel) -> r.S.rel_name = state)
+                  i.S.aux_both
+              with
+              | Some r -> r.S.rel_cols
+              | None -> [ "p" ]
+            in
+            let stage = "stage" ^ state in
+            exec db (Codegen.create_table_stmt stage cols);
+            copy_into db ~table:stage ~source_view:fresh cols;
+            (stage, state, cols))
+          i.S.state_updates
+    in
+    (* 1. snapshot destination contents from the current views *)
+    let staged =
+      List.map
+        (fun tvid ->
+          let v = G.tv gen tvid in
+          let data = Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table in
+          let cols = "p" :: v.G.tv_cols in
+          exec db (Codegen.create_table_stmt data cols);
+          copy_into db ~table:data ~source_view:(G.tv_name v) cols;
+          data)
+        dest_tvs
+    in
+    ignore staged;
+    let staged_aux =
+      List.map
+        (fun (r : S.rel) ->
+          (* the auxiliary is currently a derived view; snapshot it under a
+             staging name, it becomes the physical table after the flip *)
+          let stage = "stage" ^ r.S.rel_name in
+          exec db (Codegen.create_table_stmt stage r.S.rel_cols);
+          copy_into db ~table:stage ~source_view:r.S.rel_name r.S.rel_cols;
+          (stage, r))
+        dest_aux
+    in
+    (* 2. flip and rebuild *)
+    si.G.si_materialized <- to_materialized;
+    Codegen.drop_generated db;
+    (* move staged auxiliaries into place *)
+    List.iter
+      (fun (stage, (r : S.rel)) ->
+        drop_table db r.S.rel_name;
+        exec db (Codegen.create_table_stmt r.S.rel_name r.S.rel_cols);
+        copy_into db ~table:r.S.rel_name ~source_view:stage r.S.rel_cols;
+        drop_table db stage)
+      staged_aux;
+    List.iter
+      (fun (stage, state, cols) ->
+        drop_table db state;
+        exec db (Codegen.create_table_stmt state cols);
+        copy_into db ~table:state ~source_view:stage cols;
+        drop_table db stage)
+      staged_state;
+    (* 3. drop the old side's physical storage *)
+    List.iter
+      (fun tvid ->
+        let v = G.tv gen tvid in
+        if not (G.is_physical gen v) then
+          drop_table db (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table))
+      old_tvs;
+    List.iter (fun (r : S.rel) -> drop_table db r.S.rel_name) old_aux;
+    Codegen.regenerate db gen
+  end
+
+(** Move to the materialization schema [mat] (a set of SMO ids). *)
+let set_materialization db (gen : G.t) mat =
+  if not (G.valid_materialization gen mat) then
+    error "invalid materialization schema {%s}"
+      (String.concat "," (List.map string_of_int mat));
+  let current = G.current_materialization gen in
+  let to_virtualize =
+    List.filter (fun id -> not (List.mem id mat)) current
+    |> List.sort (fun a b -> compare b a)
+  in
+  let to_materialize =
+    List.filter (fun id -> not (List.mem id current)) mat |> List.sort compare
+  in
+  List.iter
+    (fun id -> flip db gen (G.smo gen id) ~to_materialized:false)
+    to_virtualize;
+  List.iter
+    (fun id -> flip db gen (G.smo gen id) ~to_materialized:true)
+    to_materialize
+
+(** The MATERIALIZE command: arguments are schema version names or
+    ["version.table"] table versions. *)
+let materialize db (gen : G.t) targets =
+  let tv_ids =
+    List.concat_map
+      (fun target ->
+        match String.index_opt target '.' with
+        | Some i ->
+          let version = String.sub target 0 i in
+          let table = String.sub target (i + 1) (String.length target - i - 1) in
+          let sv = G.version gen version in
+          (match List.assoc_opt table sv.G.sv_tables with
+          | Some tvid -> [ tvid ]
+          | None -> error "schema version %s has no table %s" version table)
+        | None ->
+          let sv = G.version gen target in
+          List.map snd sv.G.sv_tables)
+      targets
+  in
+  set_materialization db gen (G.materialization_for_tables gen tv_ids)

@@ -1,0 +1,23 @@
+(** The Database Migration Operation (Section 7): change the materialization
+    schema with a single command. Data moves stepwise along the genealogy —
+    one SMO instance at a time — by reading the very views the delta-code
+    generator maintains; all delta code is then regenerated. No schema
+    version ever becomes unavailable. *)
+
+exception Migration_error of string
+
+val flip :
+  Minidb.Database.t -> Genealogy.t -> Genealogy.smo_instance ->
+  to_materialized:bool -> unit
+(** Flip one SMO instance: snapshot the destination side's relations from the
+    current views into fresh physical tables, switch the state, drop the old
+    side's storage and regenerate. No-op if already in the requested state. *)
+
+val set_materialization : Minidb.Database.t -> Genealogy.t -> int list -> unit
+(** Move to the given materialization schema (a set of SMO ids), virtualizing
+    outside-in and materializing inside-out so every intermediate state is
+    valid. Raises {!Migration_error} on conditions (55)/(56) violations. *)
+
+val materialize : Minidb.Database.t -> Genealogy.t -> string list -> unit
+(** The [MATERIALIZE] command: targets are schema version names or
+    ["version.table"] table versions. *)

@@ -1,0 +1,1455 @@
+(** Write-path delta code: statement templates for the INSTEAD OF triggers of
+    table-version views.
+
+    Every template propagates a single-row write one SMO hop towards the
+    physical side, maintaining that side's auxiliary tables — the SQL
+    realization of the paper's incremental update-propagation rules
+    ((52)-(54) show the insert rules for SPLIT). Multi-hop propagation
+    happens through the trigger cascade: data relations are referenced by
+    their canonical table-version views, which carry triggers of their own.
+
+    Conventions:
+    - the written row is available as NEW.<col> / OLD.<col> parameters;
+    - statements are ordered so that every statement reading a derived view
+      observes the state it needs (pre- or post-modification);
+    - [Ins] with an existing key behaves as an upsert (the engine's PK check
+      only guards physical tables), documented in DESIGN.md. *)
+
+module S = Bidel.Smo_semantics
+module Sql = Minidb.Sql_ast
+module Value = Minidb.Value
+module A = Bidel.Ast
+
+exception Trigger_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Trigger_error s)) fmt
+
+type op = Ins | Del | Upd
+
+(* --- small builders -------------------------------------------------------- *)
+
+let nw col = Sql.Param ("NEW." ^ String.lowercase_ascii col)
+
+let od col = Sql.Param ("OLD." ^ String.lowercase_ascii col)
+
+let key_of = function Ins -> nw "p" | Del | Upd -> od "p"
+
+let payload (r : S.rel) = List.tl r.S.rel_cols
+
+let col0 c : Sql.expr = Sql.Col (None, c)
+
+let sql_and a b = Sql.Binop (Sql.And, a, b)
+
+let sql_or a b = Sql.Binop (Sql.Or, a, b)
+
+let sql_not e =
+  Sql.Unop (Sql.Not, Sql.Fun ("COALESCE", [ e; Sql.Const (Value.Bool true) ]))
+
+(* NOT (e is true): closed-world negation, NULL-condition counts as false *)
+let not_true e =
+  Sql.Unop (Sql.Not, Sql.Fun ("COALESCE", [ e; Sql.Const (Value.Bool false) ]))
+
+let _ = sql_not
+
+let conj = function
+  | [] -> Sql.Const (Value.Bool true)
+  | e :: rest -> List.fold_left sql_and e rest
+
+let nullsafe_eq a b =
+  sql_or (Sql.Binop (Sql.Eq, a, b))
+    (sql_and (Sql.Is_null (a, false)) (Sql.Is_null (b, false)))
+
+(** Substitute bare column references of a condition/function by NEW or OLD
+    parameters. *)
+let subst_cond ~param e =
+  Rule_sql.subst_expr (fun v -> Some (param v)) e
+
+let cond_new e = subst_cond ~param:nw e
+
+let all_null_expr param cols =
+  conj (List.map (fun c -> Sql.Is_null (param c, false)) cols)
+
+let not_all_null_expr param cols = not_true (all_null_expr param cols)
+
+(* statements *)
+
+let insert rel cols exprs =
+  Sql.Insert
+    {
+      table = rel;
+      columns = Some cols;
+      source = Sql.Values [ exprs ];
+    }
+
+(** INSERT ... SELECT <exprs> WHERE <guard>: conditional single-row insert. *)
+let insert_if rel cols exprs guard =
+  Sql.Insert
+    {
+      table = rel;
+      columns = Some cols;
+      source =
+        Sql.Insert_query
+          (Sql.select_query
+             (Sql.simple_select ~where:guard
+                (List.map (fun e -> Sql.Sel_expr (e, None)) exprs)));
+    }
+
+let update_where rel sets where = Sql.Update { table = rel; sets; where = Some where }
+
+let delete_where rel where = Sql.Delete { table = rel; where = Some where }
+
+let key_eq key = Sql.Binop (Sql.Eq, col0 "p", key)
+
+(** EXISTS (SELECT * FROM rel WHERE p = key AND extra). *)
+let exists_key ?extra rel key =
+  let where =
+    match extra with None -> key_eq key | Some e -> sql_and (key_eq key) e
+  in
+  Sql.Exists
+    ( Sql.select_query
+        (Sql.simple_select ~from:(Sql.From_table (rel, None)) ~where [ Sql.Star ]),
+      false )
+
+let not_exists_key ?extra rel key =
+  match exists_key ?extra rel key with
+  | Sql.Exists (q, false) -> Sql.Exists (q, true)
+  | _ -> assert false
+
+(** Scalar subquery [SELECT col FROM rel WHERE p = key LIMIT 1]. *)
+let lookup_col rel col key =
+  Sql.Scalar
+    {
+      Sql.body =
+        Sql.Select
+          (Sql.simple_select
+             ~from:(Sql.From_table (rel, None))
+             ~where:(key_eq key)
+             [ Sql.Sel_expr (col0 col, None) ]);
+      order_by = [];
+      limit = Some 1;
+    }
+
+(** Upsert of a full row keyed by [key]: UPDATE then INSERT-if-absent. An
+    optional [guard] applies to both. *)
+let upsert ?guard rel cols key exprs =
+  let sets = List.map2 (fun c e -> (c, e)) (List.tl cols) (List.tl exprs) in
+  let kw = key_eq key in
+  let guard_and e = match guard with None -> e | Some g -> sql_and e g in
+  let upd =
+    if sets = [] then []
+    else [ update_where rel sets (guard_and kw) ]
+  in
+  upd
+  @ [
+      insert_if rel cols exprs
+        (guard_and (not_exists_key rel key));
+    ]
+
+let delete_key ?guard rel key =
+  let w = key_eq key in
+  delete_where rel (match guard with None -> w | Some g -> sql_and w g)
+
+(* --- layouts ----------------------------------------------------------------
+
+   The instance records keep relations in fixed positions; these layout
+   extractors recover the roles independently of the SMO's orientation
+   (SPLIT vs MERGE, DECOMPOSE vs JOIN share the same machinery). *)
+
+let aux_kind (r : S.rel) =
+  match String.rindex_opt r.S.rel_name '!' with
+  | Some i ->
+    String.sub r.S.rel_name (i + 1) (String.length r.S.rel_name - i - 1)
+  | None -> r.S.rel_name
+
+let find_aux (inst : S.instance) kind =
+  List.find_opt
+    (fun r -> aux_kind r = kind)
+    (inst.S.aux_src @ inst.S.aux_tgt @ inst.S.aux_both)
+
+let get_aux inst kind =
+  match find_aux inst kind with
+  | Some r -> r
+  | None -> error "missing auxiliary %s" kind
+
+type split_layout = {
+  sp_t : S.rel;  (** combined side *)
+  sp_r : S.rel;  (** first partition *)
+  sp_s : S.rel option;  (** second partition *)
+  sp_lcond : Sql.expr;
+  sp_rcond : Sql.expr option;
+  sp_rest : S.rel;  (** T' *)
+  sp_lminus : S.rel option;
+  sp_lstar : S.rel;
+  sp_rplus : S.rel option;
+  sp_rminus : S.rel option;
+  sp_rstar : S.rel option;
+}
+
+let split_layout (inst : S.instance) =
+  match inst.S.spec with
+  | A.Split { left = _, lcond; right; _ } ->
+    let t = List.hd inst.S.sources in
+    let r, s =
+      match inst.S.targets with
+      | [ r ] -> (r, None)
+      | [ r; s ] -> (r, Some s)
+      | _ -> error "split: unexpected target count"
+    in
+    {
+      sp_t = t;
+      sp_r = r;
+      sp_s = s;
+      sp_lcond = lcond;
+      sp_rcond = Option.map snd right;
+      sp_rest = get_aux inst "rest";
+      sp_lminus = find_aux inst "lminus";
+      sp_lstar = get_aux inst "lstar";
+      sp_rplus = find_aux inst "rplus";
+      sp_rminus = find_aux inst "rminus";
+      sp_rstar = find_aux inst "rstar";
+    }
+  | A.Merge { left = _, lcond; right = _, rcond; _ } ->
+    let t = List.hd inst.S.targets in
+    let r, s =
+      match inst.S.sources with
+      | [ r; s ] -> (r, Some s)
+      | _ -> error "merge: unexpected source count"
+    in
+    {
+      sp_t = t;
+      sp_r = r;
+      sp_s = s;
+      sp_lcond = lcond;
+      sp_rcond = Some rcond;
+      sp_rest = get_aux inst "rest";
+      sp_lminus = find_aux inst "lminus";
+      sp_lstar = get_aux inst "lstar";
+      sp_rplus = find_aux inst "rplus";
+      sp_rminus = find_aux inst "rminus";
+      sp_rstar = find_aux inst "rstar";
+    }
+  | _ -> error "not a split/merge instance"
+
+type dec_layout = {
+  dc_combined : S.rel;
+  dc_left : S.rel;
+  dc_right : S.rel;
+  dc_lcols : string list;  (** payload columns of the left part *)
+  dc_rcols : string list;
+  dc_linkage : A.linkage;
+  dc_outerish : bool;  (** omega padding (decompose / outer join) *)
+}
+
+let dec_layout (inst : S.instance) =
+  let of_parts ~combined ~left ~right ~linkage ~outerish =
+    let rcols = payload right in
+    let lcols =
+      match linkage with
+      | A.On_fk fk -> List.filter (fun c -> c <> fk) (payload left)
+      | A.On_pk | A.On_cond _ -> payload left
+    in
+    {
+      dc_combined = combined;
+      dc_left = left;
+      dc_right = right;
+      dc_lcols = lcols;
+      dc_rcols = rcols;
+      dc_linkage = linkage;
+      dc_outerish = outerish;
+    }
+  in
+  match inst.S.spec with
+  | A.Decompose { linkage; right = Some _; _ } ->
+    (match inst.S.sources, inst.S.targets with
+    | [ c ], [ l; r ] ->
+      of_parts ~combined:c ~left:l ~right:r ~linkage ~outerish:true
+    | _ -> error "decompose: unexpected relation counts")
+  | A.Join { linkage; outer; _ } ->
+    (match inst.S.sources, inst.S.targets with
+    | [ l; r ], [ c ] ->
+      of_parts ~combined:c ~left:l ~right:r ~linkage ~outerish:outer
+    | _ -> error "join: unexpected relation counts")
+  | _ -> error "not a decompose/join instance"
+
+(* ===========================================================================
+   Trivial family: RENAME TABLE / RENAME COLUMN (identity mapping)
+   =========================================================================== *)
+
+(* write on [from_rel], mirrored into [to_rel]; columns correspond
+   positionally *)
+let mirror_write ~from_rel ~to_rel op =
+  let fcols = (from_rel : S.rel).S.rel_cols in
+  let tcols = (to_rel : S.rel).S.rel_cols in
+  match op with
+  | Ins -> [ insert to_rel.S.rel_name tcols (List.map nw fcols) ]
+  | Del -> [ delete_key to_rel.S.rel_name (od "p") ]
+  | Upd ->
+    [
+      update_where to_rel.S.rel_name
+        (List.map2 (fun tc fc -> (tc, nw fc)) (List.tl tcols) (List.tl fcols))
+        (key_eq (od "p"));
+    ]
+
+(* ===========================================================================
+   ADD COLUMN / DROP COLUMN (B.1)
+   =========================================================================== *)
+
+let add_column_layout (inst : S.instance) =
+  match inst.S.spec with
+  | A.Add_column { col; default; _ } ->
+    (List.hd inst.S.sources, List.hd inst.S.targets, get_aux inst "b", col, default)
+  | _ -> error "not an add-column instance"
+
+let drop_column_layout (inst : S.instance) =
+  match inst.S.spec with
+  | A.Drop_column { col; default; _ } ->
+    (List.hd inst.S.sources, List.hd inst.S.targets, get_aux inst "b", col, default)
+  | _ -> error "not a drop-column instance"
+
+(* ADD COLUMN, SMO materialized: writes on the source are mirrored into the
+   target; the new column is computed on insert and preserved on update. *)
+let add_column_forward inst op =
+  let src, tgt, _b, _col, default = add_column_layout inst in
+  match op with
+  | Ins ->
+    [
+      insert tgt.S.rel_name tgt.S.rel_cols
+        (List.map nw src.S.rel_cols @ [ cond_new default ]);
+    ]
+  | Del -> [ delete_key tgt.S.rel_name (od "p") ]
+  | Upd ->
+    [
+      update_where tgt.S.rel_name
+        (List.map (fun c -> (c, nw c)) (payload src))
+        (key_eq (od "p"));
+    ]
+
+(* ADD COLUMN, SMO virtualized: writes on the target land in the source plus
+   the B auxiliary holding the explicit new-column values. *)
+let add_column_backward inst op =
+  let src, tgt, b, col, _default = add_column_layout inst in
+  ignore tgt;
+  match op with
+  | Ins ->
+    insert src.S.rel_name src.S.rel_cols (List.map nw src.S.rel_cols)
+    :: upsert b.S.rel_name b.S.rel_cols (nw "p") [ nw "p"; nw col ]
+  | Del ->
+    [ delete_key src.S.rel_name (od "p"); delete_key b.S.rel_name (od "p") ]
+  | Upd ->
+    update_where src.S.rel_name
+      (List.map (fun c -> (c, nw c)) (payload src))
+      (key_eq (od "p"))
+    :: upsert b.S.rel_name b.S.rel_cols (od "p") [ od "p"; nw col ]
+
+(* local upkeep of B when the source is written directly *)
+let add_column_source_maintenance inst op =
+  let _, _, b, _, _ = add_column_layout inst in
+  match op with
+  | Ins -> [ delete_key b.S.rel_name (nw "p") ]
+  | Del -> [ delete_key b.S.rel_name (od "p") ]
+  | Upd -> []
+
+(* DROP COLUMN, SMO materialized: target plus the B auxiliary keeping the
+   dropped values. *)
+let drop_column_forward inst op =
+  let src, tgt, b, col, _default = drop_column_layout inst in
+  ignore src;
+  match op with
+  | Ins ->
+    insert tgt.S.rel_name tgt.S.rel_cols (List.map nw tgt.S.rel_cols)
+    :: [ insert b.S.rel_name b.S.rel_cols [ nw "p"; nw col ] ]
+  | Del ->
+    [ delete_key tgt.S.rel_name (od "p"); delete_key b.S.rel_name (od "p") ]
+  | Upd ->
+    update_where tgt.S.rel_name
+      (List.map (fun c -> (c, nw c)) (payload tgt))
+      (key_eq (od "p"))
+    :: upsert b.S.rel_name b.S.rel_cols (od "p") [ od "p"; nw col ]
+
+(* DROP COLUMN, SMO virtualized: writes on the target reconstruct the dropped
+   column via the DEFAULT function on insert and preserve it on update. *)
+let drop_column_backward inst op =
+  let src, tgt, _b, col, default = drop_column_layout inst in
+  match op with
+  | Ins ->
+    [
+      insert src.S.rel_name src.S.rel_cols
+        (List.map
+           (fun c -> if c = col then cond_new default else nw c)
+           src.S.rel_cols);
+    ]
+  | Del -> [ delete_key src.S.rel_name (od "p") ]
+  | Upd ->
+    [
+      update_where src.S.rel_name
+        (List.map (fun c -> (c, nw c)) (payload tgt))
+        (key_eq (od "p"));
+    ]
+
+(* ===========================================================================
+   DROP TABLE
+   =========================================================================== *)
+
+let drop_table_forward inst op =
+  (* SMO materialized: the archive auxiliary holds the data *)
+  let src = List.hd inst.S.sources in
+  let archive = get_aux inst "archive" in
+  mirror_write ~from_rel:src ~to_rel:archive op
+
+(* ===========================================================================
+   SPLIT / MERGE (Section 4)
+   =========================================================================== *)
+
+(* Write on the combined table T, data at the partition side (R, S, T'
+   physical-wards). Routing per the conditions; the partition-side twin
+   auxiliaries are derived there, so only data relations are written. *)
+let split_combined_write lay op =
+  let t = lay.sp_t in
+  let cols = t.S.rel_cols in
+  let route_in rel cond =
+    insert_if (rel : S.rel).S.rel_name cols (List.map nw cols) (cond_new cond)
+  in
+  let rest_cond =
+    match lay.sp_rcond with
+    | Some rc -> sql_and (not_true (cond_new lay.sp_lcond)) (not_true (cond_new rc))
+    | None -> not_true (cond_new lay.sp_lcond)
+  in
+  let partitions =
+    (lay.sp_r, lay.sp_lcond)
+    :: (match lay.sp_s, lay.sp_rcond with
+       | Some s, Some rc -> [ (s, rc) ]
+       | _ -> [])
+  in
+  match op with
+  | Ins ->
+    List.map (fun (rel, cond) -> route_in rel cond) partitions
+    @ [ insert_if lay.sp_rest.S.rel_name cols (List.map nw cols) rest_cond ]
+  | Del ->
+    List.map (fun (rel, _) -> delete_key (rel : S.rel).S.rel_name (od "p")) partitions
+    @ [ delete_key lay.sp_rest.S.rel_name (od "p") ]
+  | Upd ->
+    (* re-route: all delete-if-leaves first (so no key is ever transiently
+       visible through two branches of the combined view during the cascade),
+       then update-if-stays, then insert-if-enters *)
+    let all =
+      List.map (fun ((rel : S.rel), cond) -> (rel, cond_new cond)) partitions
+      @ [ (lay.sp_rest, rest_cond) ]
+    in
+    List.map
+      (fun ((rel : S.rel), c) ->
+        delete_where rel.S.rel_name (sql_and (key_eq (od "p")) (not_true c)))
+      all
+    @ List.concat_map
+        (fun ((rel : S.rel), c) ->
+          [
+            update_where rel.S.rel_name
+              (List.map (fun x -> (x, nw x)) (payload t))
+              (sql_and (key_eq (od "p")) c);
+            insert_if rel.S.rel_name cols (List.map nw cols)
+              (sql_and c (not_exists_key rel.S.rel_name (od "p")));
+          ])
+        all
+
+(* Write on a partition table (R or S), data at the combined side (T physical
+   plus the twin auxiliaries). [primus] says whether the written partition is
+   the primus inter pares (R). *)
+let split_partition_write lay ~primus op =
+  let t = lay.sp_t in
+  let cols = t.S.rel_cols in
+  let my_cond = if primus then lay.sp_lcond else Option.get lay.sp_rcond in
+  let my_star = if primus then lay.sp_lstar else Option.get lay.sp_rstar in
+  let other = if primus then lay.sp_s else Some lay.sp_r in
+  let kv = key_of op in
+  (* visibility of the sibling partition before this write *)
+  let sibling_visible =
+    match other with
+    | Some (o : S.rel) -> exists_key o.S.rel_name kv
+    | None -> Sql.Const (Value.Bool false)
+  in
+  let sibling_hidden =
+    match other with
+    | Some (o : S.rel) -> not_exists_key o.S.rel_name kv
+    | None -> Sql.Const (Value.Bool true)
+  in
+  let star_set cond_expr key =
+    [
+      insert_if my_star.S.rel_name my_star.S.rel_cols [ key ]
+        (sql_and (not_true cond_expr) (not_exists_key my_star.S.rel_name key));
+      delete_where my_star.S.rel_name
+        (sql_and (key_eq key)
+           (Sql.Fun ("COALESCE", [ cond_expr; Sql.Const (Value.Bool false) ])));
+    ]
+  in
+  (* lost-twin marker of the sibling: prevents the sibling from acquiring the
+     written tuple when it did not show the key before (rule 24) *)
+  let sibling_minus_set key =
+    match other, (if primus then lay.sp_rminus else lay.sp_lminus), lay.sp_rcond
+    with
+    | Some _, Some minus, Some _ ->
+      let sib_cond = if primus then Option.get lay.sp_rcond else lay.sp_lcond in
+      [
+        insert_if minus.S.rel_name minus.S.rel_cols [ key ]
+          (conj
+             [
+               Sql.Fun ("COALESCE", [ cond_new sib_cond; Sql.Const (Value.Bool false) ]);
+               sibling_hidden;
+               not_exists_key minus.S.rel_name key;
+             ]);
+        delete_where minus.S.rel_name
+          (sql_and (key_eq key) sibling_visible);
+      ]
+    | _ -> []
+  in
+  (* our own lost-twin marker clears because we now show the key *)
+  let my_minus_clear key =
+    match if primus then lay.sp_lminus else lay.sp_rminus with
+    | Some minus -> [ delete_key minus.S.rel_name key ]
+    | None -> []
+  in
+  (* preserve a separated sibling twin into S+ before T changes (rule 23);
+     only the non-primus twin is preserved — the primus value lives in T *)
+  let preserve_sibling_twin key =
+    match other, lay.sp_rplus with
+    | Some (o : S.rel), Some plus when primus ->
+      [
+        Sql.Insert
+          {
+            table = plus.S.rel_name;
+            columns = Some plus.S.rel_cols;
+            source =
+              Sql.Insert_query
+                (Sql.select_query
+                   (Sql.simple_select
+                      ~from:(Sql.From_table (o.S.rel_name, None))
+                      ~where:
+                        (conj
+                           [
+                             key_eq key;
+                             not_true
+                               (conj
+                                  (List.map
+                                     (fun c -> nullsafe_eq (col0 c) (nw c))
+                                     (payload t)));
+                             not_exists_key plus.S.rel_name key;
+                           ])
+                      (List.map (fun c -> Sql.Sel_expr (col0 c, None)) o.S.rel_cols)));
+          };
+      ]
+    | _ -> []
+  in
+  (* when writing the non-primus partition S while the primus R shows the
+     key, the written value lives in S+ (T keeps the primus value) *)
+  let splus_route key new_vals =
+    match lay.sp_rplus with
+    | Some plus when not primus ->
+      let primus_rel = lay.sp_r in
+      let differs =
+        not_true
+          (conj
+             (List.map
+                (fun c ->
+                  nullsafe_eq (lookup_col primus_rel.S.rel_name c key) (nw c))
+                (payload t)))
+      in
+      [
+        (* value differs from the primus twin: upsert S+ *)
+        update_where plus.S.rel_name
+          (List.map2 (fun c e -> (c, e)) (payload t) (List.tl new_vals))
+          (conj [ key_eq key; exists_key primus_rel.S.rel_name key; differs ]);
+        insert_if plus.S.rel_name plus.S.rel_cols new_vals
+          (conj
+             [
+               exists_key primus_rel.S.rel_name key;
+               differs;
+               not_exists_key plus.S.rel_name key;
+             ]);
+        (* value equals the primus twin: drop the separation *)
+        delete_where plus.S.rel_name
+          (conj
+             [
+               key_eq key;
+               exists_key primus_rel.S.rel_name key;
+               not_true differs;
+             ]);
+      ]
+    | _ -> []
+  in
+  let t_upsert_guard =
+    (* the primus always owns T; the non-primus only when the primus hides *)
+    if primus then None else Some sibling_hidden
+  in
+  match op with
+  | Ins ->
+    preserve_sibling_twin (nw "p")
+    @ sibling_minus_set (nw "p")
+    @ my_minus_clear (nw "p")
+    @ star_set (cond_new my_cond) (nw "p")
+    @ splus_route (nw "p") (List.map nw cols)
+    @ upsert ?guard:t_upsert_guard t.S.rel_name cols (nw "p") (List.map nw cols)
+  | Upd ->
+    preserve_sibling_twin (od "p")
+    @ sibling_minus_set (od "p")
+    @ star_set (cond_new my_cond) (od "p")
+    @ splus_route (od "p") (od "p" :: List.map nw (payload t))
+    @ upsert ?guard:t_upsert_guard t.S.rel_name cols (od "p")
+        (od "p" :: List.map nw (payload t))
+  | Del ->
+    let k = od "p" in
+    let sibling_name = Option.map (fun (o : S.rel) -> o.S.rel_name) other in
+    let my_star_clear = [ delete_key my_star.S.rel_name k ] in
+    let mark_me_lost =
+      (* rule 21/24: if the sibling still shows the key with a value matching
+         my condition, remember that my twin was deliberately removed *)
+      match (if primus then lay.sp_lminus else lay.sp_rminus), sibling_name with
+      | Some minus, Some sib ->
+        [
+          insert_if minus.S.rel_name minus.S.rel_cols [ k ]
+            (conj
+               [
+                 exists_key
+                   ~extra:
+                     (Sql.Fun
+                        ( "COALESCE",
+                          [ my_cond; Sql.Const (Value.Bool false) ] ))
+                   sib k;
+                 not_exists_key minus.S.rel_name k;
+               ]);
+        ]
+      | _ -> []
+    in
+    let t_handover =
+      match sibling_name with
+      | Some sib when primus ->
+        (* the sibling twin becomes the value of T (rule 19) *)
+        [
+          update_where t.S.rel_name
+            (List.map (fun c -> (c, lookup_col sib c k)) (payload t))
+            (sql_and (key_eq k) (exists_key sib k));
+        ]
+        @ (match lay.sp_rplus with
+          | Some plus -> [ delete_key plus.S.rel_name k ]
+          | None -> [])
+      | _ -> []
+    in
+    let t_delete =
+      [ delete_where t.S.rel_name (sql_and (key_eq k) sibling_hidden) ]
+    in
+    let cleanup =
+      (* once T lost the key entirely, twin bookkeeping for it is void *)
+      List.filter_map
+        (fun aux ->
+          Option.map
+            (fun (a : S.rel) ->
+              delete_where a.S.rel_name
+                (sql_and (key_eq k) (not_exists_key t.S.rel_name k)))
+            aux)
+        [
+          lay.sp_lminus;
+          Some lay.sp_lstar;
+          lay.sp_rplus;
+          lay.sp_rminus;
+          lay.sp_rstar;
+        ]
+    in
+    mark_me_lost @ t_handover @ my_star_clear @ t_delete @ cleanup
+
+(* direct writes on the combined table while the SMO is virtualized reset the
+   twin bookkeeping for that key (documented choice) *)
+let split_combined_maintenance lay op =
+  let k = key_of op in
+  List.filter_map
+    (fun aux ->
+      Option.map (fun (a : S.rel) -> delete_key a.S.rel_name k) aux)
+    [ lay.sp_lminus; Some lay.sp_lstar; lay.sp_rplus; lay.sp_rminus; lay.sp_rstar ]
+
+(* direct writes on a partition table while the SMO is materialized: the
+   partition-side auxiliary T' needs no upkeep (it only holds rows outside
+   both partitions, which direct partition writes never produce) *)
+let split_partition_maintenance _lay _op = []
+
+(* ===========================================================================
+   DECOMPOSE / JOIN family (B.2-B.6)
+   =========================================================================== *)
+
+(* Which auxiliary relations exist depends on linkage and orientation; fetch
+   lazily. *)
+let dec_id inst = find_aux inst "id"
+
+let dec_unpaired inst = find_aux inst "unpaired"
+
+let dec_lplus inst = find_aux inst "lplus"
+
+let dec_rplus inst = find_aux inst "rplus"
+
+let skolem_fun (inst : S.instance) kind =
+  (* skolem names were fixed at instantiation; reconstruct via the rules is
+     overkill — the naming scheme is deterministic per SMO, recovered from
+     any aux name prefix, falling back to the verify-style name *)
+  match
+    List.find_map
+      (fun (r : S.rel) ->
+        match String.split_on_char '!' r.S.rel_name with
+        | "aux" :: id :: _ -> Some (Fmt.str "sk!%s!%s" id kind)
+        | _ -> None)
+      (inst.S.aux_src @ inst.S.aux_tgt @ inst.S.aux_both)
+  with
+  | Some name -> name
+  | None -> "sk!" ^ kind
+
+(* nullsafe payload match between a relation's columns and NEW params *)
+let payload_matches_new cols = conj (List.map (fun c -> nullsafe_eq (col0 c) (nw c)) cols)
+
+(* id for the right part of an FK decompose: the memoized skolem of its
+   payload (rule 142 — equal payloads share one identifier), NULL for an
+   all-NULL payload *)
+let fk_partner_id (lay : dec_layout) (inst : S.instance) =
+  let fresh = Sql.Fun (skolem_fun inst "id", List.map nw lay.dc_rcols) in
+  Sql.Case
+    ([ (all_null_expr nw lay.dc_rcols, Sql.Const Value.Null) ], Some fresh)
+
+(* --- writes on the combined relation, parts physical-wards ----------------- *)
+
+let dec_combined_write (lay : dec_layout) (inst : S.instance) op =
+  let left = lay.dc_left and right = lay.dc_right in
+  match lay.dc_linkage with
+  | A.On_pk ->
+    let side (rel : S.rel) cols op =
+      match op with
+      | Ins ->
+        [
+          insert_if rel.S.rel_name rel.S.rel_cols
+            (nw "p" :: List.map nw cols)
+            (not_all_null_expr nw cols);
+        ]
+      | Del -> [ delete_key rel.S.rel_name (od "p") ]
+      | Upd ->
+        [
+          update_where rel.S.rel_name
+            (List.map (fun c -> (c, nw c)) cols)
+            (sql_and (key_eq (od "p")) (not_all_null_expr nw cols));
+          delete_where rel.S.rel_name
+            (sql_and (key_eq (od "p")) (all_null_expr nw cols));
+          insert_if rel.S.rel_name rel.S.rel_cols
+            (od "p" :: List.map nw cols)
+            (sql_and (not_all_null_expr nw cols)
+               (not_exists_key rel.S.rel_name (od "p")));
+        ]
+    in
+    side left lay.dc_lcols op @ side right lay.dc_rcols op
+  | A.On_fk fk ->
+    let left_row partner =
+      (nw "p" :: List.map nw lay.dc_lcols) @ [ partner ]
+    in
+    (match op with
+    | Ins ->
+      let partner = fk_partner_id lay inst in
+      [
+        (* create the partner first (pre-state lookup), then the left part *)
+        insert_if right.S.rel_name right.S.rel_cols
+          (Sql.Fun (skolem_fun inst "id", List.map nw lay.dc_rcols)
+          :: List.map nw lay.dc_rcols)
+          (sql_and (not_all_null_expr nw lay.dc_rcols)
+             (Sql.Exists
+                ( Sql.select_query
+                    (Sql.simple_select
+                       ~from:(Sql.From_table (right.S.rel_name, None))
+                       ~where:(payload_matches_new lay.dc_rcols)
+                       [ Sql.Star ]),
+                  true )));
+        insert left.S.rel_name left.S.rel_cols (left_row partner);
+      ]
+    | Del -> [ delete_key left.S.rel_name (od "p") ]
+    | Upd ->
+      let partner = fk_partner_id lay inst in
+      [
+        (* ensure the (possibly new) partner exists *)
+        insert_if right.S.rel_name right.S.rel_cols
+          (Sql.Fun (skolem_fun inst "id", List.map nw lay.dc_rcols)
+          :: List.map nw lay.dc_rcols)
+          (sql_and (not_all_null_expr nw lay.dc_rcols)
+             (Sql.Exists
+                ( Sql.select_query
+                    (Sql.simple_select
+                       ~from:(Sql.From_table (right.S.rel_name, None))
+                       ~where:(payload_matches_new lay.dc_rcols)
+                       [ Sql.Star ]),
+                  true )));
+        update_where left.S.rel_name
+          (List.map (fun c -> (c, nw c)) lay.dc_lcols @ [ (fk, partner) ])
+          (key_eq (od "p"));
+      ])
+  | A.On_cond _cond ->
+    (* parts and the pair table; payload-keyed skolems deduplicate *)
+    let id =
+      match dec_id inst with Some r -> r | None -> error "cond smo without id"
+    in
+    let sid = Sql.Fun (skolem_fun inst "ids", List.map nw lay.dc_lcols) in
+    let tid = Sql.Fun (skolem_fun inst "idt", List.map nw lay.dc_rcols) in
+    (match op with
+    | Ins ->
+      [
+        insert_if left.S.rel_name left.S.rel_cols
+          (sid :: List.map nw lay.dc_lcols)
+          (sql_and (not_all_null_expr nw lay.dc_lcols)
+             (Sql.Exists
+                ( Sql.select_query
+                    (Sql.simple_select
+                       ~from:(Sql.From_table (left.S.rel_name, None))
+                       ~where:(payload_matches_new lay.dc_lcols)
+                       [ Sql.Star ]),
+                  true )));
+        insert_if right.S.rel_name right.S.rel_cols
+          (tid :: List.map nw lay.dc_rcols)
+          (sql_and (not_all_null_expr nw lay.dc_rcols)
+             (Sql.Exists
+                ( Sql.select_query
+                    (Sql.simple_select
+                       ~from:(Sql.From_table (right.S.rel_name, None))
+                       ~where:(payload_matches_new lay.dc_rcols)
+                       [ Sql.Star ]),
+                  true )));
+        insert id.S.rel_name id.S.rel_cols
+          [
+            nw "p";
+            Sql.Case
+              ([ (all_null_expr nw lay.dc_lcols, Sql.Const Value.Null) ], Some sid);
+            Sql.Case
+              ([ (all_null_expr nw lay.dc_rcols, Sql.Const Value.Null) ], Some tid);
+          ];
+      ]
+    | Del ->
+      let unpaired_stmt =
+        match dec_unpaired inst with
+        | Some up when lay.dc_outerish ->
+          (* remember the deliberate un-pairing so the pair does not re-join *)
+          [
+            Sql.Insert
+              {
+                table = up.S.rel_name;
+                columns = Some up.S.rel_cols;
+                source =
+                  Sql.Insert_query
+                    (Sql.select_query
+                       (Sql.simple_select
+                          ~from:(Sql.From_table (id.S.rel_name, None))
+                          ~where:
+                            (sql_and (key_eq (od "p"))
+                               (sql_and
+                                  (Sql.Is_null (col0 (List.nth id.S.rel_cols 1), true))
+                                  (Sql.Is_null (col0 (List.nth id.S.rel_cols 2), true))))
+                          (List.map
+                             (fun c -> Sql.Sel_expr (col0 c, None))
+                             id.S.rel_cols)));
+              };
+          ]
+        | _ -> []
+      in
+      unpaired_stmt
+      @ [ delete_key id.S.rel_name (od "p") ]
+      @
+      if lay.dc_outerish then []
+      else
+        (* inner join: unmatched payloads survive in the plus auxiliaries *)
+        List.filter_map
+          (fun (aux, (rel : S.rel), idcol) ->
+            Option.map
+              (fun (plus : S.rel) ->
+                Sql.Insert
+                  {
+                    table = plus.S.rel_name;
+                    columns = Some plus.S.rel_cols;
+                    source =
+                      Sql.Insert_query
+                        (Sql.select_query
+                           (Sql.simple_select
+                              ~from:(Sql.From_table (rel.S.rel_name, None))
+                              ~where:
+                                (conj
+                                   [
+                                     Sql.Binop
+                                       ( Sql.Eq,
+                                         col0 "p",
+                                         lookup_col id.S.rel_name idcol (od "p") );
+                                     Sql.Exists
+                                       ( Sql.select_query
+                                           (Sql.simple_select
+                                              ~from:
+                                                (Sql.From_table (id.S.rel_name, None))
+                                              ~where:
+                                                (sql_and
+                                                   (Sql.Binop
+                                                      ( Sql.Eq,
+                                                        col0 idcol,
+                                                        lookup_col id.S.rel_name idcol
+                                                          (od "p") ))
+                                                   (Sql.Binop
+                                                      (Sql.Neq, col0 "p", od "p")))
+                                              [ Sql.Star ]),
+                                         true );
+                                     not_exists_key plus.S.rel_name
+                                       (lookup_col id.S.rel_name idcol (od "p"));
+                                   ])
+                              (List.map
+                                 (fun c -> Sql.Sel_expr (col0 c, None))
+                                 plus.S.rel_cols)));
+                  })
+              aux)
+          [
+            (dec_lplus inst, left, List.nth id.S.rel_cols 1);
+            (dec_rplus inst, right, List.nth id.S.rel_cols 2);
+          ]
+        @ [ delete_key id.S.rel_name (od "p") ]
+    | Upd ->
+      (* rename semantics: the part payloads reachable through ID change *)
+      let scol = List.nth id.S.rel_cols 1 and tcol = List.nth id.S.rel_cols 2 in
+      [
+        update_where left.S.rel_name
+          (List.map (fun c -> (c, nw c)) lay.dc_lcols)
+          (Sql.Binop (Sql.Eq, col0 "p", lookup_col id.S.rel_name scol (od "p")));
+        update_where right.S.rel_name
+          (List.map (fun c -> (c, nw c)) lay.dc_rcols)
+          (Sql.Binop (Sql.Eq, col0 "p", lookup_col id.S.rel_name tcol (od "p")));
+      ])
+
+(* --- writes on a part relation, combined side physical-wards --------------- *)
+
+(* [left_part] says whether the written relation is the left part. *)
+let dec_part_write (lay : dec_layout) (inst : S.instance) ~left_part op =
+  let combined = lay.dc_combined in
+  let my_cols = if left_part then lay.dc_lcols else lay.dc_rcols in
+  let other_cols = if left_part then lay.dc_rcols else lay.dc_lcols in
+  match lay.dc_linkage with
+  | A.On_pk ->
+    (* both parts share the key of the combined row *)
+    let new_row key =
+      key
+      :: List.map
+           (fun c ->
+             if List.mem c my_cols then nw c
+             else Sql.Fun ("COALESCE", [ lookup_col combined.S.rel_name c key ]))
+           (payload combined)
+    in
+    (match op with
+    | Ins ->
+      upsert combined.S.rel_name combined.S.rel_cols (nw "p") (new_row (nw "p"))
+    | Del ->
+      [
+        (* clear my part; drop the row entirely when the other part is gone *)
+        update_where combined.S.rel_name
+          (List.map (fun c -> (c, Sql.Const Value.Null)) my_cols)
+          (key_eq (od "p"));
+        delete_where combined.S.rel_name
+          (sql_and (key_eq (od "p"))
+             (conj (List.map (fun c -> Sql.Is_null (col0 c, false)) other_cols)));
+      ]
+    | Upd ->
+      [
+        update_where combined.S.rel_name
+          (List.map (fun c -> (c, nw c)) my_cols)
+          (key_eq (od "p"));
+      ])
+  | A.On_fk fk ->
+    let id =
+      match dec_id inst with Some r -> r | None -> error "fk smo without id"
+    in
+    if left_part then begin
+      (* the left part carries the foreign key: link to the partner payload *)
+      let partner_payload key_expr =
+        List.map
+          (fun c ->
+            if List.mem c lay.dc_lcols then nw c
+            else lookup_col lay.dc_right.S.rel_name c key_expr)
+          (payload combined)
+      in
+      let orphan_preserve ?(extra = []) fkval =
+        (* before unlinking, keep the partner alive as an omega-padded
+           combined row when no other left row references it *)
+        let other_ref =
+          Sql.Exists
+            ( Sql.select_query
+                (Sql.simple_select
+                   ~from:(Sql.From_table (lay.dc_left.S.rel_name, None))
+                   ~where:
+                     (sql_and
+                        (Sql.Binop (Sql.Eq, col0 fk, fkval))
+                        (Sql.Binop (Sql.Neq, col0 "p", od "p")))
+                   [ Sql.Star ]),
+              false )
+        in
+        if not lay.dc_outerish then []
+        else
+          [
+            insert_if combined.S.rel_name combined.S.rel_cols
+              (fkval
+              :: List.map
+                   (fun c ->
+                     if List.mem c lay.dc_rcols then
+                       lookup_col lay.dc_right.S.rel_name c fkval
+                     else Sql.Const Value.Null)
+                   (payload combined))
+              (conj
+                 ([
+                    Sql.Is_null (fkval, true);
+                    not_true other_ref;
+                    not_exists_key combined.S.rel_name fkval;
+                  ]
+                 @ extra));
+            insert_if id.S.rel_name id.S.rel_cols [ fkval; fkval ]
+              (conj
+                 ([
+                    Sql.Is_null (fkval, true);
+                    not_true other_ref;
+                    not_exists_key id.S.rel_name fkval;
+                  ]
+                 @ extra));
+          ]
+      in
+      match op with
+      | Ins ->
+        [
+          insert_if id.S.rel_name id.S.rel_cols [ nw "p"; nw fk ]
+            (not_exists_key id.S.rel_name (nw "p"));
+          insert combined.S.rel_name combined.S.rel_cols
+            (nw "p" :: partner_payload (nw fk));
+        ]
+      | Del ->
+        orphan_preserve (od fk)
+        @ [ delete_key combined.S.rel_name (od "p");
+            delete_key id.S.rel_name (od "p") ]
+      | Upd ->
+        (* the partner only needs preserving when the fk actually moves away *)
+        orphan_preserve ~extra:[ not_true (nullsafe_eq (nw fk) (od fk)) ] (od fk)
+        @ [
+            update_where combined.S.rel_name
+              (List.map2
+                 (fun c e -> (c, e))
+                 (payload combined)
+                 (partner_payload (nw fk)))
+              (key_eq (od "p"));
+            update_where id.S.rel_name
+              [ (List.nth id.S.rel_cols 1, nw fk) ]
+              (key_eq (od "p"));
+          ]
+    end
+    else begin
+      (* the right part: payload shared by every referring combined row *)
+      let referrers =
+        Sql.In_query
+          ( col0 "p",
+            Sql.select_query
+              (Sql.simple_select
+                 ~from:(Sql.From_table (id.S.rel_name, None))
+                 ~where:(Sql.Binop (Sql.Eq, col0 (List.nth id.S.rel_cols 1), od "p"))
+                 [ Sql.Sel_expr (col0 "p", None) ]),
+            false )
+      in
+      match op with
+      | Ins ->
+        (* a partner without referrers: an omega-padded combined row *)
+        [
+          insert_if id.S.rel_name id.S.rel_cols [ nw "p"; nw "p" ]
+            (not_exists_key id.S.rel_name (nw "p"));
+          insert combined.S.rel_name combined.S.rel_cols
+            (nw "p"
+            :: List.map
+                 (fun c ->
+                   if List.mem c lay.dc_rcols then nw c else Sql.Const Value.Null)
+                 (payload combined));
+        ]
+      | Del ->
+        [
+          (* referring rows lose their partner *)
+          update_where combined.S.rel_name
+            (List.map (fun c -> (c, Sql.Const Value.Null)) lay.dc_rcols)
+            referrers;
+          update_where id.S.rel_name
+            [ (List.nth id.S.rel_cols 1, Sql.Const Value.Null) ]
+            (sql_and
+               (Sql.Binop (Sql.Eq, col0 (List.nth id.S.rel_cols 1), od "p"))
+               (Sql.Binop (Sql.Neq, col0 "p", od "p")));
+          (* the padded row of an orphaned partner disappears *)
+          delete_where combined.S.rel_name
+            (sql_and (key_eq (od "p"))
+               (all_null_expr
+                  (fun c -> Sql.Col (None, c))
+                  (List.filter (fun c -> List.mem c lay.dc_lcols)
+                     (payload combined))));
+          delete_key id.S.rel_name (od "p");
+        ]
+      | Upd ->
+        (* rename semantics: every referring row sees the new payload *)
+        [
+          update_where combined.S.rel_name
+            (List.map (fun c -> (c, nw c)) lay.dc_rcols)
+            referrers;
+        ]
+    end
+  | A.On_cond _ ->
+    let id =
+      match dec_id inst with Some r -> r | None -> error "cond smo without id"
+    in
+    let scol = List.nth id.S.rel_cols 1 and tcol = List.nth id.S.rel_cols 2 in
+    let mycol = if left_part then scol else tcol in
+    let referrers =
+      Sql.In_query
+        ( col0 "p",
+          Sql.select_query
+            (Sql.simple_select
+               ~from:(Sql.From_table (id.S.rel_name, None))
+               ~where:(Sql.Binop (Sql.Eq, col0 mycol, od "p"))
+               [ Sql.Sel_expr (col0 "p", None) ]),
+          false )
+    in
+    (match op with
+    | Ins ->
+      (* new part rows join with matching partners per rule (166); without a
+         match they survive as one-sided combined rows *)
+      let cond =
+        match lay.dc_linkage with A.On_cond c -> c | _ -> assert false
+      in
+      let other_rel = if left_part then lay.dc_right else lay.dc_left in
+      let cond_subst =
+        (* my columns come from NEW, partner columns from the scanned row *)
+        Rule_sql.subst_expr
+          (fun v ->
+            if List.mem v my_cols then Some (nw v) else Some (col0 v))
+          cond
+      in
+      let pair_id =
+        Sql.Fun
+          ( skolem_fun inst "idr",
+            if left_part then [ nw "p"; col0 "p" ] else [ col0 "p"; nw "p" ] )
+      in
+      let combined_row =
+        List.map
+          (fun c -> if List.mem c my_cols then nw c else col0 c)
+          (payload combined)
+      in
+      [
+        Sql.Insert
+          {
+            table = combined.S.rel_name;
+            columns = Some combined.S.rel_cols;
+            source =
+              Sql.Insert_query
+                (Sql.select_query
+                   (Sql.simple_select
+                      ~from:(Sql.From_table (other_rel.S.rel_name, None))
+                      ~where:cond_subst
+                      (List.map
+                         (fun e -> Sql.Sel_expr (e, None))
+                         (pair_id :: combined_row))));
+          };
+        Sql.Insert
+          {
+            table = id.S.rel_name;
+            columns = Some id.S.rel_cols;
+            source =
+              Sql.Insert_query
+                (Sql.select_query
+                   (Sql.simple_select
+                      ~from:(Sql.From_table (other_rel.S.rel_name, None))
+                      ~where:cond_subst
+                      (List.map
+                         (fun e -> Sql.Sel_expr (e, None))
+                         [
+                           pair_id;
+                           (if left_part then nw "p" else col0 "p");
+                           (if left_part then col0 "p" else nw "p");
+                         ])));
+          };
+        (* no partner: a one-sided combined row *)
+        insert_if combined.S.rel_name combined.S.rel_cols
+          (nw "p"
+          :: List.map
+               (fun c ->
+                 if List.mem c my_cols then nw c else Sql.Const Value.Null)
+               (payload combined))
+          (not_exists_key id.S.rel_name (nw "p")
+          |> fun ne ->
+          sql_and ne
+            (Sql.Exists
+               ( Sql.select_query
+                   (Sql.simple_select
+                      ~from:(Sql.From_table (id.S.rel_name, None))
+                      ~where:(Sql.Binop (Sql.Eq, col0 mycol, nw "p"))
+                      [ Sql.Star ]),
+                 true )));
+        insert_if id.S.rel_name id.S.rel_cols
+          [
+            nw "p";
+            (if left_part then nw "p" else Sql.Const Value.Null);
+            (if left_part then Sql.Const Value.Null else nw "p");
+          ]
+          (Sql.Exists
+             ( Sql.select_query
+                 (Sql.simple_select
+                    ~from:(Sql.From_table (id.S.rel_name, None))
+                    ~where:(Sql.Binop (Sql.Eq, col0 mycol, nw "p"))
+                    [ Sql.Star ]),
+               true ));
+      ]
+    | Del ->
+      [
+        delete_where combined.S.rel_name referrers;
+        delete_where id.S.rel_name (Sql.Binop (Sql.Eq, col0 mycol, od "p"));
+      ]
+    | Upd ->
+      (* rename semantics without condition re-checking (documented) *)
+      [
+        update_where combined.S.rel_name
+          (List.map (fun c -> (c, nw c)) my_cols)
+          referrers;
+      ])
+
+(* maintenance of the pair-identifier auxiliary when the combined relation is
+   written directly (the SMO holding the parts virtualized) *)
+let dec_combined_maintenance (lay : dec_layout) (inst : S.instance) op =
+  match lay.dc_linkage with
+  | A.On_pk -> []
+  | A.On_fk _ -> (
+    match dec_id inst with
+    | None -> []
+    | Some id -> (
+      let partner = fk_partner_id lay inst in
+      match op with
+      | Ins ->
+        [
+          insert_if id.S.rel_name id.S.rel_cols [ nw "p"; partner ]
+            (not_exists_key id.S.rel_name (nw "p"));
+        ]
+      | Del -> [ delete_key id.S.rel_name (od "p") ]
+      | Upd ->
+        [
+          update_where id.S.rel_name
+            [ (List.nth id.S.rel_cols 1, partner) ]
+            (key_eq (od "p"));
+        ]))
+  | A.On_cond _ -> (
+    match dec_id inst with
+    | None -> []
+    | Some id -> (
+      let sid = Sql.Fun (skolem_fun inst "ids", List.map nw lay.dc_lcols) in
+      let tid = Sql.Fun (skolem_fun inst "idt", List.map nw lay.dc_rcols) in
+      let sid_or_null =
+        Sql.Case ([ (all_null_expr nw lay.dc_lcols, Sql.Const Value.Null) ], Some sid)
+      in
+      let tid_or_null =
+        Sql.Case ([ (all_null_expr nw lay.dc_rcols, Sql.Const Value.Null) ], Some tid)
+      in
+      match op with
+      | Ins ->
+        [
+          insert_if id.S.rel_name id.S.rel_cols
+            [ nw "p"; sid_or_null; tid_or_null ]
+            (not_exists_key id.S.rel_name (nw "p"));
+        ]
+      | Del -> [ delete_key id.S.rel_name (od "p") ]
+      | Upd ->
+        [
+          update_where id.S.rel_name
+            [
+              (List.nth id.S.rel_cols 1, sid_or_null);
+              (List.nth id.S.rel_cols 2, tid_or_null);
+            ]
+            (key_eq (od "p"));
+        ]))
+
+(* ===========================================================================
+   dispatch
+   =========================================================================== *)
+
+type direction = Forward | Backward
+
+(** Statements propagating a write on [written] across [inst] toward the
+    physical side given by [direction] (Forward = the write happened on a
+    source relation and the data lives target-wards; Backward = vice versa). *)
+let rec propagate (inst : S.instance) ~direction ~(written : S.rel) op =
+  match inst.S.spec, direction with
+  | A.Create_table _, _ -> []
+  | A.Drop_table _, Forward -> drop_table_forward inst op
+  | A.Drop_table _, Backward -> []
+  | (A.Rename_table _ | A.Rename_column _), Forward ->
+    mirror_write ~from_rel:(List.hd inst.S.sources)
+      ~to_rel:(List.hd inst.S.targets) op
+  | (A.Rename_table _ | A.Rename_column _), Backward ->
+    mirror_write ~from_rel:(List.hd inst.S.targets)
+      ~to_rel:(List.hd inst.S.sources) op
+  | A.Add_column _, Forward -> add_column_forward inst op
+  | A.Add_column _, Backward -> add_column_backward inst op
+  | A.Drop_column _, Forward -> drop_column_forward inst op
+  | A.Drop_column _, Backward -> drop_column_backward inst op
+  | A.Split _, Forward -> split_combined_write (split_layout inst) op
+  | A.Split _, Backward ->
+    let lay = split_layout inst in
+    split_partition_write lay ~primus:(written.S.rel_name = lay.sp_r.S.rel_name) op
+  | A.Merge _, Forward ->
+    let lay = split_layout inst in
+    split_partition_write lay ~primus:(written.S.rel_name = lay.sp_r.S.rel_name) op
+  | A.Merge _, Backward -> split_combined_write (split_layout inst) op
+  | A.Decompose { right = Some _; _ }, Forward ->
+    dec_combined_write (dec_layout inst) inst op
+  | A.Decompose { right = Some _; _ }, Backward ->
+    let lay = dec_layout inst in
+    dec_part_write lay inst
+      ~left_part:(written.S.rel_name = lay.dc_left.S.rel_name)
+      op
+  | A.Decompose { right = None; _ }, Forward ->
+    (* projection: target plus the hidden keep auxiliary *)
+    let src = List.hd inst.S.sources and tgt = List.hd inst.S.targets in
+    let keep = get_aux inst "keep" in
+    mirror_projection ~src ~tgt ~keep op
+  | A.Decompose { right = None; _ }, Backward ->
+    (* writes on the projection land in the source, dropped columns NULL on
+       insert and preserved on update *)
+    let src = List.hd inst.S.sources and tgt = List.hd inst.S.targets in
+    (match op with
+    | Ins ->
+      [
+        insert src.S.rel_name src.S.rel_cols
+          (List.map
+             (fun c ->
+               if List.mem c tgt.S.rel_cols then nw c else Sql.Const Value.Null)
+             src.S.rel_cols);
+      ]
+    | Del -> [ delete_key src.S.rel_name (od "p") ]
+    | Upd ->
+      [
+        update_where src.S.rel_name
+          (List.map (fun c -> (c, nw c)) (payload tgt))
+          (key_eq (od "p"));
+      ])
+  | A.Join _, Forward ->
+    let lay = dec_layout inst in
+    dec_part_write lay inst
+      ~left_part:(written.S.rel_name = lay.dc_left.S.rel_name)
+      op
+  | A.Join _, Backward -> dec_combined_write (dec_layout inst) inst op
+
+and mirror_projection ~src:_ ~tgt ~keep op =
+  let dropped = payload keep in
+  match op with
+  | Ins ->
+    [
+      insert (tgt : S.rel).S.rel_name tgt.S.rel_cols (List.map nw tgt.S.rel_cols);
+      insert (keep : S.rel).S.rel_name keep.S.rel_cols
+        (nw "p" :: List.map nw dropped);
+    ]
+  | Del ->
+    [ delete_key tgt.S.rel_name (od "p"); delete_key keep.S.rel_name (od "p") ]
+  | Upd ->
+    update_where tgt.S.rel_name
+      (List.map (fun c -> (c, nw c)) (payload tgt))
+      (key_eq (od "p"))
+    :: upsert keep.S.rel_name keep.S.rel_cols (od "p")
+         (od "p" :: List.map nw dropped)
+
+(** Auxiliary upkeep when a *source* relation of a virtualized SMO is written
+    directly (not through this SMO's propagation). *)
+let source_maintenance (inst : S.instance) ~(written : S.rel) op =
+  ignore written;
+  match inst.S.spec with
+  | A.Split _ -> split_combined_maintenance (split_layout inst) op
+  | A.Merge _ -> []
+  | A.Add_column _ -> add_column_source_maintenance inst op
+  | A.Decompose { right = Some _; _ } ->
+    dec_combined_maintenance (dec_layout inst) inst op
+  | A.Join { linkage = A.On_cond _; _ } ->
+    (* part-side writes of a virtualized cond join: the pair table is not
+       physical in this state *)
+    []
+  | _ -> []
+
+(** Auxiliary upkeep when a *target* relation of a materialized SMO is
+    written directly. *)
+let target_maintenance (inst : S.instance) ~(written : S.rel) op =
+  match inst.S.spec with
+  | A.Join { linkage = A.On_cond _; _ } ->
+    (* the combined table of a cond join is the target: keep the pair table
+       total *)
+    let lay = dec_layout inst in
+    if written.S.rel_name = lay.dc_combined.S.rel_name then
+      dec_combined_maintenance lay inst op
+    else []
+  | _ -> []
+
+(** Rewrite the *write targets* of the generated statements: data relations
+    of the side being written become their via-views so the receiving
+    triggers know which SMO the write crossed. Reads (FROM clauses inside
+    expressions) keep the canonical names. *)
+let redirect ~rename stmts =
+  List.map
+    (fun stmt ->
+      match (stmt : Sql.statement) with
+      | Sql.Insert i -> Sql.Insert { i with table = rename i.table }
+      | Sql.Update u -> Sql.Update { u with table = rename u.table }
+      | Sql.Delete d -> Sql.Delete { d with table = rename d.table }
+      | other -> other)
+    stmts
+
+(** Remote pair-identifier maintenance: when a write lands in physical
+    storage several hops away from the source table version of a virtualized
+    FK/condition decompose, the combined view's affected row is re-read (a
+    cheap keyed lookup thanks to predicate pushdown) and the ID auxiliary is
+    refreshed for that key. Only valid when the key is preserved along the
+    chain; {!Codegen} checks that. *)
+let remote_id_maintenance (inst : S.instance) op =
+  match inst.S.spec with
+  | A.Decompose { linkage = (A.On_fk _ | A.On_cond _) as linkage; right = Some _; _ }
+    -> (
+    let lay = dec_layout inst in
+    let id = match dec_id inst with Some r -> r | None -> error "no id aux" in
+    let combined = lay.dc_combined.S.rel_name in
+    let key = key_of op in
+    let part_id skolem_kind cols =
+      Sql.Case
+        ( [ (all_null_expr col0 cols, Sql.Const Value.Null) ],
+          Some (Sql.Fun (skolem_fun inst skolem_kind, List.map col0 cols)) )
+    in
+    let id_exprs =
+      match linkage with
+      | A.On_fk _ -> [ part_id "id" lay.dc_rcols ]
+      | A.On_cond _ -> [ part_id "ids" lay.dc_lcols; part_id "idt" lay.dc_rcols ]
+      | _ -> assert false
+    in
+    match op with
+    | Del -> [ delete_key id.S.rel_name (od "p") ]
+    | Ins ->
+      [
+        Sql.Insert
+          {
+            table = id.S.rel_name;
+            columns = Some id.S.rel_cols;
+            source =
+              Sql.Insert_query
+                {
+                  (Sql.select_query
+                     (Sql.simple_select
+                        ~from:(Sql.From_table (combined, None))
+                        ~where:
+                          (sql_and (key_eq key)
+                             (not_exists_key id.S.rel_name key))
+                        (List.map
+                           (fun e -> Sql.Sel_expr (e, None))
+                           (key :: id_exprs))))
+                  with
+                  Sql.limit = Some 1;
+                };
+          };
+      ]
+    | Upd ->
+      [
+        update_where id.S.rel_name
+          (List.map2
+             (fun c e ->
+               ( c,
+                 Sql.Scalar
+                   (Sql.select_query
+                      (Sql.simple_select
+                         ~from:(Sql.From_table (combined, None))
+                         ~where:(key_eq key)
+                         [ Sql.Sel_expr (e, None) ])) ))
+             (List.tl id.S.rel_cols) id_exprs)
+          (key_eq key);
+      ])
+  | _ -> []

@@ -1,0 +1,1 @@
+lib/minidb/database.ml: Fmt Hashtbl List Sql_ast String Table Value

@@ -1,0 +1,1 @@
+lib/minidb/engine.ml: Array Database Exec Fmt List Sql_parser Value

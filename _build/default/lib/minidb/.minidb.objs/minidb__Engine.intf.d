@@ -1,0 +1,1 @@
+lib/minidb/engine.mli: Database Exec Format Sql_ast Value

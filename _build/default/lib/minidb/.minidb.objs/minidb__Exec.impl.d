@@ -1,0 +1,1 @@
+lib/minidb/exec.ml: Array Database Float Fmt Fun Hashtbl List Option Schema Sql_ast String Table Value

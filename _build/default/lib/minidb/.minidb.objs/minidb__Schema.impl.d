@@ -1,0 +1,1 @@
+lib/minidb/schema.ml: Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/minidb/schema.mli: Format Value

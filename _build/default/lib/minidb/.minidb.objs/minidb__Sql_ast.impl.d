@@ -1,0 +1,1 @@
+lib/minidb/sql_ast.ml: Value

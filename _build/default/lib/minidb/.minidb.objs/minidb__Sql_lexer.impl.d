@@ -1,0 +1,1 @@
+lib/minidb/sql_lexer.ml: Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/minidb/sql_parser.ml: List Sql_ast Sql_lexer String Value

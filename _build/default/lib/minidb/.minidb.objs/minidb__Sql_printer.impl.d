@@ -1,0 +1,1 @@
+lib/minidb/sql_printer.ml: Fmt List Option Sql_ast Sql_lexer Sql_parser String Value

@@ -1,0 +1,1 @@
+lib/minidb/table.ml: Array Fmt Hashtbl List Option Schema String Value

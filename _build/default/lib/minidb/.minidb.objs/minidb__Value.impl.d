@@ -1,0 +1,1 @@
+lib/minidb/value.ml: Buffer Fmt Hashtbl Stdlib String

@@ -1,0 +1,206 @@
+(** Database catalog: tables, views, triggers, sequences and registered
+    scalar functions, plus the statement-level undo log. Execution lives in
+    {!Exec}; this module only manages state. *)
+
+type view = { view_name : string; query : Sql_ast.query; view_cols : string list }
+
+type trigger = {
+  trig_name : string;
+  event : Sql_ast.trigger_event;
+  target : string;  (** lowercase object name *)
+  instead_of : bool;
+  body : Sql_ast.statement list;
+}
+
+type obj = Obj_table of Table.t | Obj_view of view
+
+type undo_entry =
+  | U_insert of Table.t * int
+  | U_delete of Table.t * int * Value.t array
+  | U_update of Table.t * int * Value.t array
+  | U_sequence of int ref * int
+
+type t = {
+  objects : (string, obj) Hashtbl.t;  (** lowercase name -> object *)
+  triggers : (string, trigger) Hashtbl.t;  (** lowercase trigger name *)
+  by_target : (string * Sql_ast.trigger_event, trigger) Hashtbl.t;
+  functions : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+  sequences : (string, int ref) Hashtbl.t;
+  mutable undo : undo_entry list;  (** current statement/transaction log *)
+  mutable in_txn : bool;
+  mutable trigger_depth : int;
+  mutable statements_executed : int;  (** lifetime statement counter *)
+  mutable optimizations : bool;
+      (** planner fast paths (index probes, view pushdown, index
+          nested-loop joins); disabling them is used by the ablation
+          benchmarks only *)
+}
+
+exception Engine_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
+
+let key name = String.lowercase_ascii name
+
+let create () =
+  {
+    objects = Hashtbl.create 64;
+    triggers = Hashtbl.create 64;
+    by_target = Hashtbl.create 64;
+    functions = Hashtbl.create 8;
+    sequences = Hashtbl.create 8;
+    undo = [];
+    in_txn = false;
+    trigger_depth = 0;
+    statements_executed = 0;
+    optimizations = true;
+  }
+
+let find_object t name = Hashtbl.find_opt t.objects (key name)
+
+let find_table t name =
+  match find_object t name with
+  | Some (Obj_table tbl) -> tbl
+  | Some (Obj_view _) -> error "%s is a view, not a table" name
+  | None -> error "no such table %s" name
+
+let find_table_opt t name =
+  match find_object t name with Some (Obj_table tbl) -> Some tbl | _ -> None
+
+let find_view_opt t name =
+  match find_object t name with Some (Obj_view v) -> Some v | _ -> None
+
+let object_exists t name = Hashtbl.mem t.objects (key name)
+
+let create_table t ~name ~schema ~pk ~if_not_exists =
+  if object_exists t name then begin
+    if not if_not_exists then error "object %s already exists" name
+  end
+  else
+    Hashtbl.replace t.objects (key name)
+      (Obj_table (Table.create ~name ~schema ~pk))
+
+let drop_triggers_of_target t target_key =
+  let stale =
+    Hashtbl.fold
+      (fun name trig acc -> if trig.target = target_key then name :: acc else acc)
+      t.triggers []
+  in
+  List.iter
+    (fun name ->
+      let trig = Hashtbl.find t.triggers name in
+      Hashtbl.remove t.triggers name;
+      Hashtbl.remove t.by_target (trig.target, trig.event))
+    stale
+
+let drop_table t ~name ~if_exists =
+  match find_object t name with
+  | Some (Obj_table _) ->
+    Hashtbl.remove t.objects (key name);
+    drop_triggers_of_target t (key name)
+  | Some (Obj_view _) -> error "%s is a view; use DROP VIEW" name
+  | None -> if not if_exists then error "no such table %s" name
+
+let create_view t ~name ~query ~cols ~or_replace =
+  (match find_object t name with
+  | Some (Obj_table _) -> error "object %s already exists as a table" name
+  | Some (Obj_view _) when not or_replace -> error "view %s already exists" name
+  | _ -> ());
+  Hashtbl.replace t.objects (key name)
+    (Obj_view { view_name = name; query; view_cols = cols })
+
+let drop_view t ~name ~if_exists =
+  match find_object t name with
+  | Some (Obj_view _) ->
+    Hashtbl.remove t.objects (key name);
+    drop_triggers_of_target t (key name)
+  | Some (Obj_table _) -> error "%s is a table; use DROP TABLE" name
+  | None -> if not if_exists then error "no such view %s" name
+
+let create_trigger t ~name ~event ~target ~instead_of ~body =
+  if Hashtbl.mem t.triggers (key name) then error "trigger %s already exists" name;
+  if not (object_exists t target) then
+    error "trigger %s references unknown object %s" name target;
+  let trig =
+    { trig_name = name; event; target = key target; instead_of; body }
+  in
+  if Hashtbl.mem t.by_target (key target, event) then
+    error "object %s already has a trigger for this event" target;
+  Hashtbl.replace t.triggers (key name) trig;
+  Hashtbl.replace t.by_target (key target, event) trig
+
+let drop_trigger t ~name ~if_exists =
+  match Hashtbl.find_opt t.triggers (key name) with
+  | Some trig ->
+    Hashtbl.remove t.triggers (key name);
+    Hashtbl.remove t.by_target (trig.target, trig.event)
+  | None -> if not if_exists then error "no such trigger %s" name
+
+let trigger_for t ~target ~event = Hashtbl.find_opt t.by_target (key target, event)
+
+let register_function t name f = Hashtbl.replace t.functions (key name) f
+
+let find_function t name = Hashtbl.find_opt t.functions (key name)
+
+let sequence t name =
+  match Hashtbl.find_opt t.sequences (key name) with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.sequences (key name) r;
+    r
+
+let nextval t name =
+  let r = sequence t name in
+  t.undo <- U_sequence (r, !r) :: t.undo;
+  incr r;
+  !r
+
+(* --- undo log ---------------------------------------------------------- *)
+
+let log t entry = t.undo <- entry :: t.undo
+
+let logged_insert t tbl row =
+  let rowid = Table.insert tbl row in
+  log t (U_insert (tbl, rowid));
+  rowid
+
+let logged_delete t tbl rowid =
+  match Table.delete tbl rowid with
+  | Some row ->
+    log t (U_delete (tbl, rowid, row));
+    true
+  | None -> false
+
+let logged_update t tbl rowid new_row =
+  match Table.update tbl rowid new_row with
+  | Some old_row ->
+    log t (U_update (tbl, rowid, old_row));
+    true
+  | None -> false
+
+let rollback_to t mark =
+  let rec go entries =
+    if entries != mark then
+      match entries with
+      | [] -> ()
+      | entry :: rest ->
+        (match entry with
+        | U_insert (tbl, rowid) -> ignore (Table.delete tbl rowid)
+        | U_delete (tbl, rowid, row) -> Table.restore tbl rowid row
+        | U_update (tbl, rowid, old_row) ->
+          ignore (Table.update tbl rowid old_row)
+        | U_sequence (r, v) -> r := v);
+        go rest
+  in
+  go t.undo;
+  t.undo <- mark
+
+let list_objects t =
+  Hashtbl.fold (fun _ obj acc -> obj :: acc) t.objects []
+  |> List.sort (fun a b ->
+         let name = function
+           | Obj_table tbl -> tbl.Table.name
+           | Obj_view v -> v.view_name
+         in
+         compare (name a) (name b))

@@ -1,0 +1,55 @@
+(** Convenience facade over the parser and executor: execute SQL text against
+    a database and fetch results. *)
+
+type db = Database.t
+
+let create = Database.create
+
+(** Execute one SQL statement given as text. *)
+let exec db sql = Exec.exec_statement db (Sql_parser.statement_of_string sql)
+
+let execf db fmt = Fmt.kstr (fun sql -> exec db sql) fmt
+
+(** Execute a ';'-separated script; returns the number of statements run. *)
+let exec_script db sql =
+  let stmts = Sql_parser.script_of_string sql in
+  List.iter (fun s -> ignore (Exec.exec_statement db s)) stmts;
+  List.length stmts
+
+(** Run a query and return its relation. *)
+let query db sql =
+  match exec db sql with
+  | Exec.Rows rel -> rel
+  | Exec.Affected _ | Exec.Done ->
+    Database.error "statement did not produce rows: %s" sql
+
+let queryf db fmt = Fmt.kstr (fun sql -> query db sql) fmt
+
+(** Rows as value lists, in unspecified order unless the query sorts. *)
+let query_rows db sql = List.map Array.to_list (query db sql).Exec.rel_rows
+
+(** First column of the single row of the result. *)
+let query_scalar db sql =
+  match (query db sql).Exec.rel_rows with
+  | [ row ] when Array.length row >= 1 -> row.(0)
+  | rows -> Database.error "expected a single scalar result, got %d rows" (List.length rows)
+
+let query_int db sql = Value.as_int (query_scalar db sql)
+
+let affected db sql =
+  match exec db sql with
+  | Exec.Affected n -> n
+  | Exec.Rows _ | Exec.Done ->
+    Database.error "statement is not DML: %s" sql
+
+(** Execute a pre-built AST statement. *)
+let exec_ast db stmt = Exec.exec_statement db stmt
+
+let pp_relation ppf (rel : Exec.relation) =
+  Fmt.pf ppf "%a@." (Fmt.list ~sep:(Fmt.any " | ") Fmt.string) rel.Exec.rel_cols;
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%a@."
+        (Fmt.array ~sep:(Fmt.any " | ") Value.pp)
+        row)
+    rel.Exec.rel_rows

@@ -1,0 +1,41 @@
+(** Convenience facade over the SQL parser and executor: run SQL text against
+    a database and fetch results. This is the surface applications (and the
+    InVerDa-generated delta code's consumers) use. *)
+
+type db = Database.t
+
+val create : unit -> db
+
+val exec : db -> string -> Exec.result
+(** Execute one SQL statement. Raises the engine's exceptions
+    ({!Database.Engine_error}, {!Exec.Exec_error},
+    {!Table.Constraint_violation}, parse/lex errors) on failure; a failing
+    statement rolls back atomically. *)
+
+val execf : db -> ('a, Format.formatter, unit, Exec.result) format4 -> 'a
+(** [execf db fmt ...] — printf-style statement construction. Interpolated
+    strings are not escaped; use {!Value.to_literal} for untrusted text. *)
+
+val exec_script : db -> string -> int
+(** Execute a ';'-separated script; returns the number of statements run. *)
+
+val exec_ast : db -> Sql_ast.statement -> Exec.result
+(** Execute a pre-built statement AST (what InVerDa's code generator does). *)
+
+val query : db -> string -> Exec.relation
+(** Run a query; raises if the statement is not a query. *)
+
+val queryf : db -> ('a, Format.formatter, unit, Exec.relation) format4 -> 'a
+
+val query_rows : db -> string -> Value.t list list
+(** Result rows as value lists (unordered unless the query sorts). *)
+
+val query_scalar : db -> string -> Value.t
+(** First column of the single result row; raises otherwise. *)
+
+val query_int : db -> string -> int
+
+val affected : db -> string -> int
+(** Execute DML and return the affected-row count. *)
+
+val pp_relation : Format.formatter -> Exec.relation -> unit

@@ -1,0 +1,1585 @@
+(** Query and statement execution.
+
+    Expressions are compiled once per statement into closures over a runtime
+    environment (current rows of the enclosing scopes plus NEW./OLD. trigger
+    parameters). Joins use a hash-join fast path on equality conjuncts,
+    EXISTS / IN subqueries are decorrelated into index probes or per-statement
+    hash memos, and view results are cached for the duration of a statement.
+    All write paths go through the database undo log so that a failing
+    statement (or an explicit transaction) rolls back atomically. *)
+
+open Sql_ast
+module Db = Database
+
+type relation = { rel_cols : string list; rel_rows : Value.t array list }
+
+type result = Rows of relation | Affected of int | Done
+
+exception Exec_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+(* --- runtime environment ------------------------------------------------ *)
+
+type eval_ctx = {
+  db : Db.t;
+  cache : (string, relation) Hashtbl.t;  (** per-statement object snapshots *)
+}
+
+type env = {
+  ctx : eval_ctx;
+  rows : Value.t array list;  (** innermost scope first *)
+  params : (string, Value.t) Hashtbl.t;
+}
+
+(** A compile-time scope: for each column position its alias and name. *)
+type scope = { entries : (string option * string) array }
+
+let fresh_ctx db = { db; cache = Hashtbl.create 16 }
+
+let no_params : (string, Value.t) Hashtbl.t = Hashtbl.create 1
+
+(* --- value operations --------------------------------------------------- *)
+
+let bool3 = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | v -> error "expected BOOLEAN, got %s" (Value.describe v)
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+
+let numeric_binop op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Add -> Value.Int (x + y)
+    | Sub -> Value.Int (x - y)
+    | Mul -> Value.Int (x * y)
+    | Div -> if y = 0 then error "division by zero" else Value.Int (x / y)
+    | Mod -> if y = 0 then error "division by zero" else Value.Int (x mod y)
+    | _ -> assert false)
+  | _ ->
+    let x = Value.as_float a and y = Value.as_float b in
+    (match op with
+    | Add -> Value.Real (x +. y)
+    | Sub -> Value.Real (x -. y)
+    | Mul -> Value.Real (x *. y)
+    | Div -> if y = 0.0 then error "division by zero" else Value.Real (x /. y)
+    | Mod -> Value.Real (Float.rem x y)
+    | _ -> assert false)
+
+let comparison_binop op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else
+    let c = Value.compare_exn a b in
+    let r =
+      match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | _ -> assert false
+    in
+    Value.Bool r
+
+let concat_values a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> Value.Text (Value.to_string a ^ Value.to_string b)
+
+let aggregate_names = [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let rec has_aggregate = function
+  | Fun (name, _) when List.mem name aggregate_names -> true
+  | Fun (_, args) -> List.exists has_aggregate args
+  | Unop (_, e) | Is_null (e, _) -> has_aggregate e
+  | Binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | Case (arms, default) ->
+    List.exists (fun (c, v) -> has_aggregate c || has_aggregate v) arms
+    || (match default with Some d -> has_aggregate d | None -> false)
+  | In_list (e, items, _) -> has_aggregate e || List.exists has_aggregate items
+  | In_query (e, _, _) -> has_aggregate e
+  | Const _ | Col _ | Param _ | Exists _ | Scalar _ -> false
+
+(* --- column resolution --------------------------------------------------- *)
+
+(** Find [qualifier.name] in the scope stack; returns (depth, position). *)
+let resolve_column scopes qualifier name =
+  let lname = String.lowercase_ascii name in
+  let lqual = Option.map String.lowercase_ascii qualifier in
+  let match_entry (alias, cname) =
+    String.lowercase_ascii cname = lname
+    &&
+    match lqual with
+    | None -> true
+    | Some q -> (
+      match alias with
+      | Some a -> String.lowercase_ascii a = q
+      | None -> false)
+  in
+  let rec go depth = function
+    | [] ->
+      error "unknown column %s%s"
+        (match qualifier with Some q -> q ^ "." | None -> "")
+        name
+    | scope :: rest ->
+      let hits = ref [] in
+      Array.iteri
+        (fun i entry -> if match_entry entry then hits := i :: !hits)
+        scope.entries;
+      (match !hits with
+      | [ i ] -> (depth, i)
+      | [] -> go (depth + 1) rest
+      | _ ->
+        error "ambiguous column reference %s%s"
+          (match qualifier with Some q -> q ^ "." | None -> "")
+          name)
+  in
+  go 0 scopes
+
+let scope_of_cols ?alias cols =
+  { entries = Array.of_list (List.map (fun c -> (alias, c)) cols) }
+
+(* --- expression compilation ---------------------------------------------- *)
+
+(* [expr_scope_deps scopes e] = does [e] reference a column resolving at
+   depth 0 of [scopes]?  Used to classify subquery conjuncts. *)
+let rec references_depth scopes depth e =
+  match e with
+  | Col (q, n) -> (
+    match resolve_column scopes q n with
+    | d, _ -> d = depth
+    | exception _ -> false)
+  | Const _ | Param _ -> false
+  | Unop (_, a) | Is_null (a, _) -> references_depth scopes depth a
+  | Binop (_, a, b) ->
+    references_depth scopes depth a || references_depth scopes depth b
+  | Fun (_, args) -> List.exists (references_depth scopes depth) args
+  | Case (arms, default) ->
+    List.exists
+      (fun (c, v) ->
+        references_depth scopes depth c || references_depth scopes depth v)
+      arms
+    || (match default with
+       | Some d -> references_depth scopes depth d
+       | None -> false)
+  | In_list (a, items, _) ->
+    references_depth scopes depth a
+    || List.exists (references_depth scopes depth) items
+  | Exists _ | In_query _ | Scalar _ ->
+    (* conservative: nested subqueries disable decorrelation *)
+    true
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec compile_expr ctx scopes e : env -> Value.t =
+  match e with
+  | Const v -> fun _ -> v
+  | Col (q, n) ->
+    let depth, pos = resolve_column scopes q n in
+    fun env -> (List.nth env.rows depth).(pos)
+  | Param p -> (
+    fun env ->
+      match Hashtbl.find_opt env.params p with
+      | Some v -> v
+      | None -> error "unbound trigger parameter %s" p)
+  | Unop (Not, a) ->
+    let fa = compile_expr ctx scopes a in
+    fun env -> of_bool3 (Option.map not (bool3 (fa env)))
+  | Unop (Neg, a) ->
+    let fa = compile_expr ctx scopes a in
+    fun env -> (
+      match fa env with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Real f -> Value.Real (-.f)
+      | v -> error "cannot negate %s" (Value.describe v))
+  | Is_null (a, negated) ->
+    let fa = compile_expr ctx scopes a in
+    fun env ->
+      let isnull = Value.is_null (fa env) in
+      Value.Bool (if negated then not isnull else isnull)
+  | Binop (And, a, b) ->
+    let fa = compile_expr ctx scopes a and fb = compile_expr ctx scopes b in
+    fun env -> (
+      match bool3 (fa env) with
+      | Some false -> Value.Bool false
+      | Some true -> of_bool3 (bool3 (fb env))
+      | None -> (
+        match bool3 (fb env) with
+        | Some false -> Value.Bool false
+        | _ -> Value.Null))
+  | Binop (Or, a, b) ->
+    let fa = compile_expr ctx scopes a and fb = compile_expr ctx scopes b in
+    fun env -> (
+      match bool3 (fa env) with
+      | Some true -> Value.Bool true
+      | Some false -> of_bool3 (bool3 (fb env))
+      | None -> (
+        match bool3 (fb env) with
+        | Some true -> Value.Bool true
+        | _ -> Value.Null))
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+    let fa = compile_expr ctx scopes a and fb = compile_expr ctx scopes b in
+    fun env -> numeric_binop op (fa env) (fb env)
+  | Binop (Concat, a, b) ->
+    let fa = compile_expr ctx scopes a and fb = compile_expr ctx scopes b in
+    fun env -> concat_values (fa env) (fb env)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    let fa = compile_expr ctx scopes a and fb = compile_expr ctx scopes b in
+    fun env -> comparison_binop op (fa env) (fb env)
+  | Fun (name, _) when List.mem name aggregate_names ->
+    error "aggregate %s used outside of an aggregating select" name
+  | Fun (name, args) -> compile_function ctx scopes name args
+  | Case (arms, default) ->
+    let arms =
+      List.map
+        (fun (c, v) -> (compile_expr ctx scopes c, compile_expr ctx scopes v))
+        arms
+    in
+    let fdefault = Option.map (compile_expr ctx scopes) default in
+    fun env -> (
+      let rec go = function
+        | [] -> (
+          match fdefault with Some f -> f env | None -> Value.Null)
+        | (fc, fv) :: rest -> (
+          match bool3 (fc env) with Some true -> fv env | _ -> go rest)
+      in
+      go arms)
+  | Exists (q, negated) -> compile_exists ctx scopes q negated
+  | In_query (e, q, negated) -> compile_in_query ctx scopes e q negated
+  | In_list (e, items, negated) ->
+    let fe = compile_expr ctx scopes e in
+    let fitems = List.map (compile_expr ctx scopes) items in
+    fun env -> (
+      let v = fe env in
+      if Value.is_null v then Value.Null
+      else
+        let found = ref false and saw_null = ref false in
+        List.iter
+          (fun f ->
+            let w = f env in
+            if Value.is_null w then saw_null := true
+            else if Value.equal v w then found := true)
+          fitems;
+        if !found then Value.Bool (not negated)
+        else if !saw_null then Value.Null
+        else Value.Bool negated)
+  | Scalar q ->
+    let fq = compile_query ctx scopes q in
+    fun env -> (
+      let rel = fq env in
+      match rel.rel_rows with
+      | [] -> Value.Null
+      | [ row ] ->
+        if Array.length row <> 1 then
+          error "scalar subquery returned %d columns" (Array.length row)
+        else row.(0)
+      | _ -> error "scalar subquery returned more than one row")
+
+and compile_function ctx scopes name args =
+  let fargs = List.map (compile_expr ctx scopes) args in
+  match name, fargs with
+  | "COALESCE", _ ->
+    fun env -> (
+      let rec go = function
+        | [] -> Value.Null
+        | f :: rest ->
+          let v = f env in
+          if Value.is_null v then go rest else v
+      in
+      go fargs)
+  | "NULLIF", [ fa; fb ] ->
+    fun env -> (
+      let a = fa env and b = fb env in
+      match Value.sql_eq a b with Some true -> Value.Null | _ -> a)
+  | "ABS", [ fa ] ->
+    fun env -> (
+      match fa env with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (abs i)
+      | Value.Real f -> Value.Real (Float.abs f)
+      | v -> error "ABS expects a number, got %s" (Value.describe v))
+  | "LENGTH", [ fa ] ->
+    fun env -> (
+      match fa env with
+      | Value.Null -> Value.Null
+      | v -> Value.Int (String.length (Value.to_string v)))
+  | "UPPER", [ fa ] ->
+    fun env -> (
+      match fa env with
+      | Value.Null -> Value.Null
+      | v -> Value.Text (String.uppercase_ascii (Value.to_string v)))
+  | "LOWER", [ fa ] ->
+    fun env -> (
+      match fa env with
+      | Value.Null -> Value.Null
+      | v -> Value.Text (String.lowercase_ascii (Value.to_string v)))
+  | "NEXTVAL", [ fa ] ->
+    fun env -> (
+      match fa env with
+      | Value.Text seq -> Value.Int (Db.nextval env.ctx.db seq)
+      | v -> error "NEXTVAL expects a sequence name, got %s" (Value.describe v))
+  | _, _ -> (
+    match Db.find_function ctx.db name with
+    | Some f -> fun env -> f env.ctx.db (List.map (fun g -> g env) fargs)
+    | None -> error "unknown function %s" name)
+
+(* Decorrelation of EXISTS: recognise a single-select subquery over one named
+   object whose correlated conjuncts are all equalities [inner_col = outer_e];
+   evaluate the inner relation once per statement and probe a hash of the
+   inner key columns. Falls back to naive re-evaluation otherwise. *)
+and compile_exists ctx scopes q negated =
+  match decorrelate ctx scopes q with
+  | Some probe ->
+    fun env -> Value.Bool (if negated then probe env = [] else probe env <> [])
+  | None ->
+    let fq = compile_query ctx scopes q in
+    fun env ->
+      let rel = fq env in
+      Value.Bool (if negated then rel.rel_rows = [] else rel.rel_rows <> [])
+
+and compile_in_query ctx scopes e q negated =
+  let fe = compile_expr ctx scopes e in
+  let fq = compile_query ctx scopes q in
+  fun env ->
+    let v = fe env in
+    if Value.is_null v then Value.Null
+    else begin
+      let rel = fq env in
+      let found = ref false and saw_null = ref false in
+      List.iter
+        (fun row ->
+          if Array.length row <> 1 then error "IN subquery must return one column";
+          if Value.is_null row.(0) then saw_null := true
+          else if Value.equal v row.(0) then found := true)
+        rel.rel_rows;
+      if !found then Value.Bool (not negated)
+      else if !saw_null then Value.Null
+      else Value.Bool negated
+    end
+
+(** Attempt to compile the subquery into [env -> matching inner rows]. *)
+and decorrelate ctx scopes q =
+  match q with
+  | { body = Select sel; order_by = []; limit = None } -> (
+    match sel with
+    | { from = Some (From_table (tname, alias)); group_by = []; having = None;
+        distinct = false; _ } ->
+      let inner_cols =
+        match Db.find_object ctx.db tname with
+        | Some (Db.Obj_table tbl) -> Schema.names tbl.Table.schema
+        | Some (Db.Obj_view v) -> v.Db.view_cols
+        | None -> error "no such table or view %s" tname
+      in
+      let inner_alias = match alias with Some a -> Some a | None -> Some tname in
+      let inner_scope = scope_of_cols ?alias:inner_alias inner_cols in
+      let sub_scopes = inner_scope :: scopes in
+      let conj = match sel.where with None -> [] | Some w -> conjuncts w in
+      (* Split into inner-only conjuncts and correlated equalities. *)
+      let classify e =
+        if not (references_depth sub_scopes 0 e) then `Outer_only e
+        else
+          let inner_only x =
+            references_depth sub_scopes 0 x
+            && not (List.exists (fun d -> references_depth sub_scopes d x)
+                      (List.init (List.length scopes) (fun i -> i + 1)))
+          in
+          let outer_only x = not (references_depth sub_scopes 0 x) in
+          if inner_only e then `Inner e
+          else
+            match e with
+            | Binop (Eq, a, b) when inner_only a && outer_only b -> `Key (a, b)
+            | Binop (Eq, a, b) when inner_only b && outer_only a -> `Key (b, a)
+            | _ -> `Bad
+      in
+      let classified = List.map classify conj in
+      if List.exists (function `Bad -> true | _ -> false) classified then None
+      else begin
+        let keys =
+          List.filter_map (function `Key k -> Some k | _ -> None) classified
+        in
+        let inner_preds =
+          List.filter_map (function `Inner e -> Some e | _ -> None) classified
+        in
+        let outer_preds =
+          List.filter_map (function `Outer_only e -> Some e | _ -> None) classified
+        in
+        if keys = [] then None
+        else begin
+          let fouter =
+            List.map (fun e -> compile_expr ctx scopes e) outer_preds
+          in
+          let fkeys_outer =
+            List.map (fun (_, outer_e) -> compile_expr ctx scopes outer_e) keys
+          in
+          (* index-probe fast path: a stored table probed on one indexed
+             column needs no hash memo at all *)
+          let index_probe =
+            if not ctx.db.Db.optimizations then None
+            else
+            match keys, inner_preds, Db.find_table_opt ctx.db tname with
+            | [ (Col (q', n'), _) ], [], Some tbl -> (
+              let pos = snd (resolve_column [ inner_scope ] q' n') in
+              let name = snd inner_scope.entries.(pos) in
+              match Table.indexed_column tbl name with
+              | Some idx -> Some (tbl, idx)
+              | None -> None)
+            | _ -> None
+          in
+          match index_probe with
+          | Some (tbl, idx) ->
+            Some
+              (fun env ->
+                let outer_ok =
+                  List.for_all (fun f -> bool3 (f env) = Some true) fouter
+                in
+                if not outer_ok then []
+                else
+                  match fkeys_outer with
+                  | [ f ] ->
+                    let v = f env in
+                    if Value.is_null v then []
+                    else
+                      List.filter_map (Table.find tbl) (Table.index_lookup idx v)
+                  | _ -> [])
+          | None ->
+          (* The memo is built lazily, once per statement (ctx). *)
+          let memo :
+              (Value.t list, Value.t array list) Hashtbl.t option ref =
+            ref None
+          in
+          let build env =
+            let rel = object_relation env.ctx tname in
+            let key_positions =
+              List.map
+                (fun (inner_e, _) ->
+                  match inner_e with
+                  | Col (q', n') -> snd (resolve_column [ inner_scope ] q' n')
+                  | _ -> error "decorrelation key must be a column")
+                keys
+            in
+            let fpred =
+              List.map
+                (fun e -> compile_expr ctx [ inner_scope ] e)
+                inner_preds
+            in
+            let tbl = Hashtbl.create (List.length rel.rel_rows) in
+            List.iter
+              (fun row ->
+                let inner_env = { env with rows = [ row ] } in
+                let ok =
+                  List.for_all
+                    (fun f -> bool3 (f inner_env) = Some true)
+                    fpred
+                in
+                if ok then begin
+                  let key = List.map (fun pos -> row.(pos)) key_positions in
+                  if not (List.exists Value.is_null key) then
+                    Hashtbl.replace tbl key
+                      (row
+                      :: (Option.value (Hashtbl.find_opt tbl key) ~default:[]))
+                end)
+              rel.rel_rows;
+            memo := Some tbl;
+            tbl
+          in
+          Some
+            (fun env ->
+              let outer_ok =
+                List.for_all (fun f -> bool3 (f env) = Some true) fouter
+              in
+              if not outer_ok then []
+              else begin
+                let tbl = match !memo with Some t -> t | None -> build env in
+                let key = List.map (fun f -> f env) fkeys_outer in
+                if List.exists Value.is_null key then []
+                else Option.value (Hashtbl.find_opt tbl key) ~default:[]
+              end)
+        end
+      end
+    | _ -> None)
+  | _ -> None
+
+(* --- relations of named objects ------------------------------------------ *)
+
+and object_relation ctx name : relation =
+  let k = Db.key name in
+  match Hashtbl.find_opt ctx.cache k with
+  | Some rel -> rel
+  | None ->
+    let rel =
+      match Db.find_object ctx.db name with
+      | Some (Db.Obj_table tbl) ->
+        let rows =
+          Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
+        in
+        { rel_cols = Schema.names tbl.Table.schema; rel_rows = rows }
+      | Some (Db.Obj_view v) ->
+        let f = compile_query ctx [] v.Db.query in
+        let rel = f { ctx; rows = []; params = no_params } in
+        { rel with rel_cols = v.Db.view_cols }
+      | None -> error "no such table or view %s" name
+    in
+    Hashtbl.replace ctx.cache k rel;
+    rel
+
+(* --- FROM clause ---------------------------------------------------------- *)
+
+(* A compiled FROM produces the combined scope entries and, per outer env,
+   the list of concatenated rows. *)
+and compile_from ctx outer_scopes from :
+    (string option * string) array * (env -> Value.t array list) =
+  match from with
+  | From_table (name, alias) ->
+    let cols =
+      match Db.find_object ctx.db name with
+      | Some (Db.Obj_table tbl) -> Schema.names tbl.Table.schema
+      | Some (Db.Obj_view v) -> v.Db.view_cols
+      | None -> error "no such table or view %s" name
+    in
+    let a = match alias with Some a -> Some a | None -> Some name in
+    let entries = Array.of_list (List.map (fun c -> (a, c)) cols) in
+    (entries, fun env -> (object_relation env.ctx name).rel_rows)
+  | From_select (q, alias) ->
+    let fq = compile_query ctx outer_scopes q in
+    (* infer output columns from the query shape *)
+    let cols = query_columns ctx q in
+    let entries = Array.of_list (List.map (fun c -> (Some alias, c)) cols) in
+    (entries, fun env -> (fq env).rel_rows)
+  | From_join (left, kind, right, cond) ->
+    let lentries, lproduce = compile_from ctx outer_scopes left in
+    let rentries, rproduce = compile_from ctx outer_scopes right in
+    let entries = Array.append lentries rentries in
+    let joined = { entries } in
+    let scopes = joined :: outer_scopes in
+    let lscope = { entries = lentries } and rscope = { entries = rentries } in
+    (* classify conjuncts of the join condition *)
+    let conj = match cond with None -> [] | Some c -> conjuncts c in
+    let nl = Array.length lentries in
+    let lscopes = lscope :: outer_scopes in
+    let rscopes = rscope :: outer_scopes in
+    let refs_left e = references_depth lscopes 0 e in
+    let refs_right e =
+      (* re-resolve against right scope only *)
+      references_depth rscopes 0 e
+    in
+    let keys, residual =
+      List.partition_map
+        (fun e ->
+          match e with
+          | Binop (Eq, a, b)
+            when refs_left a && (not (refs_right a)) && refs_right b
+                 && not (refs_left b) ->
+            Left (a, b)
+          | Binop (Eq, a, b)
+            when refs_left b && (not (refs_right b)) && refs_right a
+                 && not (refs_left a) ->
+            Left (b, a)
+          | e -> Right e)
+        conj
+    in
+    let fresidual = List.map (compile_expr ctx scopes) residual in
+    let combine lrow rrow =
+      let out = Array.make (Array.length entries) Value.Null in
+      Array.blit lrow 0 out 0 nl;
+      Array.blit rrow 0 out nl (Array.length rrow);
+      out
+    in
+    let null_right = Array.make (Array.length rentries) Value.Null in
+    let residual_ok env row =
+      List.for_all
+        (fun f -> bool3 (f { env with rows = row :: env.rows }) = Some true)
+        fresidual
+    in
+    (* index nested-loop fast path: the right side is a stored table and one
+       join key is an indexed plain column of it — probe per left row instead
+       of scanning and hashing the whole table *)
+    let right_index_probe =
+      if not ctx.db.Db.optimizations then None
+      else
+      match right with
+      | From_table (rname, _) -> (
+        match Db.find_table_opt ctx.db rname with
+        | None -> None
+        | Some tbl ->
+          List.find_map
+            (fun (lexpr, rexpr) ->
+              match rexpr with
+              | Col (q, n) -> (
+                match resolve_column rscopes q n with
+                | 0, pos -> (
+                  let cname = snd rentries.(pos) in
+                  match Table.indexed_column tbl cname with
+                  | Some idx -> Some (tbl, idx, lexpr)
+                  | None -> None)
+                | _ -> None
+                | exception _ -> None)
+              | _ -> None)
+            keys)
+      | From_select _ | From_join _ -> None
+    in
+    (match right_index_probe with
+    | Some (tbl, idx, lkey_expr) when keys <> [] ->
+      let flkey = compile_expr ctx lscopes lkey_expr in
+      (* the remaining keys plus residual verified per candidate *)
+      let flkeys = List.map (fun (a, _) -> compile_expr ctx lscopes a) keys in
+      let frkeys = List.map (fun (_, b) -> compile_expr ctx rscopes b) keys in
+      ( entries,
+        fun env ->
+          let lrows = lproduce env in
+          List.concat_map
+            (fun lrow ->
+              let lenv = { env with rows = lrow :: env.rows } in
+              let v = flkey lenv in
+              let candidates =
+                if Value.is_null v then []
+                else List.filter_map (Table.find tbl) (Table.index_lookup idx v)
+              in
+              let lkeyvals = List.map (fun f -> f lenv) flkeys in
+              let combined =
+                List.filter_map
+                  (fun rrow ->
+                    let renv = { env with rows = rrow :: env.rows } in
+                    let rkeyvals = List.map (fun f -> f renv) frkeys in
+                    let keys_ok =
+                      List.for_all2
+                        (fun a b ->
+                          (not (Value.is_null a))
+                          && (not (Value.is_null b))
+                          && Value.equal a b)
+                        lkeyvals rkeyvals
+                    in
+                    if not keys_ok then None
+                    else
+                      let row = combine lrow rrow in
+                      if residual_ok env row then Some row else None)
+                  candidates
+              in
+              match kind, combined with
+              | Left_outer, [] -> [ combine lrow null_right ]
+              | _ -> combined)
+            lrows )
+    | _ ->
+    if keys <> [] then begin
+      let flkeys = List.map (fun (a, _) -> compile_expr ctx lscopes a) keys in
+      let frkeys = List.map (fun (_, b) -> compile_expr ctx rscopes b) keys in
+      ( entries,
+        fun env ->
+          let lrows = lproduce env and rrows = rproduce env in
+          let h = Hashtbl.create (List.length rrows) in
+          List.iter
+            (fun rrow ->
+              let renv = { env with rows = rrow :: env.rows } in
+              let key = List.map (fun f -> f renv) frkeys in
+              if not (List.exists Value.is_null key) then
+                Hashtbl.replace h key
+                  (rrow :: (Option.value (Hashtbl.find_opt h key) ~default:[])))
+            rrows;
+          List.concat_map
+            (fun lrow ->
+              let lenv = { env with rows = lrow :: env.rows } in
+              let key = List.map (fun f -> f lenv) flkeys in
+              let matches =
+                if List.exists Value.is_null key then []
+                else Option.value (Hashtbl.find_opt h key) ~default:[]
+              in
+              let combined =
+                List.filter_map
+                  (fun rrow ->
+                    let row = combine lrow rrow in
+                    if residual_ok env row then Some row else None)
+                  matches
+              in
+              match kind, combined with
+              | Left_outer, [] -> [ combine lrow null_right ]
+              | _ -> combined)
+            lrows )
+    end
+    else
+      ( entries,
+        fun env ->
+          let lrows = lproduce env and rrows = rproduce env in
+          List.concat_map
+            (fun lrow ->
+              let combined =
+                List.filter_map
+                  (fun rrow ->
+                    let row = combine lrow rrow in
+                    if residual_ok env row then Some row else None)
+                  rrows
+              in
+              match kind, combined with
+              | Left_outer, [] -> [ combine lrow null_right ]
+              | _ -> combined)
+            lrows ))
+
+(* --- output column naming ------------------------------------------------- *)
+
+and select_columns ctx sel =
+  let from_entries () =
+    match sel.from with
+    | None -> [||]
+    | Some f -> fst (compile_from ctx [] f)
+  in
+  List.concat_map
+    (function
+      | Star -> Array.to_list (Array.map snd (from_entries ()))
+      | Qualified_star q ->
+        Array.to_list (from_entries ())
+        |> List.filter_map (fun (alias, n) ->
+               match alias with
+               | Some a when String.lowercase_ascii a = String.lowercase_ascii q
+                 ->
+                 Some n
+               | _ -> None)
+      | Sel_expr (_, Some a) -> [ a ]
+      | Sel_expr (Col (_, n), None) -> [ n ]
+      | Sel_expr (Fun (name, _), None) -> [ String.lowercase_ascii name ]
+      | Sel_expr (_, None) -> [ "column" ])
+    sel.items
+
+and query_columns ctx q =
+  let rec of_set_op = function
+    | Select sel -> select_columns ctx sel
+    | Union (a, _, _) -> of_set_op a
+  in
+  of_set_op q.body
+
+(* --- SELECT ---------------------------------------------------------------- *)
+
+and compile_select ctx outer_scopes sel : env -> relation =
+  (* pre-pass: an equality conjunct pinning an alias-qualified column to a
+     column-free expression is pushed onto that join side (wrapped as a
+     filtered subselect); for inner joins the reduced side moves left so a
+     stored right side stays probeable by its index. The original WHERE is
+     kept, so this is purely an evaluation-order rewrite. *)
+  let sel =
+    match sel.from, sel.where with
+    | Some (From_join _ as f0), Some w when ctx.db.Db.optimizations ->
+      let rec column_free = function
+        | Col _ -> false
+        | Const _ | Param _ -> true
+        | Unop (_, a) | Is_null (a, _) -> column_free a
+        | Binop (_, a, b) -> column_free a && column_free b
+        | Fun (_, args) -> List.for_all column_free args
+        | Case (arms, d) ->
+          List.for_all (fun (c, v) -> column_free c && column_free v) arms
+          && (match d with Some x -> column_free x | None -> true)
+        | In_list (a, items, _) ->
+          column_free a && List.for_all column_free items
+        | Exists _ | In_query _ | Scalar _ -> false
+      in
+      let wrap_one from (alias, icol, key_expr) =
+        let la = String.lowercase_ascii alias in
+        let rec go f =
+          match f with
+          | From_table (name, Some a) when String.lowercase_ascii a = la ->
+            Some
+              (From_select
+                 ( select_query
+                     (simple_select
+                        ~from:(From_table (name, Some a))
+                        ~where:(Binop (Eq, Col (None, icol), key_expr))
+                        [ Star ]),
+                   a ))
+          | From_table _ | From_select _ -> None
+          | From_join (l, k, r, c) -> (
+            match go l with
+            | Some l' -> Some (From_join (l', k, r, c))
+            | None -> (
+              match go r with
+              | Some r' when k = Inner -> Some (From_join (r', k, l, c))
+              | Some r' -> Some (From_join (l, k, r', c))
+              | None -> None))
+        in
+        Option.value (go from) ~default:from
+      in
+      let pins =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Binop (Eq, Col (Some a, n), e) when column_free e -> Some (a, n, e)
+            | Binop (Eq, e, Col (Some a, n)) when column_free e -> Some (a, n, e)
+            | _ -> None)
+          (conjuncts w)
+      in
+      { sel with from = Some (List.fold_left wrap_one f0 pins) }
+    | _ -> sel
+  in
+  let entries, produce =
+    match sel.from with
+    | None -> ([||], fun _ -> [ [||] ])
+    | Some f -> compile_from ctx outer_scopes f
+  in
+  let scope = { entries } in
+  let scopes = scope :: outer_scopes in
+  let aggregating =
+    sel.group_by <> []
+    || List.exists
+         (function Sel_expr (e, _) -> has_aggregate e | _ -> false)
+         sel.items
+    || match sel.having with Some h -> has_aggregate h | None -> false
+  in
+  let cols = select_columns ctx sel in
+  (* index fast path: single stored table + equality on an indexed column *)
+  let produce = index_fast_path ctx sel scope scopes produce in
+  let produce =
+    match view_pushdown ctx sel with Some p -> p | None -> produce
+  in
+  let fwhere = Option.map (compile_expr ctx scopes) sel.where in
+  let filter env rows =
+    match fwhere with
+    | None -> rows
+    | Some f ->
+      List.filter
+        (fun row -> bool3 (f { env with rows = row :: env.rows }) = Some true)
+        rows
+  in
+  if not aggregating then begin
+    let item_fns =
+      List.concat_map
+        (function
+          | Star ->
+            List.init (Array.length entries) (fun i ->
+                fun (env : env) -> (List.hd env.rows).(i))
+          | Qualified_star q ->
+            let positions = ref [] in
+            Array.iteri
+              (fun i (alias, _) ->
+                match alias with
+                | Some a
+                  when String.lowercase_ascii a = String.lowercase_ascii q ->
+                  positions := i :: !positions
+                | _ -> ())
+              entries;
+            List.rev_map
+              (fun i -> fun (env : env) -> (List.hd env.rows).(i))
+              !positions
+          | Sel_expr (e, _) ->
+            let f = compile_expr ctx scopes e in
+            [ f ])
+        sel.items
+    in
+    fun env ->
+      let rows = filter env (produce env) in
+      let out =
+        List.map
+          (fun row ->
+            let env' = { env with rows = row :: env.rows } in
+            Array.of_list (List.map (fun f -> f env') item_fns))
+          rows
+      in
+      let out = if sel.distinct then dedupe out else out in
+      { rel_cols = cols; rel_rows = out }
+  end
+  else compile_aggregate ctx scopes sel cols produce filter
+
+and dedupe rows =
+  (* rows are immutable by convention; the generic hash/equality on arrays is
+     structural, so they key directly *)
+  let seen : (Value.t array, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.filter
+    (fun row ->
+      if Hashtbl.mem seen row then false
+      else begin
+        Hashtbl.replace seen row ();
+        true
+      end)
+    rows
+
+and index_fast_path ctx sel scope scopes produce =
+  if not ctx.db.Db.optimizations then produce
+  else
+  match sel.from, sel.where with
+  | Some (From_table (tname, _)), Some w -> (
+    match Db.find_table_opt ctx.db tname with
+    | None -> produce
+    | Some tbl -> (
+      (* find a conjunct [col = e] where e has no local column refs and col
+         is indexed *)
+      let usable =
+        List.find_map
+          (fun c ->
+            match c with
+            | Binop (Eq, Col (q, n), e) | Binop (Eq, e, Col (q, n)) -> (
+              match resolve_column scopes q n with
+              | 0, pos when not (references_depth scopes 0 e) -> (
+                let name = snd scope.entries.(pos) in
+                match Table.indexed_column tbl name with
+                | Some idx -> Some (idx, e)
+                | None -> None)
+              | _ -> None
+              | exception _ -> None)
+            | _ -> None)
+          (conjuncts w)
+      in
+      match usable with
+      | None -> produce
+      | Some (idx, key_expr) ->
+        let fkey = compile_expr ctx (List.tl scopes) key_expr in
+        fun env ->
+          let v = fkey env in
+          if Value.is_null v then []
+          else
+            List.filter_map (Table.find tbl) (Table.index_lookup idx v)))
+  | _ -> produce
+
+(* Key-filter pushdown into views: a select over a single *view* whose WHERE
+   pins a view column to a row-independent, column-free expression is
+   rewritten by pushing the equality into every branch of the view body.
+   Applied recursively through view chains, this turns point lookups along
+   InVerDa's generated delta code into O(depth) instead of O(depth x N).
+   Returns None when the view shape does not allow it. *)
+and view_pushdown ctx sel =
+  if not ctx.db.Db.optimizations then None
+  else
+  match sel.from, sel.where with
+  | _, None | None, _ | Some (From_select _ | From_join _), _ -> None
+  | Some (From_table (vname, _)), Some w -> (
+    match Db.find_view_opt ctx.db vname with
+    | None -> None
+    | Some view -> (
+      let rec column_free = function
+        | Col _ -> false
+        | Const _ | Param _ -> true
+        | Unop (_, a) | Is_null (a, _) -> column_free a
+        | Binop (_, a, b) -> column_free a && column_free b
+        | Fun (_, args) -> List.for_all column_free args
+        | Case (arms, d) ->
+          List.for_all (fun (c, v) -> column_free c && column_free v) arms
+          && (match d with Some x -> column_free x | None -> true)
+        | In_list (a, items, _) -> column_free a && List.for_all column_free items
+        | Exists _ | In_query _ | Scalar _ -> false
+      in
+      let pinned =
+        List.find_map
+          (fun c ->
+            match c with
+            | Binop (Eq, Col (_, n), e) when column_free e -> Some (n, e)
+            | Binop (Eq, e, Col (_, n)) when column_free e -> Some (n, e)
+            | _ -> None)
+          (conjuncts w)
+      in
+      match pinned with
+      | None -> None
+      | Some (col, key_expr) -> (
+        let lcol = String.lowercase_ascii col in
+        match
+          List.find_index
+            (fun c -> String.lowercase_ascii c = lcol)
+            view.Db.view_cols
+        with
+        | None -> None
+        | Some pos -> (
+          (* rewrite each branch of the view body *)
+          let rec rewrite_set_op = function
+            | Select s -> (
+              if s.group_by <> [] || s.having <> None then None
+              else
+                let item_exprs =
+                  List.concat_map
+                    (function
+                      | Star -> (
+                        match s.from with
+                        | Some (From_table (base, _)) -> (
+                          match Db.find_object ctx.db base with
+                          | Some (Db.Obj_table t) ->
+                            List.map
+                              (fun c -> Col (None, c))
+                              (Schema.names t.Table.schema)
+                          | Some (Db.Obj_view v) ->
+                            List.map (fun c -> Col (None, c)) v.Db.view_cols
+                          | None -> [])
+                        | _ -> [])
+                      | Qualified_star _ -> []
+                      | Sel_expr (e, _) -> [ e ])
+                    s.items
+                in
+                match List.nth_opt item_exprs pos with
+                | Some item when item <> Const Value.Null ->
+                  let extra = Binop (Eq, item, key_expr) in
+                  let s =
+                    {
+                      s with
+                      where =
+                        (match s.where with
+                        | Some old -> Some (Binop (And, old, extra))
+                        | None -> Some extra);
+                    }
+                  in
+                  (* additionally wrap the join side the pinned column comes
+                     from, so the filter reduces that side before the join;
+                     for inner joins the reduced side moves left so a stored
+                     right side stays probeable by index *)
+                  let s =
+                    match item, s.from with
+                    | Col (Some alias, icol), Some f ->
+                      let la = String.lowercase_ascii alias in
+                      let wrap_atom name a =
+                        From_select
+                          ( select_query
+                              (simple_select
+                                 ~from:(From_table (name, Some a))
+                                 ~where:(Binop (Eq, Col (None, icol), key_expr))
+                                 [ Star ]),
+                            a )
+                      in
+                      let rec go f =
+                        match f with
+                        | From_table (name, Some a)
+                          when String.lowercase_ascii a = la ->
+                          Some (wrap_atom name a)
+                        | From_table _ | From_select _ -> None
+                        | From_join (l, k, r, c) -> (
+                          match go l with
+                          | Some l' -> Some (From_join (l', k, r, c))
+                          | None -> (
+                            match go r with
+                            | Some r' when k = Inner ->
+                              Some (From_join (r', k, l, c))
+                            | Some r' -> Some (From_join (l, k, r', c))
+                            | None -> None))
+                      in
+                      (match go f with
+                      | Some f' -> { s with from = Some f' }
+                      | None -> s)
+                    | _ -> s
+                  in
+                  Some (Select s)
+                | _ ->
+                  (* a NULL constant in this position can never equal the
+                     pinned key (point lookups never pin to NULL) *)
+                  Some
+                    (Select
+                       { s with where = Some (Const (Value.Bool false)) }))
+            | Union (a, b, all) -> (
+              match rewrite_set_op a, rewrite_set_op b with
+              | Some a', Some b' -> Some (Union (a', b', all))
+              | _ -> None)
+          in
+          let q = view.Db.query in
+          if q.order_by <> [] || q.limit <> None then None
+          else
+            match rewrite_set_op q.body with
+            | None -> None
+            | Some body ->
+              let fq =
+                compile_query ctx [] { body; order_by = []; limit = None }
+              in
+              Some
+                (fun (env : env) ->
+                  (fq { env with rows = [] }).rel_rows)))))
+
+and compile_aggregate ctx scopes sel cols produce filter =
+  let group_fns = List.map (compile_expr ctx scopes) sel.group_by in
+  let eval_aggregate env group_rows e =
+    (* evaluate [e] against a group: aggregate calls consume the group,
+       other column refs read the group's first row *)
+    let rep_env =
+      match group_rows with
+      | row :: _ -> { env with rows = row :: env.rows }
+      | [] -> { env with rows = Array.make 0 Value.Null :: env.rows }
+    in
+    let rec eval e =
+      match e with
+      | Fun ("COUNT", [ Const (Value.Text "*") ]) ->
+        Value.Int (List.length group_rows)
+      | Fun ("COUNT", [ arg ]) ->
+        let f = compile_expr ctx scopes arg in
+        let n =
+          List.fold_left
+            (fun acc row ->
+              let v = f { env with rows = row :: env.rows } in
+              if Value.is_null v then acc else acc + 1)
+            0 group_rows
+        in
+        Value.Int n
+      | Fun (("SUM" | "AVG" | "MIN" | "MAX") as name, [ arg ]) ->
+        let f = compile_expr ctx scopes arg in
+        let vals =
+          List.filter_map
+            (fun row ->
+              let v = f { env with rows = row :: env.rows } in
+              if Value.is_null v then None else Some v)
+            group_rows
+        in
+        (match vals, name with
+        | [], _ -> Value.Null
+        | _, "SUM" ->
+          List.fold_left (fun acc v -> numeric_binop Add acc v) (Value.Int 0) vals
+        | _, "AVG" ->
+          let sum =
+            List.fold_left
+              (fun acc v -> acc +. Value.as_float v)
+              0.0 vals
+          in
+          Value.Real (sum /. float_of_int (List.length vals))
+        | v0 :: rest, "MIN" ->
+          List.fold_left
+            (fun acc v -> if Value.compare_exn v acc < 0 then v else acc)
+            v0 rest
+        | v0 :: rest, "MAX" ->
+          List.fold_left
+            (fun acc v -> if Value.compare_exn v acc > 0 then v else acc)
+            v0 rest
+        | _ -> assert false)
+      | Binop (op, a, b) -> (
+        match op with
+        | And | Or ->
+          (compile_expr ctx scopes e) rep_env (* no aggregates below *)
+        | Add | Sub | Mul | Div | Mod -> numeric_binop op (eval a) (eval b)
+        | Concat -> concat_values (eval a) (eval b)
+        | Eq | Neq | Lt | Le | Gt | Ge -> comparison_binop op (eval a) (eval b))
+      | Unop (Neg, a) -> numeric_binop Sub (Value.Int 0) (eval a)
+      | _ when has_aggregate e ->
+        error "unsupported aggregate expression shape"
+      | _ -> (compile_expr ctx scopes e) rep_env
+    in
+    eval e
+  in
+  let item_exprs =
+    List.map
+      (function
+        | Sel_expr (e, _) -> e
+        | Star | Qualified_star _ -> error "star select with aggregation")
+      sel.items
+  in
+  fun env ->
+    let rows = filter env (produce env) in
+    let groups : (Value.t list, Value.t array list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    if group_fns = [] then begin
+      Hashtbl.replace groups [] (List.rev rows);
+      order := [ [] ]
+    end
+    else
+      List.iter
+        (fun row ->
+          let env' = { env with rows = row :: env.rows } in
+          let key = List.map (fun f -> f env') group_fns in
+          if not (Hashtbl.mem groups key) then order := key :: !order;
+          Hashtbl.replace groups key
+            (row :: Option.value (Hashtbl.find_opt groups key) ~default:[]))
+        rows;
+    let fhaving = sel.having in
+    let out =
+      List.rev !order
+      |> List.filter_map (fun key ->
+             let group_rows = List.rev (Hashtbl.find groups key) in
+             let keep =
+               match fhaving with
+               | None -> true
+               | Some h -> (
+                 match eval_aggregate env group_rows h with
+                 | Value.Bool true -> true
+                 | _ -> false)
+             in
+             if not keep then None
+             else
+               Some
+                 (Array.of_list
+                    (List.map (eval_aggregate env group_rows) item_exprs)))
+    in
+    { rel_cols = cols; rel_rows = out }
+
+(* --- queries ---------------------------------------------------------------- *)
+
+and compile_query ctx outer_scopes q : env -> relation =
+  let rec of_set_op = function
+    | Select sel -> compile_select ctx outer_scopes sel
+    | Union (a, b, all) ->
+      let fa = of_set_op a and fb = of_set_op b in
+      fun env ->
+        let ra = fa env and rb = fb env in
+        let rows = ra.rel_rows @ rb.rel_rows in
+        let rows = if all then rows else dedupe rows in
+        { rel_cols = ra.rel_cols; rel_rows = rows }
+  in
+  let fbody = of_set_op q.body in
+  let cols = query_columns ctx q in
+  let forder =
+    List.map
+      (fun { key; descending } ->
+        let scope = scope_of_cols cols in
+        (compile_expr ctx (scope :: outer_scopes) key, descending))
+      q.order_by
+  in
+  fun env ->
+    let rel = fbody env in
+    let rows =
+      if forder = [] then rel.rel_rows
+      else begin
+        let cmp r1 r2 =
+          let rec go = function
+            | [] -> 0
+            | (f, desc) :: rest ->
+              let v1 = f { env with rows = r1 :: env.rows } in
+              let v2 = f { env with rows = r2 :: env.rows } in
+              let c =
+                match Value.is_null v1, Value.is_null v2 with
+                | true, true -> 0
+                | true, false -> -1
+                | false, true -> 1
+                | false, false -> Value.compare_exn v1 v2
+              in
+              if c <> 0 then if desc then -c else c else go rest
+          in
+          go forder
+        in
+        List.stable_sort cmp rel.rel_rows
+      end
+    in
+    let rows =
+      match q.limit with
+      | None -> rows
+      | Some n ->
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: rest -> x :: take (k - 1) rest
+        in
+        take n rows
+    in
+    { rel_cols = rel.rel_cols; rel_rows = rows }
+
+(* --- statements --------------------------------------------------------------- *)
+
+let max_trigger_depth = 128
+
+let view_columns ctx (q : query) explicit =
+  match explicit with Some cols -> cols | None -> query_columns ctx q
+
+let eval_query db ?(params = no_params) q =
+  let ctx = fresh_ctx db in
+  let f = compile_query ctx [] q in
+  f { ctx; rows = []; params }
+
+let rec exec_statement db ?(params = no_params) stmt : result =
+  let top_level = db.Db.trigger_depth = 0 in
+  let mark = db.Db.undo in
+  db.Db.statements_executed <- db.Db.statements_executed + 1;
+  let run () =
+    match stmt with
+    | Query q -> Rows (relation_of_query db params q)
+    | Create_table { name; if_not_exists; cols } ->
+      let schema =
+        Schema.make
+          (List.map (fun c -> Schema.column c.col_name c.col_ty) cols)
+      in
+      let pk =
+        let rec find i = function
+          | [] -> None
+          | c :: _ when c.primary_key -> Some i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 cols
+      in
+      Db.create_table db ~name ~schema ~pk ~if_not_exists;
+      Done
+    | Drop_table { name; if_exists } ->
+      Db.drop_table db ~name ~if_exists;
+      Done
+    | Create_view { name; or_replace; query } ->
+      let ctx = fresh_ctx db in
+      let cols = view_columns ctx query None in
+      Db.create_view db ~name ~query ~cols ~or_replace;
+      Done
+    | Drop_view { name; if_exists } ->
+      Db.drop_view db ~name ~if_exists;
+      Done
+    | Create_index { name = _; table; column } ->
+      Table.add_index (Db.find_table db table) column;
+      Done
+    | Create_trigger { name; event; table; instead_of; body } ->
+      Db.create_trigger db ~name ~event ~target:table ~instead_of ~body;
+      Done
+    | Drop_trigger { name; if_exists } ->
+      Db.drop_trigger db ~name ~if_exists;
+      Done
+    | Insert { table; columns; source } -> exec_insert db params table columns source
+    | Update { table; sets; where } -> exec_update db params table sets where
+    | Delete { table; where } -> exec_delete db params table where
+    | Set_new (col, e) ->
+      let ctx = fresh_ctx db in
+      let f = compile_expr ctx [] e in
+      Hashtbl.replace params ("NEW." ^ col) (f { ctx; rows = []; params });
+      Done
+    | Begin_txn ->
+      if db.Db.in_txn then error "nested transactions are not supported";
+      db.Db.in_txn <- true;
+      db.Db.undo <- [];
+      Done
+    | Commit ->
+      db.Db.in_txn <- false;
+      db.Db.undo <- [];
+      Done
+    | Rollback ->
+      Db.rollback_to db [];
+      db.Db.in_txn <- false;
+      Done
+  in
+  match run () with
+  | result ->
+    if top_level && not db.Db.in_txn then db.Db.undo <- [];
+    result
+  | exception exn ->
+    if top_level then Db.rollback_to db mark;
+    raise exn
+
+and relation_of_query db params q =
+  let ctx = fresh_ctx db in
+  let f = compile_query ctx [] q in
+  f { ctx; rows = []; params }
+
+and run_trigger db trig ~new_row ~old_row cols =
+  db.Db.trigger_depth <- db.Db.trigger_depth + 1;
+  if db.Db.trigger_depth > max_trigger_depth then begin
+    db.Db.trigger_depth <- db.Db.trigger_depth - 1;
+    error "trigger cascade exceeded depth %d (cycle in delta code?)"
+      max_trigger_depth
+  end;
+  let params = Hashtbl.create 16 in
+  let bind prefix row =
+    match row with
+    | None -> ()
+    | Some values ->
+      List.iteri
+        (fun i col ->
+          Hashtbl.replace params
+            (prefix ^ "." ^ String.lowercase_ascii col)
+            values.(i))
+        cols
+  in
+  bind "NEW" new_row;
+  bind "OLD" old_row;
+  Fun.protect
+    ~finally:(fun () -> db.Db.trigger_depth <- db.Db.trigger_depth - 1)
+    (fun () ->
+      List.iter
+        (fun stmt -> ignore (exec_statement db ~params stmt))
+        trig.Db.body)
+
+and exec_insert db params table columns source =
+  let rows_of_source cols_expected =
+    match source with
+    | Values rows ->
+      let ctx = fresh_ctx db in
+      List.map
+        (fun exprs ->
+          if List.length exprs <> cols_expected then
+            error "INSERT expects %d values per row" cols_expected;
+          Array.of_list
+            (List.map
+               (fun e ->
+                 (compile_expr ctx [] e) { ctx; rows = []; params })
+               exprs))
+        rows
+    | Insert_query q ->
+      let rel = relation_of_query db params q in
+      List.iter
+        (fun row ->
+          if Array.length row <> cols_expected then
+            error "INSERT query returns %d columns, expected %d"
+              (Array.length row) cols_expected)
+        rel.rel_rows;
+      rel.rel_rows
+  in
+  match Db.find_object db table with
+  | Some (Db.Obj_table tbl) ->
+    let schema_cols = Schema.names tbl.Table.schema in
+    let positions =
+      match columns with
+      | None -> List.mapi (fun i _ -> i) schema_cols
+      | Some cols -> List.map (Schema.index tbl.Table.schema) cols
+    in
+    let incoming = rows_of_source (List.length positions) in
+    let n = Schema.arity tbl.Table.schema in
+    List.iter
+      (fun src ->
+        let row = Array.make n Value.Null in
+        List.iteri (fun i pos -> row.(pos) <- src.(i)) positions;
+        ignore (Db.logged_insert db tbl row))
+      incoming;
+    Affected (List.length incoming)
+  | Some (Db.Obj_view v) -> (
+    match Db.trigger_for db ~target:table ~event:On_insert with
+    | None -> error "cannot insert into view %s (no INSTEAD OF trigger)" table
+    | Some trig ->
+      let view_cols = v.Db.view_cols in
+      let positions =
+        match columns with
+        | None -> List.mapi (fun i _ -> i) view_cols
+        | Some cols ->
+          List.map
+            (fun c ->
+              let lc = String.lowercase_ascii c in
+              match
+                List.find_index
+                  (fun vc -> String.lowercase_ascii vc = lc)
+                  view_cols
+              with
+              | Some i -> i
+              | None -> error "view %s has no column %s" table c)
+            cols
+      in
+      let incoming = rows_of_source (List.length positions) in
+      let n = List.length view_cols in
+      List.iter
+        (fun src ->
+          let row = Array.make n Value.Null in
+          List.iteri (fun i pos -> row.(pos) <- src.(i)) positions;
+          run_trigger db trig ~new_row:(Some row) ~old_row:None view_cols)
+        incoming;
+      Affected (List.length incoming))
+  | None -> error "no such table or view %s" table
+
+and affected_table_rows db params tbl where =
+  (* (rowid, row) pairs satisfying [where], using the pk/secondary index when
+     the predicate pins an indexed column to a row-independent value *)
+  let ctx = fresh_ctx db in
+  let scope = scope_of_cols ~alias:tbl.Table.name (Schema.names tbl.Table.schema) in
+  let scopes = [ scope ] in
+  let candidates =
+    match where with
+    | None -> Table.to_rows tbl
+    | Some w -> (
+      let usable =
+        List.find_map
+          (fun c ->
+            match c with
+            | Binop (Eq, Col (q, n), e) | Binop (Eq, e, Col (q, n)) -> (
+              match resolve_column scopes q n with
+              | 0, pos when not (references_depth scopes 0 e) -> (
+                let name = snd scope.entries.(pos) in
+                match Table.indexed_column tbl name with
+                | Some idx -> Some (idx, e)
+                | None -> None)
+              | _ -> None
+              | exception _ -> None)
+            | _ -> None)
+          (conjuncts w)
+      in
+      match usable with
+      | Some (idx, key_expr) ->
+        let f = compile_expr ctx [] key_expr in
+        let v = f { ctx; rows = []; params } in
+        if Value.is_null v then []
+        else
+          List.filter_map
+            (fun rowid ->
+              Option.map (fun row -> (rowid, row)) (Table.find tbl rowid))
+            (Table.index_lookup idx v)
+      | None -> Table.to_rows tbl)
+  in
+  match where with
+  | None -> candidates
+  | Some w ->
+    let f = compile_expr ctx scopes w in
+    List.filter
+      (fun (_, row) ->
+        bool3 (f { ctx; rows = [ row ]; params }) = Some true)
+      candidates
+
+and exec_update db params table sets where =
+  match Db.find_object db table with
+  | Some (Db.Obj_table tbl) ->
+    let ctx = fresh_ctx db in
+    let scope =
+      scope_of_cols ~alias:tbl.Table.name (Schema.names tbl.Table.schema)
+    in
+    let affected = affected_table_rows db params tbl where in
+    let fsets =
+      List.map
+        (fun (col, e) ->
+          (Schema.index tbl.Table.schema col, compile_expr ctx [ scope ] e))
+        sets
+    in
+    List.iter
+      (fun (rowid, old_row) ->
+        let new_row = Array.copy old_row in
+        List.iter
+          (fun (pos, f) ->
+            new_row.(pos) <- f { ctx; rows = [ old_row ]; params })
+          fsets;
+        ignore (Db.logged_update db tbl rowid new_row))
+      affected;
+    Affected (List.length affected)
+  | Some (Db.Obj_view v) -> (
+    match Db.trigger_for db ~target:table ~event:On_update with
+    | None -> error "cannot update view %s (no INSTEAD OF trigger)" table
+    | Some trig ->
+      let cols = v.Db.view_cols in
+      let affected = affected_view_rows db params table cols where in
+      let ctx = fresh_ctx db in
+      let scope = scope_of_cols ~alias:table cols in
+      let fsets =
+        List.map
+          (fun (col, e) ->
+            let lc = String.lowercase_ascii col in
+            let pos =
+              match
+                List.find_index (fun c -> String.lowercase_ascii c = lc) cols
+              with
+              | Some i -> i
+              | None -> error "view %s has no column %s" table col
+            in
+            (pos, compile_expr ctx [ scope ] e))
+          sets
+      in
+      List.iter
+        (fun old_row ->
+          let new_row = Array.copy old_row in
+          List.iter
+            (fun (pos, f) ->
+              new_row.(pos) <- f { ctx; rows = [ old_row ]; params })
+            fsets;
+          run_trigger db trig ~new_row:(Some new_row) ~old_row:(Some old_row)
+            cols)
+        affected;
+      Affected (List.length affected))
+  | None -> error "no such table or view %s" table
+
+and affected_view_rows db params view cols where =
+  (* evaluated as a real select so the view pushdown applies: point updates
+     and deletes through deep view chains stay keyed lookups *)
+  ignore cols;
+  let ctx = fresh_ctx db in
+  let sel =
+    {
+      distinct = false;
+      items = [ Star ];
+      from = Some (From_table (view, None));
+      where;
+      group_by = [];
+      having = None;
+    }
+  in
+  let f = compile_select ctx [] sel in
+  (f { ctx; rows = []; params }).rel_rows
+
+and exec_delete db params table where =
+  match Db.find_object db table with
+  | Some (Db.Obj_table tbl) ->
+    let affected = affected_table_rows db params tbl where in
+    List.iter (fun (rowid, _) -> ignore (Db.logged_delete db tbl rowid)) affected;
+    Affected (List.length affected)
+  | Some (Db.Obj_view v) -> (
+    match Db.trigger_for db ~target:table ~event:On_delete with
+    | None -> error "cannot delete from view %s (no INSTEAD OF trigger)" table
+    | Some trig ->
+      let cols = v.Db.view_cols in
+      let affected = affected_view_rows db params table cols where in
+      List.iter
+        (fun old_row ->
+          run_trigger db trig ~new_row:None ~old_row:(Some old_row) cols)
+        affected;
+      Affected (List.length affected))
+  | None -> error "no such table or view %s" table

@@ -1,0 +1,48 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t = { columns : column list }
+
+exception Schema_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+let make columns =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let key = String.lowercase_ascii c.name in
+      if Hashtbl.mem seen key then error "duplicate column %s" c.name;
+      Hashtbl.add seen key ())
+    columns;
+  { columns }
+
+let column name ty = { name; ty }
+
+let names t = List.map (fun c -> c.name) t.columns
+
+let arity t = List.length t.columns
+
+let mem t name =
+  List.exists
+    (fun c -> String.lowercase_ascii c.name = String.lowercase_ascii name)
+    t.columns
+
+(** Position of [name] in the schema, case-insensitively. *)
+let index t name =
+  let lname = String.lowercase_ascii name in
+  let rec go i = function
+    | [] -> error "no such column %s" name
+    | c :: _ when String.lowercase_ascii c.name = lname -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let find t name = List.nth t.columns (index t name)
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf c ->
+         Fmt.pf ppf "%s %s" c.name (Value.ty_name c.ty)))
+    t.columns

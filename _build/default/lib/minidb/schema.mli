@@ -1,0 +1,26 @@
+(** Table schemas: ordered, named, typed columns. Column names are compared
+    case-insensitively throughout the engine. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t = { columns : column list }
+
+exception Schema_error of string
+
+val make : column list -> t
+(** Raises {!Schema_error} on duplicate column names. *)
+
+val column : string -> Value.ty -> column
+
+val names : t -> string list
+
+val arity : t -> int
+
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** Position of a column; raises {!Schema_error} if absent. *)
+
+val find : t -> string -> column
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+(** Abstract syntax of the SQL subset understood by the engine.
+
+    The subset is exactly what InVerDa's generated delta code plus the
+    hand-written baselines and workloads require: single-table DML, views,
+    INSTEAD OF row triggers, inner/left joins, UNION [ALL], EXISTS /
+    NOT EXISTS / IN subqueries, aggregates with GROUP BY, ORDER BY / LIMIT. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Const of Value.t
+  | Col of string option * string  (** [qualifier.]name *)
+  | Param of string  (** NEW.x / OLD.x inside trigger bodies *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Is_null of expr * bool  (** [Is_null (e, negated)] *)
+  | Fun of string * expr list
+  | Case of (expr * expr) list * expr option
+  | Exists of query * bool  (** [Exists (q, negated)] *)
+  | In_query of expr * query * bool  (** [In_query (e, q, negated)] *)
+  | In_list of expr * expr list * bool
+  | Scalar of query  (** scalar subquery *)
+
+and sel_item =
+  | Star
+  | Qualified_star of string
+  | Sel_expr of expr * string option
+
+and order_item = { key : expr; descending : bool }
+
+and select = {
+  distinct : bool;
+  items : sel_item list;
+  from : from option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and from =
+  | From_table of string * string option  (** name, alias *)
+  | From_select of query * string
+  | From_join of from * join_kind * from * expr option
+
+and join_kind = Inner | Left_outer
+
+and query = {
+  body : set_op;
+  order_by : order_item list;
+  limit : int option;
+}
+
+and set_op =
+  | Select of select
+  | Union of set_op * set_op * bool  (** [Union (a, b, all)] *)
+
+type column_def = { col_name : string; col_ty : Value.ty; primary_key : bool }
+
+type trigger_event = On_insert | On_update | On_delete
+
+type statement =
+  | Create_table of { name : string; if_not_exists : bool; cols : column_def list }
+  | Drop_table of { name : string; if_exists : bool }
+  | Create_view of { name : string; or_replace : bool; query : query }
+  | Drop_view of { name : string; if_exists : bool }
+  | Create_index of { name : string; table : string; column : string }
+  | Create_trigger of {
+      name : string;
+      event : trigger_event;
+      table : string;  (** view or table the trigger is attached to *)
+      instead_of : bool;
+      body : statement list;
+    }
+  | Drop_trigger of { name : string; if_exists : bool }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Query of query
+  | Set_new of string * expr  (** trigger-body only: SET NEW.col = expr *)
+  | Begin_txn
+  | Commit
+  | Rollback
+
+and insert_source = Values of expr list list | Insert_query of query
+
+let select_query sel = { body = Select sel; order_by = []; limit = None }
+
+let simple_select ?(distinct = false) ?from ?where items =
+  { distinct; items; from; where; group_by = []; having = None }

@@ -1,0 +1,662 @@
+(** Recursive-descent parser for the SQL subset. *)
+
+open Sql_ast
+module C = Sql_lexer.Cursor
+
+exception Parse_error = C.Parse_error
+
+let perror = C.perror
+
+(* Keywords that cannot start a FROM-item alias or continue an expression;
+   used to decide whether a bare identifier is an implicit alias. *)
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "UNION";
+    "JOIN"; "LEFT"; "INNER"; "OUTER"; "ON"; "AND"; "OR"; "NOT"; "AS"; "SET";
+    "VALUES"; "INSERT"; "UPDATE"; "DELETE"; "CREATE"; "DROP"; "BEGIN"; "END";
+    "COMMIT"; "ROLLBACK"; "INTO"; "DISTINCT"; "EXISTS"; "IN"; "IS"; "NULL";
+    "CASE"; "WHEN"; "THEN"; "ELSE"; "TRUE"; "FALSE"; "ASC"; "DESC"; "BY";
+    "ALL"; "TRIGGER"; "VIEW"; "TABLE"; "INDEX"; "INSTEAD"; "OF"; "FOR";
+    "EACH"; "ROW"; "REFERENCING"; "NEW"; "OLD"; "IF"; "PRIMARY"; "KEY";
+    "REPLACE" ]
+
+let is_reserved s = List.mem (String.uppercase_ascii s) reserved
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let lhs = parse_and c in
+  if C.accept_kw c "OR" then Binop (Or, lhs, parse_or c) else lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  if C.accept_kw c "AND" then Binop (And, lhs, parse_and c) else lhs
+
+and parse_not c =
+  if C.is_kw c "NOT" && not (C.is_kw2 c "EXISTS") then begin
+    C.advance c;
+    Unop (Not, parse_not c)
+  end
+  else parse_comparison c
+
+and parse_comparison c =
+  let lhs = parse_additive c in
+  match C.peek c with
+  | Sql_lexer.EQ ->
+    C.advance c;
+    Binop (Eq, lhs, parse_additive c)
+  | Sql_lexer.NEQ ->
+    C.advance c;
+    Binop (Neq, lhs, parse_additive c)
+  | Sql_lexer.LT ->
+    C.advance c;
+    Binop (Lt, lhs, parse_additive c)
+  | Sql_lexer.LE ->
+    C.advance c;
+    Binop (Le, lhs, parse_additive c)
+  | Sql_lexer.GT ->
+    C.advance c;
+    Binop (Gt, lhs, parse_additive c)
+  | Sql_lexer.GE ->
+    C.advance c;
+    Binop (Ge, lhs, parse_additive c)
+  | Sql_lexer.IDENT s when String.uppercase_ascii s = "IS" ->
+    C.advance c;
+    let negated = C.accept_kw c "NOT" in
+    C.expect_kw c "NULL";
+    Is_null (lhs, negated)
+  | Sql_lexer.IDENT s
+    when String.uppercase_ascii s = "IN"
+         || (String.uppercase_ascii s = "NOT" && C.is_kw2 c "IN") ->
+    let negated = C.accept_kw c "NOT" in
+    C.expect_kw c "IN";
+    C.expect c Sql_lexer.LPAREN;
+    let result =
+      if C.is_kw c "SELECT" then begin
+        let q = parse_query c in
+        In_query (lhs, q, negated)
+      end
+      else begin
+        let rec items acc =
+          let e = parse_expr c in
+          if C.peek c = Sql_lexer.COMMA then begin
+            C.advance c;
+            items (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        In_list (lhs, items [], negated)
+      end
+    in
+    C.expect c Sql_lexer.RPAREN;
+    result
+  | _ -> lhs
+
+and parse_additive c =
+  let rec go lhs =
+    match C.peek c with
+    | Sql_lexer.PLUS ->
+      C.advance c;
+      go (Binop (Add, lhs, parse_multiplicative c))
+    | Sql_lexer.MINUS ->
+      C.advance c;
+      go (Binop (Sub, lhs, parse_multiplicative c))
+    | Sql_lexer.CONCAT ->
+      C.advance c;
+      go (Binop (Concat, lhs, parse_multiplicative c))
+    | _ -> lhs
+  in
+  go (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec go lhs =
+    match C.peek c with
+    | Sql_lexer.STAR ->
+      C.advance c;
+      go (Binop (Mul, lhs, parse_unary c))
+    | Sql_lexer.SLASH ->
+      C.advance c;
+      go (Binop (Div, lhs, parse_unary c))
+    | Sql_lexer.PERCENT ->
+      C.advance c;
+      go (Binop (Mod, lhs, parse_unary c))
+    | _ -> lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c =
+  match C.peek c with
+  | Sql_lexer.MINUS ->
+    C.advance c;
+    Unop (Neg, parse_unary c)
+  | _ -> parse_primary c
+
+and parse_primary c =
+  match C.peek c with
+  | Sql_lexer.INT i ->
+    C.advance c;
+    Const (Value.Int i)
+  | Sql_lexer.FLOAT f ->
+    C.advance c;
+    Const (Value.Real f)
+  | Sql_lexer.STRING s ->
+    C.advance c;
+    Const (Value.Text s)
+  | Sql_lexer.LPAREN ->
+    C.advance c;
+    let e =
+      if C.is_kw c "SELECT" then Scalar (parse_query c) else parse_expr c
+    in
+    C.expect c Sql_lexer.RPAREN;
+    e
+  | Sql_lexer.IDENT s -> parse_ident_expr c s
+  | tok -> perror "unexpected token %s in expression" (Sql_lexer.token_to_string tok)
+
+and parse_ident_expr c s =
+  let up = String.uppercase_ascii s in
+  match up with
+  | "NULL" ->
+    C.advance c;
+    Const Value.Null
+  | "TRUE" ->
+    C.advance c;
+    Const (Value.Bool true)
+  | "FALSE" ->
+    C.advance c;
+    Const (Value.Bool false)
+  | "NOT" when C.is_kw2 c "EXISTS" ->
+    C.advance c;
+    C.advance c;
+    C.expect c Sql_lexer.LPAREN;
+    let q = parse_query c in
+    C.expect c Sql_lexer.RPAREN;
+    Exists (q, true)
+  | "EXISTS" ->
+    C.advance c;
+    C.expect c Sql_lexer.LPAREN;
+    let q = parse_query c in
+    C.expect c Sql_lexer.RPAREN;
+    Exists (q, false)
+  | "CASE" ->
+    C.advance c;
+    let rec arms acc =
+      if C.accept_kw c "WHEN" then begin
+        let cond = parse_expr c in
+        C.expect_kw c "THEN";
+        let v = parse_expr c in
+        arms ((cond, v) :: acc)
+      end
+      else List.rev acc
+    in
+    let arms = arms [] in
+    let default = if C.accept_kw c "ELSE" then Some (parse_expr c) else None in
+    C.expect_kw c "END";
+    Case (arms, default)
+  | "NEW" | "OLD" when C.peek2 c = Sql_lexer.DOT ->
+    C.advance c;
+    C.advance c;
+    let col = C.ident c in
+    Param (String.uppercase_ascii up ^ "." ^ String.lowercase_ascii col)
+  | _ -> (
+    if is_reserved s then
+      perror "reserved word %s cannot be used as a bare identifier" s;
+    C.advance c;
+    match C.peek c with
+    | Sql_lexer.LPAREN ->
+      C.advance c;
+      (* COUNT ( * ) and friends *)
+      if C.peek c = Sql_lexer.STAR then begin
+        C.advance c;
+        C.expect c Sql_lexer.RPAREN;
+        Fun (up, [ Const (Value.Text "*") ])
+      end
+      else if C.peek c = Sql_lexer.RPAREN then begin
+        C.advance c;
+        Fun (up, [])
+      end
+      else begin
+        let rec args acc =
+          let e = parse_expr c in
+          if C.peek c = Sql_lexer.COMMA then begin
+            C.advance c;
+            args (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        let args = args [] in
+        C.expect c Sql_lexer.RPAREN;
+        Fun (up, args)
+      end
+    | Sql_lexer.DOT ->
+      C.advance c;
+      if C.peek c = Sql_lexer.STAR then
+        perror "qualified star is only valid in a select list"
+      else Col (Some s, C.ident c)
+    | _ -> Col (None, s))
+
+(* --- queries ----------------------------------------------------------- *)
+
+and parse_query c =
+  let first = parse_set_op_atom c in
+  let rec unions lhs =
+    if C.is_kw c "UNION" then begin
+      C.advance c;
+      let all = C.accept_kw c "ALL" in
+      let rhs = parse_set_op_atom c in
+      unions (Union (lhs, rhs, all))
+    end
+    else lhs
+  in
+  let body = unions first in
+  let order_by =
+    if C.is_kw c "ORDER" then begin
+      C.advance c;
+      C.expect_kw c "BY";
+      let rec keys acc =
+        let e = parse_expr c in
+        let descending =
+          if C.accept_kw c "DESC" then true
+          else begin
+            ignore (C.accept_kw c "ASC");
+            false
+          end
+        in
+        let item = { key = e; descending } in
+        if C.peek c = Sql_lexer.COMMA then begin
+          C.advance c;
+          keys (item :: acc)
+        end
+        else List.rev (item :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if C.accept_kw c "LIMIT" then
+      match C.next c with
+      | Sql_lexer.INT i -> Some i
+      | tok -> perror "expected integer after LIMIT, found %s" (Sql_lexer.token_to_string tok)
+    else None
+  in
+  { body; order_by; limit }
+
+and parse_set_op_atom c =
+  if C.peek c = Sql_lexer.LPAREN then begin
+    C.advance c;
+    let q = parse_query c in
+    C.expect c Sql_lexer.RPAREN;
+    if q.order_by <> [] || q.limit <> None then
+      perror "ORDER BY/LIMIT not supported inside parenthesised set operand";
+    q.body
+  end
+  else Select (parse_select c)
+
+and parse_select c =
+  C.expect_kw c "SELECT";
+  let distinct = C.accept_kw c "DISTINCT" in
+  let rec items acc =
+    let item =
+      if C.peek c = Sql_lexer.STAR then begin
+        C.advance c;
+        Star
+      end
+      else
+        match C.peek c, C.peek2 c with
+        | Sql_lexer.IDENT q, Sql_lexer.DOT when not (is_reserved q) -> (
+          (* lookahead for "alias.*" *)
+          match c.C.toks with
+          | _ :: _ :: Sql_lexer.STAR :: rest ->
+            c.C.toks <- rest;
+            Qualified_star q
+          | _ ->
+            let e = parse_expr c in
+            let alias = parse_alias c in
+            Sel_expr (e, alias))
+        | _ ->
+          let e = parse_expr c in
+          let alias = parse_alias c in
+          Sel_expr (e, alias)
+    in
+    if C.peek c = Sql_lexer.COMMA then begin
+      C.advance c;
+      items (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  let items = items [] in
+  let from = if C.accept_kw c "FROM" then Some (parse_from c) else None in
+  let where = if C.accept_kw c "WHERE" then Some (parse_expr c) else None in
+  let group_by =
+    if C.is_kw c "GROUP" then begin
+      C.advance c;
+      C.expect_kw c "BY";
+      let rec keys acc =
+        let e = parse_expr c in
+        if C.peek c = Sql_lexer.COMMA then begin
+          C.advance c;
+          keys (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let having = if C.accept_kw c "HAVING" then Some (parse_expr c) else None in
+  { distinct; items; from; where; group_by; having }
+
+and parse_alias c =
+  if C.accept_kw c "AS" then Some (C.ident c)
+  else
+    match C.peek c with
+    | Sql_lexer.IDENT s when not (is_reserved s) ->
+      C.advance c;
+      Some s
+    | _ -> None
+
+and parse_table_name c =
+  let first = C.ident c in
+  if C.peek c = Sql_lexer.DOT then begin
+    C.advance c;
+    let second = C.ident c in
+    first ^ "." ^ second
+  end
+  else first
+
+and parse_from c =
+  let rec joins lhs =
+    if C.is_kw c "JOIN" || C.is_kw c "INNER" then begin
+      ignore (C.accept_kw c "INNER");
+      C.expect_kw c "JOIN";
+      let rhs = parse_from_atom c in
+      C.expect_kw c "ON";
+      let cond = parse_expr c in
+      joins (From_join (lhs, Inner, rhs, Some cond))
+    end
+    else if C.is_kw c "LEFT" then begin
+      C.advance c;
+      ignore (C.accept_kw c "OUTER");
+      C.expect_kw c "JOIN";
+      let rhs = parse_from_atom c in
+      C.expect_kw c "ON";
+      let cond = parse_expr c in
+      joins (From_join (lhs, Left_outer, rhs, Some cond))
+    end
+    else if C.peek c = Sql_lexer.COMMA then begin
+      C.advance c;
+      let rhs = parse_from_atom c in
+      joins (From_join (lhs, Inner, rhs, None))
+    end
+    else lhs
+  in
+  joins (parse_from_atom c)
+
+and parse_from_atom c =
+  if C.peek c = Sql_lexer.LPAREN then begin
+    C.advance c;
+    let q = parse_query c in
+    C.expect c Sql_lexer.RPAREN;
+    let alias =
+      match parse_alias c with
+      | Some a -> a
+      | None -> perror "subquery in FROM requires an alias"
+    in
+    From_select (q, alias)
+  end
+  else begin
+    let name = parse_table_name c in
+    let alias = parse_alias c in
+    From_table (name, alias)
+  end
+
+(* --- statements -------------------------------------------------------- *)
+
+let rec parse_statement c =
+  if C.is_kw c "SELECT" || C.peek c = Sql_lexer.LPAREN then
+    Query (parse_query c)
+  else if C.is_kw c "INSERT" then parse_insert c
+  else if C.is_kw c "UPDATE" then parse_update c
+  else if C.is_kw c "DELETE" then parse_delete c
+  else if C.is_kw c "CREATE" then parse_create c
+  else if C.is_kw c "DROP" then parse_drop c
+  else if C.is_kw c "SET" then begin
+    C.advance c;
+    C.expect_kw c "NEW";
+    C.expect c Sql_lexer.DOT;
+    let col = C.ident c in
+    C.expect c Sql_lexer.EQ;
+    Set_new (String.lowercase_ascii col, parse_expr c)
+  end
+  else if C.accept_kw c "BEGIN" then Begin_txn
+  else if C.accept_kw c "COMMIT" then Commit
+  else if C.accept_kw c "ROLLBACK" then Rollback
+  else perror "unexpected token %s at start of statement" (Sql_lexer.token_to_string (C.peek c))
+
+and parse_insert c =
+  C.expect_kw c "INSERT";
+  C.expect_kw c "INTO";
+  let table = parse_table_name c in
+  let columns =
+    if C.peek c = Sql_lexer.LPAREN && not (C.is_kw2 c "SELECT") then begin
+      C.advance c;
+      let rec cols acc =
+        let name = C.ident c in
+        if C.peek c = Sql_lexer.COMMA then begin
+          C.advance c;
+          cols (name :: acc)
+        end
+        else List.rev (name :: acc)
+      in
+      let cols = cols [] in
+      C.expect c Sql_lexer.RPAREN;
+      Some cols
+    end
+    else None
+  in
+  if C.accept_kw c "VALUES" then begin
+    let rec rows acc =
+      C.expect c Sql_lexer.LPAREN;
+      let rec exprs acc =
+        let e = parse_expr c in
+        if C.peek c = Sql_lexer.COMMA then begin
+          C.advance c;
+          exprs (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      let row = exprs [] in
+      C.expect c Sql_lexer.RPAREN;
+      if C.peek c = Sql_lexer.COMMA then begin
+        C.advance c;
+        rows (row :: acc)
+      end
+      else List.rev (row :: acc)
+    in
+    Insert { table; columns; source = Values (rows []) }
+  end
+  else Insert { table; columns; source = Insert_query (parse_query c) }
+
+and parse_update c =
+  C.expect_kw c "UPDATE";
+  let table = parse_table_name c in
+  C.expect_kw c "SET";
+  let rec sets acc =
+    let col = C.ident c in
+    C.expect c Sql_lexer.EQ;
+    let e = parse_expr c in
+    if C.peek c = Sql_lexer.COMMA then begin
+      C.advance c;
+      sets ((col, e) :: acc)
+    end
+    else List.rev ((col, e) :: acc)
+  in
+  let sets = sets [] in
+  let where = if C.accept_kw c "WHERE" then Some (parse_expr c) else None in
+  Update { table; sets; where }
+
+and parse_delete c =
+  C.expect_kw c "DELETE";
+  C.expect_kw c "FROM";
+  let table = parse_table_name c in
+  let where = if C.accept_kw c "WHERE" then Some (parse_expr c) else None in
+  Delete { table; where }
+
+and parse_create c =
+  C.expect_kw c "CREATE";
+  let or_replace =
+    if C.is_kw c "OR" then begin
+      C.advance c;
+      C.expect_kw c "REPLACE";
+      true
+    end
+    else false
+  in
+  if C.accept_kw c "TABLE" then begin
+    let if_not_exists =
+      if C.is_kw c "IF" then begin
+        C.advance c;
+        C.expect_kw c "NOT";
+        C.expect_kw c "EXISTS";
+        true
+      end
+      else false
+    in
+    let name = parse_table_name c in
+    C.expect c Sql_lexer.LPAREN;
+    let rec cols acc =
+      let col_name = C.ident c in
+      let ty_name = C.ident c in
+      let col_ty = Value.ty_of_string ty_name in
+      let primary_key =
+        if C.is_kw c "PRIMARY" then begin
+          C.advance c;
+          C.expect_kw c "KEY";
+          true
+        end
+        else false
+      in
+      let def = { col_name; col_ty; primary_key } in
+      if C.peek c = Sql_lexer.COMMA then begin
+        C.advance c;
+        cols (def :: acc)
+      end
+      else List.rev (def :: acc)
+    in
+    let cols = cols [] in
+    C.expect c Sql_lexer.RPAREN;
+    Create_table { name; if_not_exists; cols }
+  end
+  else if C.accept_kw c "VIEW" then begin
+    let name = parse_table_name c in
+    C.expect_kw c "AS";
+    Create_view { name; or_replace; query = parse_query c }
+  end
+  else if C.accept_kw c "INDEX" then begin
+    let name = C.ident c in
+    C.expect_kw c "ON";
+    let table = parse_table_name c in
+    C.expect c Sql_lexer.LPAREN;
+    let column = C.ident c in
+    C.expect c Sql_lexer.RPAREN;
+    Create_index { name; table; column }
+  end
+  else if C.accept_kw c "TRIGGER" then begin
+    let name = C.ident c in
+    let instead_of =
+      if C.is_kw c "INSTEAD" then begin
+        C.advance c;
+        C.expect_kw c "OF";
+        true
+      end
+      else begin
+        ignore (C.accept_kw c "AFTER");
+        false
+      end
+    in
+    let event =
+      if C.accept_kw c "INSERT" then On_insert
+      else if C.accept_kw c "UPDATE" then On_update
+      else if C.accept_kw c "DELETE" then On_delete
+      else perror "expected INSERT, UPDATE or DELETE in trigger definition"
+    in
+    C.expect_kw c "ON";
+    let table = parse_table_name c in
+    if C.is_kw c "FOR" then begin
+      C.advance c;
+      C.expect_kw c "EACH";
+      C.expect_kw c "ROW"
+    end;
+    C.expect_kw c "BEGIN";
+    let rec body acc =
+      if C.is_kw c "END" then begin
+        C.advance c;
+        List.rev acc
+      end
+      else begin
+        let stmt = parse_statement c in
+        (match C.peek c with Sql_lexer.SEMI -> C.advance c | _ -> ());
+        body (stmt :: acc)
+      end
+    in
+    Create_trigger { name; event; table; instead_of; body = body [] }
+  end
+  else perror "expected TABLE, VIEW, INDEX or TRIGGER after CREATE"
+
+and parse_drop c =
+  C.expect_kw c "DROP";
+  let kind =
+    if C.accept_kw c "TABLE" then `Table
+    else if C.accept_kw c "VIEW" then `View
+    else if C.accept_kw c "TRIGGER" then `Trigger
+    else perror "expected TABLE, VIEW or TRIGGER after DROP"
+  in
+  let if_exists =
+    if C.is_kw c "IF" then begin
+      C.advance c;
+      C.expect_kw c "EXISTS";
+      true
+    end
+    else false
+  in
+  let name = parse_table_name c in
+  match kind with
+  | `Table -> Drop_table { name; if_exists }
+  | `View -> Drop_view { name; if_exists }
+  | `Trigger -> Drop_trigger { name; if_exists }
+
+(** Parse a single statement; fails on trailing tokens (a trailing ';' is
+    allowed). *)
+let statement_of_string src =
+  let c = C.make (Sql_lexer.tokenize src) in
+  let stmt = parse_statement c in
+  (match C.peek c with Sql_lexer.SEMI -> C.advance c | _ -> ());
+  if not (C.at_end c) then
+    perror "trailing input after statement: %s" (Sql_lexer.token_to_string (C.peek c));
+  stmt
+
+(** Parse a ';'-separated script. *)
+let script_of_string src =
+  let c = C.make (Sql_lexer.tokenize src) in
+  let rec go acc =
+    if C.at_end c then List.rev acc
+    else if C.peek c = Sql_lexer.SEMI then begin
+      C.advance c;
+      go acc
+    end
+    else begin
+      let stmt = parse_statement c in
+      (match C.peek c with
+      | Sql_lexer.SEMI -> C.advance c
+      | Sql_lexer.EOF -> ()
+      | tok -> perror "expected ';' after statement, found %s" (Sql_lexer.token_to_string tok));
+      go (stmt :: acc)
+    end
+  in
+  go []
+
+let query_of_string src =
+  match statement_of_string src with
+  | Query q -> q
+  | _ -> perror "expected a query"

@@ -1,0 +1,203 @@
+(** Pretty-printer producing parseable SQL text from the AST. Used by the
+    delta-code generator (which builds ASTs and stores their text), the CLI,
+    and parse/print round-trip tests. *)
+
+open Sql_ast
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "||"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let needs_quotes name =
+  name = ""
+  || (not (Sql_lexer.is_ident_start name.[0]))
+  || String.exists (fun ch -> not (Sql_lexer.is_ident_char ch)) name
+  || Sql_parser.is_reserved name
+
+let pp_name ppf name =
+  (* qualified names keep their dot unquoted *)
+  match String.index_opt name '.' with
+  | Some i ->
+    let a = String.sub name 0 i in
+    let b = String.sub name (i + 1) (String.length name - i - 1) in
+    Fmt.pf ppf "%s.%s" a b
+  | None ->
+    if needs_quotes name then Fmt.pf ppf "%S" name else Fmt.string ppf name
+
+let rec pp_expr ppf = function
+  | Const v -> Fmt.string ppf (Value.to_literal v)
+  | Col (None, name) -> pp_name ppf name
+  | Col (Some q, name) -> Fmt.pf ppf "%a.%a" pp_name q pp_name name
+  | Param p -> Fmt.string ppf p
+  | Unop (Not, e) -> Fmt.pf ppf "NOT (%a)" pp_expr e
+  | Unop (Neg, e) -> Fmt.pf ppf "-(%a)" pp_expr e
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Is_null (e, false) -> Fmt.pf ppf "(%a IS NULL)" pp_expr e
+  | Is_null (e, true) -> Fmt.pf ppf "(%a IS NOT NULL)" pp_expr e
+  | Fun (name, [ Const (Value.Text "*") ]) when name = "COUNT" ->
+    Fmt.string ppf "COUNT(*)"
+  | Fun (name, args) ->
+    Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | Case (arms, default) ->
+    Fmt.pf ppf "CASE";
+    List.iter
+      (fun (cond, v) -> Fmt.pf ppf " WHEN %a THEN %a" pp_expr cond pp_expr v)
+      arms;
+    (match default with
+    | Some d -> Fmt.pf ppf " ELSE %a" pp_expr d
+    | None -> ());
+    Fmt.pf ppf " END"
+  | Exists (q, negated) ->
+    Fmt.pf ppf "%sEXISTS (%a)" (if negated then "NOT " else "") pp_query q
+  | In_query (e, q, negated) ->
+    Fmt.pf ppf "%a %sIN (%a)" pp_expr e (if negated then "NOT " else "") pp_query q
+  | In_list (e, items, negated) ->
+    Fmt.pf ppf "%a %sIN (%a)" pp_expr e
+      (if negated then "NOT " else "")
+      (Fmt.list ~sep:(Fmt.any ", ") pp_expr)
+      items
+  | Scalar q -> Fmt.pf ppf "(%a)" pp_query q
+
+and pp_sel_item ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Qualified_star q -> Fmt.pf ppf "%a.*" pp_name q
+  | Sel_expr (e, None) -> pp_expr ppf e
+  | Sel_expr (e, Some a) -> Fmt.pf ppf "%a AS %a" pp_expr e pp_name a
+
+and pp_from ppf = function
+  | From_table (name, None) -> pp_name ppf name
+  | From_table (name, Some a) -> Fmt.pf ppf "%a AS %a" pp_name name pp_name a
+  | From_select (q, a) -> Fmt.pf ppf "(%a) AS %a" pp_query q pp_name a
+  | From_join (l, Inner, r, Some cond) ->
+    Fmt.pf ppf "%a JOIN %a ON %a" pp_from l pp_from_atom r pp_expr cond
+  | From_join (l, Inner, r, None) ->
+    Fmt.pf ppf "%a, %a" pp_from l pp_from_atom r
+  | From_join (l, Left_outer, r, cond) ->
+    Fmt.pf ppf "%a LEFT JOIN %a ON %a" pp_from l pp_from_atom r pp_expr
+      (Option.value cond ~default:(Const (Value.Bool true)))
+
+and pp_from_atom ppf f =
+  match f with
+  | From_join _ -> Fmt.pf ppf "(%a)" pp_from f
+  | _ -> pp_from ppf f
+
+and pp_select ppf s =
+  Fmt.pf ppf "SELECT %s%a"
+    (if s.distinct then "DISTINCT " else "")
+    (Fmt.list ~sep:(Fmt.any ", ") pp_sel_item)
+    s.items;
+  (match s.from with Some f -> Fmt.pf ppf " FROM %a" pp_from f | None -> ());
+  (match s.where with Some w -> Fmt.pf ppf " WHERE %a" pp_expr w | None -> ());
+  (match s.group_by with
+  | [] -> ()
+  | keys -> Fmt.pf ppf " GROUP BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) keys);
+  match s.having with
+  | Some h -> Fmt.pf ppf " HAVING %a" pp_expr h
+  | None -> ()
+
+and pp_set_op ppf = function
+  | Select s -> pp_select ppf s
+  | Union (a, b, all) ->
+    Fmt.pf ppf "%a UNION %s%a" pp_set_op a
+      (if all then "ALL " else "")
+      pp_set_op_atom b
+
+and pp_set_op_atom ppf = function
+  | Select s -> pp_select ppf s
+  | Union _ as u -> Fmt.pf ppf "(%a)" pp_set_op u
+
+and pp_query ppf q =
+  pp_set_op ppf q.body;
+  (match q.order_by with
+  | [] -> ()
+  | keys ->
+    let pp_key ppf { key; descending } =
+      Fmt.pf ppf "%a%s" pp_expr key (if descending then " DESC" else "")
+    in
+    Fmt.pf ppf " ORDER BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_key) keys);
+  match q.limit with Some l -> Fmt.pf ppf " LIMIT %d" l | None -> ()
+
+let rec pp_statement ppf = function
+  | Create_table { name; if_not_exists; cols } ->
+    let pp_col ppf c =
+      Fmt.pf ppf "%a %s%s" pp_name c.col_name (Value.ty_name c.col_ty)
+        (if c.primary_key then " PRIMARY KEY" else "")
+    in
+    Fmt.pf ppf "CREATE TABLE %s%a (%a)"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      pp_name name
+      (Fmt.list ~sep:(Fmt.any ", ") pp_col)
+      cols
+  | Drop_table { name; if_exists } ->
+    Fmt.pf ppf "DROP TABLE %s%a" (if if_exists then "IF EXISTS " else "") pp_name name
+  | Create_view { name; or_replace; query } ->
+    Fmt.pf ppf "CREATE %sVIEW %a AS %a"
+      (if or_replace then "OR REPLACE " else "")
+      pp_name name pp_query query
+  | Drop_view { name; if_exists } ->
+    Fmt.pf ppf "DROP VIEW %s%a" (if if_exists then "IF EXISTS " else "") pp_name name
+  | Create_index { name; table; column } ->
+    Fmt.pf ppf "CREATE INDEX %a ON %a (%a)" pp_name name pp_name table pp_name column
+  | Create_trigger { name; event; table; instead_of; body } ->
+    let event_name =
+      match event with
+      | On_insert -> "INSERT"
+      | On_update -> "UPDATE"
+      | On_delete -> "DELETE"
+    in
+    Fmt.pf ppf "CREATE TRIGGER %a %s %s ON %a FOR EACH ROW BEGIN " pp_name name
+      (if instead_of then "INSTEAD OF" else "AFTER")
+      event_name pp_name table;
+    List.iter (fun s -> Fmt.pf ppf "%a; " pp_statement s) body;
+    Fmt.pf ppf "END"
+  | Drop_trigger { name; if_exists } ->
+    Fmt.pf ppf "DROP TRIGGER %s%a" (if if_exists then "IF EXISTS " else "") pp_name name
+  | Insert { table; columns; source } ->
+    Fmt.pf ppf "INSERT INTO %a" pp_name table;
+    (match columns with
+    | Some cols ->
+      Fmt.pf ppf " (%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_name) cols
+    | None -> ());
+    (match source with
+    | Values rows ->
+      let pp_row ppf row =
+        Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) row
+      in
+      Fmt.pf ppf " VALUES %a" (Fmt.list ~sep:(Fmt.any ", ") pp_row) rows
+    | Insert_query q -> Fmt.pf ppf " %a" pp_query q)
+  | Update { table; sets; where } ->
+    let pp_set ppf (col, e) = Fmt.pf ppf "%a = %a" pp_name col pp_expr e in
+    Fmt.pf ppf "UPDATE %a SET %a" pp_name table
+      (Fmt.list ~sep:(Fmt.any ", ") pp_set)
+      sets;
+    (match where with Some w -> Fmt.pf ppf " WHERE %a" pp_expr w | None -> ())
+  | Delete { table; where } ->
+    Fmt.pf ppf "DELETE FROM %a" pp_name table;
+    (match where with Some w -> Fmt.pf ppf " WHERE %a" pp_expr w | None -> ())
+  | Query q -> pp_query ppf q
+  | Set_new (col, e) -> Fmt.pf ppf "SET NEW.%a = %a" pp_name col pp_expr e
+  | Begin_txn -> Fmt.string ppf "BEGIN"
+  | Commit -> Fmt.string ppf "COMMIT"
+  | Rollback -> Fmt.string ppf "ROLLBACK"
+
+let expr_to_string = Fmt.str "%a" pp_expr
+
+let query_to_string = Fmt.str "%a" pp_query
+
+let statement_to_string = Fmt.str "%a" pp_statement
+
+let script_to_string stmts =
+  String.concat "" (List.map (fun s -> statement_to_string s ^ ";\n") stmts)

@@ -1,0 +1,154 @@
+(** Mutable stored tables: rows keyed by an internal rowid, with optional
+    unique primary key and secondary hash indexes. *)
+
+type index = {
+  idx_column : int;  (** column position *)
+  entries : (Value.t, (int, unit) Hashtbl.t) Hashtbl.t;  (** value -> rowids *)
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  pk : int option;  (** position of the PRIMARY KEY column, if any *)
+  rows : (int, Value.t array) Hashtbl.t;
+  mutable next_rowid : int;
+  indexes : (string, index) Hashtbl.t;  (** lowercase column name -> index *)
+}
+
+exception Constraint_violation of string
+
+let violation fmt = Fmt.kstr (fun s -> raise (Constraint_violation s)) fmt
+
+let create ~name ~schema ~pk =
+  let t =
+    {
+      name;
+      schema;
+      pk;
+      rows = Hashtbl.create 64;
+      next_rowid = 0;
+      indexes = Hashtbl.create 4;
+    }
+  in
+  (match pk with
+  | Some i ->
+    let col = List.nth schema.Schema.columns i in
+    Hashtbl.replace t.indexes
+      (String.lowercase_ascii col.Schema.name)
+      { idx_column = i; entries = Hashtbl.create 64 }
+  | None -> ());
+  t
+
+let cardinality t = Hashtbl.length t.rows
+
+let index_add idx v rowid =
+  let bucket =
+    match Hashtbl.find_opt idx.entries v with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 2 in
+      Hashtbl.replace idx.entries v b;
+      b
+  in
+  Hashtbl.replace bucket rowid ()
+
+let index_remove idx v rowid =
+  match Hashtbl.find_opt idx.entries v with
+  | None -> ()
+  | Some b ->
+    Hashtbl.remove b rowid;
+    if Hashtbl.length b = 0 then Hashtbl.remove idx.entries v
+
+let add_index t column =
+  let pos = Schema.index t.schema column in
+  let key = String.lowercase_ascii column in
+  if not (Hashtbl.mem t.indexes key) then begin
+    let idx = { idx_column = pos; entries = Hashtbl.create 64 } in
+    Hashtbl.iter (fun rowid row -> index_add idx row.(pos) rowid) t.rows;
+    Hashtbl.replace t.indexes key idx
+  end
+
+let indexed_column t column =
+  Hashtbl.find_opt t.indexes (String.lowercase_ascii column)
+
+(** Rowids whose indexed column equals [v]. *)
+let index_lookup idx v =
+  match Hashtbl.find_opt idx.entries v with
+  | None -> []
+  | Some b -> Hashtbl.fold (fun rowid () acc -> rowid :: acc) b []
+
+let pk_conflict t row =
+  match t.pk with
+  | None -> false
+  | Some i -> (
+    match Value.is_null row.(i) with
+    | true -> false
+    | false -> (
+      let col = List.nth t.schema.Schema.columns i in
+      match indexed_column t col.Schema.name with
+      | Some idx -> index_lookup idx row.(i) <> []
+      | None -> false))
+
+(** Insert a row; returns its rowid. Raises {!Constraint_violation} on a
+    primary-key conflict. *)
+let insert t row =
+  if Array.length row <> Schema.arity t.schema then
+    violation "table %s expects %d values, got %d" t.name
+      (Schema.arity t.schema) (Array.length row);
+  if pk_conflict t row then
+    violation "duplicate primary key %s in table %s"
+      (Value.to_string row.(Option.get t.pk))
+      t.name;
+  let rowid = t.next_rowid in
+  t.next_rowid <- rowid + 1;
+  Hashtbl.replace t.rows rowid row;
+  Hashtbl.iter (fun _ idx -> index_add idx row.(idx.idx_column) rowid) t.indexes;
+  rowid
+
+let delete t rowid =
+  match Hashtbl.find_opt t.rows rowid with
+  | None -> None
+  | Some row ->
+    Hashtbl.remove t.rows rowid;
+    Hashtbl.iter
+      (fun _ idx -> index_remove idx row.(idx.idx_column) rowid)
+      t.indexes;
+    Some row
+
+let update t rowid new_row =
+  match Hashtbl.find_opt t.rows rowid with
+  | None -> None
+  | Some old_row ->
+    (match t.pk with
+    | Some i when not (Value.equal old_row.(i) new_row.(i)) ->
+      if pk_conflict t new_row then
+        violation "duplicate primary key %s in table %s"
+          (Value.to_string new_row.(i))
+          t.name
+    | _ -> ());
+    Hashtbl.replace t.rows rowid new_row;
+    Hashtbl.iter
+      (fun _ idx ->
+        if not (Value.equal old_row.(idx.idx_column) new_row.(idx.idx_column))
+        then begin
+          index_remove idx old_row.(idx.idx_column) rowid;
+          index_add idx new_row.(idx.idx_column) rowid
+        end)
+      t.indexes;
+    Some old_row
+
+(** Re-insert a row under a known rowid (transaction rollback only). *)
+let restore t rowid row =
+  Hashtbl.replace t.rows rowid row;
+  if rowid >= t.next_rowid then t.next_rowid <- rowid + 1;
+  Hashtbl.iter (fun _ idx -> index_add idx row.(idx.idx_column) rowid) t.indexes
+
+let iter t f = Hashtbl.iter f t.rows
+
+let to_rows t = Hashtbl.fold (fun rowid row acc -> (rowid, row) :: acc) t.rows []
+
+let find t rowid = Hashtbl.find_opt t.rows rowid
+
+let clear t =
+  Hashtbl.reset t.rows;
+  Hashtbl.iter (fun _ idx -> Hashtbl.reset idx.entries) t.indexes

@@ -1,0 +1,113 @@
+(** Typed SQL values with three-valued comparison semantics.
+
+    [Null] plays the role of both SQL NULL and the paper's padding value
+    [omega] used by outer joins and FK decomposition. *)
+
+type t =
+  | Null
+  | Int of int
+  | Real of float
+  | Text of string
+  | Bool of bool
+
+type ty = TInt | TReal | TText | TBool
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let ty_name = function
+  | TInt -> "INTEGER"
+  | TReal -> "REAL"
+  | TText -> "TEXT"
+  | TBool -> "BOOLEAN"
+
+let ty_of_string s =
+  match String.uppercase_ascii s with
+  | "INTEGER" | "INT" | "BIGINT" | "SMALLINT" -> TInt
+  | "REAL" | "FLOAT" | "DOUBLE" | "NUMERIC" | "DECIMAL" -> TReal
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> TText
+  | "BOOLEAN" | "BOOL" -> TBool
+  | other -> type_error "unknown SQL type %s" other
+
+let is_null = function Null -> true | Int _ | Real _ | Text _ | Bool _ -> false
+
+(* Values of distinct runtime types never compare equal; we do however treat
+   Int/Real numerically so that generated arithmetic mixing both works. *)
+let rec compare_exn a b =
+  match a, b with
+  | Null, _ | _, Null -> type_error "cannot order NULL"
+  | Int x, Int y -> Stdlib.compare x y
+  | Real x, Real y -> Stdlib.compare x y
+  | Int x, Real y -> Stdlib.compare (float_of_int x) y
+  | Real x, Int y -> Stdlib.compare x (float_of_int y)
+  | Text x, Text y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | (Int _ | Real _ | Text _ | Bool _), _ ->
+    ignore (compare_exn b b);
+    type_error "cannot compare %s with %s" (describe a) (describe b)
+
+and describe = function
+  | Null -> "NULL"
+  | Int _ -> "INTEGER"
+  | Real _ -> "REAL"
+  | Text _ -> "TEXT"
+  | Bool _ -> "BOOLEAN"
+
+(** SQL equality: NULL = anything is unknown (None). *)
+let sql_eq a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | _ -> (
+    match a, b with
+    | Int x, Real y | Real y, Int x -> Some (float_of_int x = y)
+    | _ -> Some (compare_exn a b = 0))
+
+(** Structural equality used for keys, DISTINCT and index lookups: NULL equals
+    NULL here, matching the paper's treatment of omega as a plain value. *)
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Null, _ | _, Null -> false
+  | _ -> ( try compare_exn a b = 0 with Type_error _ -> false)
+
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Real f -> Fmt.str "%g" f
+  | Text s -> s
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+
+let to_literal = function
+  | Text s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | v -> to_string v
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | v -> type_error "expected INTEGER, got %s" (describe v)
+
+let as_text = function
+  | Text s -> s
+  | v -> type_error "expected TEXT, got %s" (describe v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> type_error "expected BOOLEAN, got %s" (describe v)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Real f -> f
+  | v -> type_error "expected numeric, got %s" (describe v)

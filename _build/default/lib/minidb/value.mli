@@ -1,0 +1,56 @@
+(** Typed SQL values with three-valued comparison semantics. [Null] also
+    plays the role of the paper's padding value ω used by outer joins and FK
+    decomposition. *)
+
+type t =
+  | Null
+  | Int of int
+  | Real of float
+  | Text of string
+  | Bool of bool
+
+type ty = TInt | TReal | TText | TBool
+
+exception Type_error of string
+
+val ty_name : ty -> string
+(** SQL spelling, e.g. [INTEGER]. *)
+
+val ty_of_string : string -> ty
+(** Parse a SQL type name (accepts common synonyms); raises {!Type_error}. *)
+
+val is_null : t -> bool
+
+val compare_exn : t -> t -> int
+(** Total order within comparable types ([Int]/[Real] compare numerically);
+    raises {!Type_error} on NULL or cross-type comparisons. *)
+
+val sql_eq : t -> t -> bool option
+(** SQL equality: [None] (unknown) when either side is NULL. *)
+
+val equal : t -> t -> bool
+(** Structural equality used for keys, DISTINCT and index lookups: NULL
+    equals NULL here, matching the paper's treatment of ω as a plain value. *)
+
+val hash : t -> int
+
+val describe : t -> string
+(** The value's type name, for error messages. *)
+
+val to_string : t -> string
+(** Display form (no quoting). *)
+
+val to_literal : t -> string
+(** SQL literal form (strings quoted and escaped). *)
+
+val pp : Format.formatter -> t -> unit
+
+val as_int : t -> int
+(** Raises {!Type_error} unless [Int]. Likewise below. *)
+
+val as_text : t -> string
+
+val as_bool : t -> bool
+
+val as_float : t -> float
+(** Accepts [Int] and [Real]. *)

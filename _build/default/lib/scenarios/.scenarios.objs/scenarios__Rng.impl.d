@@ -1,0 +1,1 @@
+lib/scenarios/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/scenarios/tasky.ml: Fmt Inverda Minidb Rng

@@ -1,0 +1,1 @@
+lib/scenarios/tasky_sql.ml: Minidb Rng Tasky

@@ -1,0 +1,1 @@
+lib/scenarios/two_smo.ml: Fmt Inverda List Minidb Rng String

@@ -1,0 +1,1 @@
+lib/scenarios/wikimedia.ml: Array Bidel Fmt Hashtbl Inverda List Minidb Option Rng String

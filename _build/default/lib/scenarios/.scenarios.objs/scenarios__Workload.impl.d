@@ -1,0 +1,1 @@
+lib/scenarios/workload.ml: Array Fmt List Minidb Rng Tasky Unix

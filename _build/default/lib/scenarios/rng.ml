@@ -1,0 +1,18 @@
+(** Tiny deterministic linear-congruential generator so every scenario and
+    benchmark is reproducible without touching the global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 42) () = { state = Int64.of_int seed }
+
+let next t =
+  (* Knuth's MMIX LCG *)
+  t.state <-
+    Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.shift_right_logical t.state 17) land 0x3FFFFFFF
+
+let int t bound = if bound <= 0 then 0 else next t mod bound
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let chance t percent = int t 100 < percent

@@ -1,0 +1,18 @@
+(** Tiny deterministic linear-congruential generator: every scenario and
+    benchmark is reproducible without touching the global [Random] state. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Default seed 42. *)
+
+val next : t -> int
+(** Next raw non-negative pseudo-random integer. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform-ish in [0, bound); 0 for non-positive bounds. *)
+
+val pick : t -> 'a array -> 'a
+
+val chance : t -> int -> bool
+(** [chance t p] — true with probability [p] percent. *)

@@ -1,0 +1,323 @@
+(** Hand-written, hand-optimized SQL delta code for the TasKy example — the
+    baseline InVerDa is compared against in Table 3 (code size) and
+    Figures 8-10 (performance).
+
+    This is what a developer has to write *without* InVerDa to keep the three
+    schema versions TasKy, Do! and TasKy2 alive: the version views, all
+    INSTEAD OF triggers including the eager author-identity bookkeeping that
+    the FK decomposition needs, and a migration script that moves the
+    physical data to the TasKy2 layout and rewrites every piece of delta
+    code. The views carry the same ["version.table"] names as the InVerDa
+    setup so that workloads run unchanged against either implementation. *)
+
+(* --- the initial schema ------------------------------------------------------ *)
+
+let initial_schema =
+  {|CREATE TABLE hw_task (p INTEGER PRIMARY KEY, author TEXT, task TEXT, prio INTEGER);|}
+
+(* --- delta code for the initial materialization ------------------------------ *)
+
+let initial_delta_code =
+  {|
+-- author identity bookkeeping for TasKy2 (deduplicated author table and the
+-- task-to-author mapping), maintained eagerly by every write path
+CREATE TABLE hw_author (p INTEGER PRIMARY KEY, name TEXT);
+CREATE TABLE hw_task_author (p INTEGER PRIMARY KEY, author_p INTEGER);
+CREATE INDEX hw_author_name ON hw_author (name);
+CREATE INDEX hw_ta_author ON hw_task_author (author_p);
+
+-- ===== TasKy ================================================================
+CREATE VIEW TasKy.Task AS SELECT p, author, task, prio FROM hw_task;
+
+CREATE TRIGGER hw_tasky_ins INSTEAD OF INSERT ON TasKy.Task FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_task (p, author, task, prio) VALUES (NEW.p, NEW.author, NEW.task, NEW.prio);
+  INSERT INTO hw_author (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author a WHERE a.name = NEW.author);
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT NEW.p, (SELECT a.p FROM hw_author a WHERE a.name = NEW.author LIMIT 1)
+    WHERE NEW.author IS NOT NULL;
+END;
+
+CREATE TRIGGER hw_tasky_upd INSTEAD OF UPDATE ON TasKy.Task FOR EACH ROW BEGIN
+  UPDATE hw_task SET author = NEW.author, task = NEW.task, prio = NEW.prio WHERE p = OLD.p;
+  INSERT INTO hw_author (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author a WHERE a.name = NEW.author);
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT OLD.p, (SELECT a.p FROM hw_author a WHERE a.name = NEW.author LIMIT 1)
+    WHERE NEW.author IS NOT NULL;
+  DELETE FROM hw_author
+    WHERE name = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task t WHERE t.author = OLD.author);
+END;
+
+CREATE TRIGGER hw_tasky_del INSTEAD OF DELETE ON TasKy.Task FOR EACH ROW BEGIN
+  DELETE FROM hw_task WHERE p = OLD.p;
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  DELETE FROM hw_author
+    WHERE name = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task t WHERE t.author = OLD.author);
+END;
+
+-- ===== Do! ==================================================================
+CREATE VIEW Do!.Todo AS SELECT p, author, task FROM hw_task WHERE prio = 1;
+
+CREATE TRIGGER hw_do_ins INSTEAD OF INSERT ON Do!.Todo FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_task (p, author, task, prio) VALUES (NEW.p, NEW.author, NEW.task, 1);
+  INSERT INTO hw_author (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author a WHERE a.name = NEW.author);
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT NEW.p, (SELECT a.p FROM hw_author a WHERE a.name = NEW.author LIMIT 1)
+    WHERE NEW.author IS NOT NULL;
+END;
+
+CREATE TRIGGER hw_do_upd INSTEAD OF UPDATE ON Do!.Todo FOR EACH ROW BEGIN
+  UPDATE hw_task SET author = NEW.author, task = NEW.task WHERE p = OLD.p;
+  INSERT INTO hw_author (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author a WHERE a.name = NEW.author);
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT OLD.p, (SELECT a.p FROM hw_author a WHERE a.name = NEW.author LIMIT 1)
+    WHERE NEW.author IS NOT NULL;
+  DELETE FROM hw_author
+    WHERE name = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task t WHERE t.author = OLD.author);
+END;
+
+CREATE TRIGGER hw_do_del INSTEAD OF DELETE ON Do!.Todo FOR EACH ROW BEGIN
+  DELETE FROM hw_task WHERE p = OLD.p;
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  DELETE FROM hw_author
+    WHERE name = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task t WHERE t.author = OLD.author);
+END;
+
+-- ===== TasKy2 ===============================================================
+CREATE VIEW TasKy2.Task AS
+  SELECT t.p, t.task, t.prio, ta.author_p AS author
+  FROM hw_task t LEFT JOIN hw_task_author ta ON ta.p = t.p;
+
+CREATE VIEW TasKy2.Author AS SELECT p, name FROM hw_author;
+
+CREATE TRIGGER hw_t2task_ins INSTEAD OF INSERT ON TasKy2.Task FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_task (p, author, task, prio)
+    VALUES (NEW.p, (SELECT a.name FROM hw_author a WHERE a.p = NEW.author LIMIT 1), NEW.task, NEW.prio);
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT NEW.p, NEW.author WHERE NEW.author IS NOT NULL;
+END;
+
+CREATE TRIGGER hw_t2task_upd INSTEAD OF UPDATE ON TasKy2.Task FOR EACH ROW BEGIN
+  UPDATE hw_task
+    SET task = NEW.task, prio = NEW.prio,
+        author = (SELECT a.name FROM hw_author a WHERE a.p = NEW.author LIMIT 1)
+    WHERE p = OLD.p;
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  INSERT INTO hw_task_author (p, author_p)
+    SELECT OLD.p, NEW.author WHERE NEW.author IS NOT NULL;
+  DELETE FROM hw_author
+    WHERE p = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task_author ta WHERE ta.author_p = OLD.author);
+END;
+
+CREATE TRIGGER hw_t2task_del INSTEAD OF DELETE ON TasKy2.Task FOR EACH ROW BEGIN
+  DELETE FROM hw_task WHERE p = OLD.p;
+  DELETE FROM hw_task_author WHERE p = OLD.p;
+  DELETE FROM hw_author
+    WHERE p = OLD.author
+      AND NOT EXISTS (SELECT * FROM hw_task_author ta WHERE ta.author_p = OLD.author);
+END;
+
+CREATE TRIGGER hw_t2author_ins INSTEAD OF INSERT ON TasKy2.Author FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_author (p, name) VALUES (NEW.p, NEW.name);
+END;
+
+CREATE TRIGGER hw_t2author_upd INSTEAD OF UPDATE ON TasKy2.Author FOR EACH ROW BEGIN
+  UPDATE hw_author SET name = NEW.name WHERE p = OLD.p;
+  UPDATE hw_task SET author = NEW.name
+    WHERE p IN (SELECT ta.p FROM hw_task_author ta WHERE ta.author_p = OLD.p);
+END;
+
+CREATE TRIGGER hw_t2author_del INSTEAD OF DELETE ON TasKy2.Author FOR EACH ROW BEGIN
+  UPDATE hw_task SET author = NULL
+    WHERE p IN (SELECT ta.p FROM hw_task_author ta WHERE ta.author_p = OLD.p);
+  DELETE FROM hw_task_author WHERE author_p = OLD.p;
+  DELETE FROM hw_author WHERE p = OLD.p;
+END;
+|}
+
+(* --- delta code for the evolved (TasKy2) materialization --------------------- *)
+
+let evolved_delta_code =
+  {|
+-- ===== TasKy2 (now local) ===================================================
+CREATE VIEW TasKy2.Task AS SELECT p, task, prio, author FROM hw_task2;
+CREATE VIEW TasKy2.Author AS SELECT p, name FROM hw_author2;
+
+CREATE TRIGGER hw2_t2task_ins INSTEAD OF INSERT ON TasKy2.Task FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_task2 (p, task, prio, author) VALUES (NEW.p, NEW.task, NEW.prio, NEW.author);
+END;
+
+CREATE TRIGGER hw2_t2task_upd INSTEAD OF UPDATE ON TasKy2.Task FOR EACH ROW BEGIN
+  UPDATE hw_task2 SET task = NEW.task, prio = NEW.prio, author = NEW.author WHERE p = OLD.p;
+END;
+
+CREATE TRIGGER hw2_t2task_del INSTEAD OF DELETE ON TasKy2.Task FOR EACH ROW BEGIN
+  DELETE FROM hw_task2 WHERE p = OLD.p;
+END;
+
+CREATE TRIGGER hw2_t2author_ins INSTEAD OF INSERT ON TasKy2.Author FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_author2 (p, name) VALUES (NEW.p, NEW.name);
+END;
+
+CREATE TRIGGER hw2_t2author_upd INSTEAD OF UPDATE ON TasKy2.Author FOR EACH ROW BEGIN
+  UPDATE hw_author2 SET name = NEW.name WHERE p = OLD.p;
+END;
+
+CREATE TRIGGER hw2_t2author_del INSTEAD OF DELETE ON TasKy2.Author FOR EACH ROW BEGIN
+  UPDATE hw_task2 SET author = NULL WHERE author = OLD.p;
+  DELETE FROM hw_author2 WHERE p = OLD.p;
+END;
+
+-- ===== TasKy (compatibility view) ===========================================
+-- orphaned authors resurface as omega-padded rows (the outer-join semantics
+-- of the decomposition)
+CREATE VIEW TasKy.Task AS
+  SELECT t.p, a.name AS author, t.task, t.prio
+  FROM hw_task2 t LEFT JOIN hw_author2 a ON a.p = t.author
+  UNION ALL
+  SELECT a.p, a.name, NULL, NULL
+  FROM hw_author2 a
+  WHERE NOT EXISTS (SELECT * FROM hw_task2 t WHERE t.author = a.p);
+
+CREATE TRIGGER hw2_tasky_ins INSTEAD OF INSERT ON TasKy.Task FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_author2 (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author2 a WHERE a.name = NEW.author);
+  INSERT INTO hw_task2 (p, task, prio, author)
+    VALUES (NEW.p, NEW.task, NEW.prio,
+            (SELECT a.p FROM hw_author2 a WHERE a.name = NEW.author LIMIT 1));
+END;
+
+CREATE TRIGGER hw2_tasky_upd INSTEAD OF UPDATE ON TasKy.Task FOR EACH ROW BEGIN
+  INSERT INTO hw_author2 (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author2 a WHERE a.name = NEW.author);
+  UPDATE hw_task2
+    SET task = NEW.task, prio = NEW.prio,
+        author = (SELECT a.p FROM hw_author2 a WHERE a.name = NEW.author LIMIT 1)
+    WHERE p = OLD.p;
+END;
+
+CREATE TRIGGER hw2_tasky_del INSTEAD OF DELETE ON TasKy.Task FOR EACH ROW BEGIN
+  DELETE FROM hw_task2 WHERE p = OLD.p;
+END;
+
+-- ===== Do! (compatibility view) =============================================
+CREATE VIEW Do!.Todo AS
+  SELECT t.p, a.name AS author, t.task
+  FROM hw_task2 t LEFT JOIN hw_author2 a ON a.p = t.author
+  WHERE t.prio = 1;
+
+CREATE TRIGGER hw2_do_ins INSTEAD OF INSERT ON Do!.Todo FOR EACH ROW BEGIN
+  SET NEW.p = COALESCE(NEW.p, NEXTVAL('hw'));
+  INSERT INTO hw_author2 (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author2 a WHERE a.name = NEW.author);
+  INSERT INTO hw_task2 (p, task, prio, author)
+    VALUES (NEW.p, NEW.task, 1,
+            (SELECT a.p FROM hw_author2 a WHERE a.name = NEW.author LIMIT 1));
+END;
+
+CREATE TRIGGER hw2_do_upd INSTEAD OF UPDATE ON Do!.Todo FOR EACH ROW BEGIN
+  INSERT INTO hw_author2 (p, name)
+    SELECT NEXTVAL('hw'), NEW.author
+    WHERE NEW.author IS NOT NULL
+      AND NOT EXISTS (SELECT * FROM hw_author2 a WHERE a.name = NEW.author);
+  UPDATE hw_task2
+    SET task = NEW.task,
+        author = (SELECT a.p FROM hw_author2 a WHERE a.name = NEW.author LIMIT 1)
+    WHERE p = OLD.p;
+END;
+
+CREATE TRIGGER hw2_do_del INSTEAD OF DELETE ON Do!.Todo FOR EACH ROW BEGIN
+  DELETE FROM hw_task2 WHERE p = OLD.p;
+END;
+|}
+
+(* --- the handwritten migration script ----------------------------------------- *)
+
+let migration_teardown =
+  {|
+DROP TRIGGER hw_tasky_ins; DROP TRIGGER hw_tasky_upd; DROP TRIGGER hw_tasky_del;
+DROP TRIGGER hw_do_ins; DROP TRIGGER hw_do_upd; DROP TRIGGER hw_do_del;
+DROP TRIGGER hw_t2task_ins; DROP TRIGGER hw_t2task_upd; DROP TRIGGER hw_t2task_del;
+DROP TRIGGER hw_t2author_ins; DROP TRIGGER hw_t2author_upd; DROP TRIGGER hw_t2author_del;
+DROP VIEW TasKy.Task; DROP VIEW Do!.Todo; DROP VIEW TasKy2.Task; DROP VIEW TasKy2.Author;
+|}
+
+let migration_copy =
+  {|
+CREATE TABLE hw_task2 (p INTEGER PRIMARY KEY, task TEXT, prio INTEGER, author INTEGER);
+CREATE TABLE hw_author2 (p INTEGER PRIMARY KEY, name TEXT);
+CREATE INDEX hw_author2_name ON hw_author2 (name);
+CREATE INDEX hw_task2_author ON hw_task2 (author);
+INSERT INTO hw_author2 (p, name) SELECT p, name FROM hw_author;
+INSERT INTO hw_task2 (p, task, prio, author)
+  SELECT t.p, t.task, t.prio, ta.author_p
+  FROM hw_task t LEFT JOIN hw_task_author ta ON ta.p = t.p;
+DROP TABLE hw_task; DROP TABLE hw_author; DROP TABLE hw_task_author;
+|}
+
+(** The full handwritten migration (what the DBA would run instead of one
+    MATERIALIZE line). *)
+let migration_script =
+  migration_teardown ^ migration_copy ^ evolved_delta_code
+
+(** Everything the developer writes for the evolution step (both new schema
+    versions), compared against the two BiDEL scripts. *)
+let evolution_script = initial_delta_code
+
+(* --- setup helpers --------------------------------------------------------------- *)
+
+type materialization = Initial | Evolved
+
+let setup ?(tasks = 0) ?(materialization = Initial) () =
+  let db = Minidb.Engine.create () in
+  ignore (Minidb.Engine.exec_script db initial_schema);
+  ignore (Minidb.Engine.exec_script db initial_delta_code);
+  let rng = Rng.create () in
+  for i = 1 to tasks do
+    (* draw in the same order as Tasky.load_tasks (no side effects in
+       argument position: evaluation order is unspecified) *)
+    let author = Rng.pick rng Tasky.authors in
+    let prio = Tasky.random_prio rng in
+    ignore
+      (Minidb.Engine.execf db
+         "INSERT INTO TasKy.Task (author, task, prio) VALUES ('%s', 'task-%d', %d)"
+         author i prio)
+  done;
+  (match materialization with
+  | Initial -> ()
+  | Evolved -> ignore (Minidb.Engine.exec_script db migration_script));
+  db
+
+(** Run the handwritten migration on an existing handwritten database. *)
+let migrate_to_evolved db = ignore (Minidb.Engine.exec_script db migration_script)

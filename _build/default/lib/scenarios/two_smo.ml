@@ -1,0 +1,87 @@
+(** The micro-benchmark of Figure 13: every evolution of the shape
+
+      1st version — 1st SMO — 2nd version — 2nd SMO — 3rd version
+
+    where the second version always contains a table [R(a, b, c)]. The first
+    SMO is chosen so that it *produces* R(a,b,c); the second consumes it.
+    Renames and create/drop-table SMOs are excluded, as in the paper (they
+    have no propagation cost). *)
+
+module I = Inverda.Api
+
+type smo_kind = K_add | K_drop | K_join | K_decompose | K_split | K_merge
+
+let kind_name = function
+  | K_add -> "ADD COLUMN"
+  | K_drop -> "DROP COLUMN"
+  | K_join -> "JOIN"
+  | K_decompose -> "DECOMPOSE"
+  | K_split -> "SPLIT"
+  | K_merge -> "MERGE"
+
+let all_kinds = [ K_add; K_drop; K_join; K_decompose; K_split; K_merge ]
+
+(** First version's tables and the SMO producing R(a,b,c) in v2. *)
+let producer = function
+  | K_add -> ([ "CREATE TABLE R(a, b)" ], "ADD COLUMN c AS a + 1 INTO R")
+  | K_drop -> ([ "CREATE TABLE R(a, b, c, d)" ], "DROP COLUMN d FROM R DEFAULT 0")
+  | K_join ->
+    ( [ "CREATE TABLE R1(a)"; "CREATE TABLE R2(b, c)" ],
+      "JOIN TABLE R1, R2 INTO R ON PK" )
+  | K_decompose ->
+    ( [ "CREATE TABLE R0(a, b, c, d)" ],
+      "DECOMPOSE TABLE R0 INTO R(a, b, c), Rrest(d) ON PK" )
+  | K_split ->
+    ( [ "CREATE TABLE T0(a, b, c)" ],
+      "SPLIT TABLE T0 INTO R WITH a < 500, Rhigh WITH a >= 500" )
+  | K_merge ->
+    ( [ "CREATE TABLE A0(a, b, c)"; "CREATE TABLE B0(a, b, c)" ],
+      "MERGE TABLE A0 (a < 500), B0 (a >= 500) INTO R" )
+
+(** The SMO consuming R(a,b,c) in v2 (plus helper tables it needs in v1). *)
+let consumer = function
+  | K_add -> ([], "ADD COLUMN e AS b + 1 INTO R")
+  | K_drop -> ([], "DROP COLUMN c FROM R DEFAULT 0")
+  | K_join -> ([ "CREATE TABLE H(h1)" ], "JOIN TABLE R, H INTO RJ ON PK")
+  | K_decompose -> ([], "DECOMPOSE TABLE R INTO RA(a), RB(b, c) ON PK")
+  | K_split -> ([], "SPLIT TABLE R INTO RL WITH a < 500, RH WITH a >= 500")
+  | K_merge -> ([ "CREATE TABLE M(a, b, c)" ], "MERGE TABLE R (a < 500), M (a >= 500) INTO RM")
+
+(** Build the three-version chain for one SMO pair. Returns the API instance;
+    the versions are named v1, v2, v3. *)
+let build (k1, k2) =
+  let t = I.create () in
+  let creates1, smo1 = producer k1 in
+  let creates2, smo2 = consumer k2 in
+  I.evolve t
+    (Fmt.str "CREATE SCHEMA VERSION v1 WITH %s;"
+       (String.concat "; " (creates1 @ creates2)));
+  I.evolve t (Fmt.str "CREATE SCHEMA VERSION v2 FROM v1 WITH %s;" smo1);
+  I.evolve t (Fmt.str "CREATE SCHEMA VERSION v3 FROM v2 WITH %s;" smo2);
+  t
+
+(** Load [n] tuples into R through the second version (values of [a] spread
+    over 0..999 so the split/merge conditions partition the data). *)
+let load t n =
+  let db = I.database t in
+  let rng = Rng.create ~seed:5 () in
+  for i = 1 to n do
+    ignore
+      (Minidb.Engine.execf db
+         "INSERT INTO v2.R (a, b, c) VALUES (%d, %d, %d)" (Rng.int rng 1000) i
+         (Rng.int rng 100))
+  done
+
+(** Tables of a version, for read queries. *)
+let read_all t version =
+  let db = I.database t in
+  List.iter
+    (fun table ->
+      ignore
+        (Minidb.Engine.query db
+           (Fmt.str "SELECT COUNT(*) FROM %s.%s"
+              version table)))
+    (I.version_tables t version)
+
+(** Materialize the chain at one of the three versions. *)
+let materialize_at t version = I.materialize t [ version ]

@@ -1,0 +1,325 @@
+(** The Wikimedia schema-evolution scenario.
+
+    The paper replays the 171 schema versions (211 SMOs) of the Wikimedia
+    database history [Curino et al., ICEIS'08] and loads the Akan wiki dump.
+    Neither artifact ships with this reproduction, so we *synthesize* an
+    evolution history with exactly the SMO-type histogram of Table 4
+
+      CREATE TABLE 42, DROP TABLE 10, RENAME TABLE 1, ADD COLUMN 95,
+      DROP COLUMN 21, RENAME COLUMN 36, JOIN 0, DECOMPOSE 4, MERGE 2
+
+    spread over 171 versions, and load synthetic page/link data. The
+    experiments on this scenario (Table 4, Figure 12) depend only on the SMO
+    mix and the distance between the queried and the materialized version,
+    both of which are preserved (see DESIGN.md). The [page] and [link] tables
+    exist in every version with stable core columns, so the Figure 12
+    template queries run against any version. *)
+
+module I = Inverda.Api
+
+type kind = Create | Drop | Ren_table | Add_col | Drop_col | Ren_col | Dec | Mer
+
+let kind_name = function
+  | Create -> "CREATE TABLE"
+  | Drop -> "DROP TABLE"
+  | Ren_table -> "RENAME TABLE"
+  | Add_col -> "ADD COLUMN"
+  | Drop_col -> "DROP COLUMN"
+  | Ren_col -> "RENAME COLUMN"
+  | Dec -> "DECOMPOSE"
+  | Mer -> "MERGE"
+
+(** Paper histogram (Table 4), minus the SMOs of the initial version. *)
+let full_counts =
+  [ (Create, 42); (Drop, 10); (Ren_table, 1); (Add_col, 95); (Drop_col, 21);
+    (Ren_col, 36); (Dec, 4); (Mer, 2) ]
+
+type table_state = { t_name : string; mutable t_cols : string list; core : bool }
+
+type gen_state = {
+  mutable tables : table_state list;
+  mutable twins : (string * string) list;  (** identically-shaped pairs *)
+  mutable next_filler : int;
+  mutable next_col : int;
+  mutable smos : (kind * string) list;  (** emitted, reversed *)
+}
+
+let find_table st name = List.find (fun t -> t.t_name = name) st.tables
+
+let fillers st = List.filter (fun t -> not t.core) st.tables
+
+let remove_table st name =
+  st.tables <- List.filter (fun t -> t.t_name <> name) st.tables;
+  st.twins <-
+    List.filter (fun (a, b) -> a <> name && b <> name) st.twins
+
+(* one SMO of the given kind as BiDEL text, updating the mirror state;
+   returns None if the precondition is not met right now *)
+let emit st kind =
+  let fresh_cols n =
+    List.init n (fun _ ->
+        st.next_col <- st.next_col + 1;
+        Fmt.str "c%d" st.next_col)
+  in
+  let rotate_filler () =
+    match fillers st with
+    | [] -> None
+    | fs -> Some (List.nth fs (st.next_col mod List.length fs))
+  in
+  let text =
+    match kind with
+    | Create ->
+      st.next_filler <- st.next_filler + 1;
+      let name = Fmt.str "f%d" st.next_filler in
+      let cols = fresh_cols 3 in
+      st.tables <- st.tables @ [ { t_name = name; t_cols = cols; core = false } ];
+      (* every sixth filler gets a twin for the later merges *)
+      if st.next_filler mod 6 = 2 then begin
+        match
+          List.find_opt
+            (fun t -> (not t.core) && t.t_name <> name && List.length t.t_cols = 3)
+            st.tables
+        with
+        | Some prev ->
+          (* shape the new table like the previous one *)
+          (find_table st name).t_cols <- prev.t_cols;
+          st.twins <- (prev.t_name, name) :: st.twins;
+          Some
+            (Fmt.str "CREATE TABLE %s(%s)" name (String.concat "," prev.t_cols))
+        | None -> Some (Fmt.str "CREATE TABLE %s(%s)" name (String.concat "," cols))
+      end
+      else Some (Fmt.str "CREATE TABLE %s(%s)" name (String.concat "," cols))
+    | Drop -> (
+      (* drop a filler that is not reserved as a merge twin *)
+      match
+        List.find_opt
+          (fun t ->
+            (not t.core)
+            && not (List.exists (fun (a, b) -> a = t.t_name || b = t.t_name) st.twins))
+          (fillers st)
+      with
+      | Some t ->
+        remove_table st t.t_name;
+        Some (Fmt.str "DROP TABLE %s" t.t_name)
+      | None -> None)
+    | Ren_table -> (
+      match rotate_filler () with
+      | Some t ->
+        let name' = t.t_name ^ "r" in
+        st.twins <-
+          List.map
+            (fun (a, b) ->
+              ( (if a = t.t_name then name' else a),
+                if b = t.t_name then name' else b ))
+            st.twins;
+        st.tables <-
+          List.map
+            (fun u -> if u.t_name = t.t_name then { u with t_name = name' } else u)
+            st.tables;
+        Some (Fmt.str "RENAME TABLE %s INTO %s" t.t_name name')
+      | None -> None)
+    | Add_col -> (
+      (* mostly fillers, occasionally the page table (core cols stay) *)
+      let target =
+        if st.next_col mod 7 = 0 then Some (find_table st "page")
+        else rotate_filler ()
+      in
+      match target with
+      | Some t ->
+        let col = List.hd (fresh_cols 1) in
+        t.t_cols <- t.t_cols @ [ col ];
+        st.twins <- List.filter (fun (a, b) -> a <> t.t_name && b <> t.t_name) st.twins;
+        Some (Fmt.str "ADD COLUMN %s AS 0 INTO %s" col t.t_name)
+      | None -> None)
+    | Drop_col -> (
+      match
+        List.find_opt
+          (fun t -> (not t.core) && List.length t.t_cols > 2)
+          (fillers st)
+      with
+      | Some t ->
+        let col = List.nth t.t_cols (List.length t.t_cols - 1) in
+        t.t_cols <- List.filter (fun c -> c <> col) t.t_cols;
+        st.twins <- List.filter (fun (a, b) -> a <> t.t_name && b <> t.t_name) st.twins;
+        Some (Fmt.str "DROP COLUMN %s FROM %s DEFAULT 0" col t.t_name)
+      | None -> None)
+    | Ren_col -> (
+      match rotate_filler () with
+      | Some t when t.t_cols <> [] ->
+        let col = List.hd t.t_cols in
+        let col' = col ^ "r" in
+        t.t_cols <- List.map (fun c -> if c = col then col' else c) t.t_cols;
+        st.twins <- List.filter (fun (a, b) -> a <> t.t_name && b <> t.t_name) st.twins;
+        Some (Fmt.str "RENAME COLUMN %s IN %s TO %s" col t.t_name col')
+      | _ -> None)
+    | Dec -> (
+      match
+        List.find_opt
+          (fun t ->
+            (not t.core)
+            && List.length t.t_cols >= 2
+            && not (List.exists (fun (a, b) -> a = t.t_name || b = t.t_name) st.twins))
+          (fillers st)
+      with
+      | Some t ->
+        let head = List.hd t.t_cols and rest = List.tl t.t_cols in
+        let la = t.t_name ^ "a" and lb = t.t_name ^ "b" in
+        remove_table st t.t_name;
+        st.tables <-
+          st.tables
+          @ [
+              { t_name = la; t_cols = [ head ]; core = false };
+              { t_name = lb; t_cols = rest; core = false };
+            ];
+        Some
+          (Fmt.str "DECOMPOSE TABLE %s INTO %s(%s), %s(%s) ON PK" t.t_name la
+             head lb (String.concat "," rest))
+      | None -> None)
+    | Mer -> (
+      match st.twins with
+      | (a, b) :: rest ->
+        st.twins <- rest;
+        let cols = (find_table st a).t_cols in
+        let c = List.hd cols in
+        let merged = a ^ "m" in
+        remove_table st a;
+        remove_table st b;
+        st.tables <- st.tables @ [ { t_name = merged; t_cols = cols; core = false } ];
+        Some
+          (Fmt.str "MERGE TABLE %s (%s < 500), %s (%s >= 500) INTO %s" a c b c merged)
+      | [] -> None)
+  in
+  (match text with Some txt -> st.smos <- (kind, txt) :: st.smos | None -> ());
+  text
+
+(** Build the synthetic evolution: [versions] schema versions (paper scale:
+    171) with an SMO histogram scaled from Table 4. Returns the InVerDa
+    instance and the version names in order. *)
+let build ?(versions = 171) () =
+  let scale n = max 1 (n * (versions - 1) / 170) in
+  let counts =
+    if versions >= 171 then full_counts
+    else List.map (fun (k, n) -> (k, scale n)) full_counts
+  in
+  let api = I.create () in
+  (* version 1: the core tables plus a first filler *)
+  I.evolve api
+    "CREATE SCHEMA VERSION v001 WITH CREATE TABLE page(title, namespace); \
+     CREATE TABLE link(src, dst); CREATE TABLE f0(c0a, c0b, c0c);";
+  let st =
+    {
+      tables =
+        [
+          { t_name = "page"; t_cols = [ "title"; "namespace" ]; core = true };
+          { t_name = "link"; t_cols = [ "src"; "dst" ]; core = true };
+          { t_name = "f0"; t_cols = [ "c0a"; "c0b"; "c0c" ]; core = false };
+        ];
+      twins = [];
+      next_filler = 0;
+      next_col = 0;
+      smos = [ (Create, ""); (Create, ""); (Create, "") ];
+    }
+  in
+  (* remaining budget: the three creates above already count *)
+  let remaining = Hashtbl.create 8 in
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace remaining k (if k = Create then max 0 (n - 3) else n))
+    counts;
+  let total_left () = Hashtbl.fold (fun _ n acc -> acc + n) remaining 0 in
+  let steps = versions - 1 in
+  let version_names = ref [ "v001" ] in
+  for v = 2 to versions do
+    let name = Fmt.str "v%03d" v in
+    let parent = List.hd !version_names in
+    (* how many SMOs in this version: spread the remaining budget evenly *)
+    let versions_left = versions - v + 1 in
+    let per = max 1 ((total_left () + versions_left - 1) / versions_left) in
+    let ops = ref [] in
+    let attempts = ref 0 in
+    while List.length !ops < per && total_left () > 0 && !attempts < 50 do
+      incr attempts;
+      (* pick the kind with the largest normalized remaining share *)
+      let candidates =
+        List.filter (fun (k, _) -> Hashtbl.find remaining k > 0) counts
+      in
+      let scored =
+        List.map
+          (fun (k, n0) ->
+            (float_of_int (Hashtbl.find remaining k) /. float_of_int n0, k))
+          candidates
+        |> List.sort (fun a b -> compare (fst b) (fst a))
+      in
+      let rec try_kinds = function
+        | [] -> ()
+        | (_, k) :: rest -> (
+          match emit st k with
+          | Some txt ->
+            Hashtbl.replace remaining k (Hashtbl.find remaining k - 1);
+            ops := txt :: !ops
+          | None -> try_kinds rest)
+      in
+      try_kinds scored
+    done;
+    let body =
+      match !ops with
+      | [] -> [ Fmt.str "ADD COLUMN pad%d AS 0 INTO page" v ]
+      | ops -> List.rev ops
+    in
+    I.evolve api
+      (Fmt.str "CREATE SCHEMA VERSION %s FROM %s WITH %s;" name parent
+         (String.concat "; " body));
+    version_names := name :: !version_names
+  done;
+  ignore steps;
+  (api, Array.of_list (List.rev !version_names))
+
+(** Histogram of the SMOs actually applied (for the Table 4 report). *)
+let histogram (api : I.t) =
+  let gen = I.genealogy api in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (si : Inverda.Genealogy.smo_instance) ->
+      let name =
+        match si.Inverda.Genealogy.si_smo with
+        | Bidel.Ast.Join { outer = false; _ } -> "JOIN"
+        | Bidel.Ast.Join { outer = true; _ } -> "OUTER JOIN"
+        | smo -> Bidel.Ast.smo_name smo
+      in
+      Hashtbl.replace counts name
+        (1 + Option.value (Hashtbl.find_opt counts name) ~default:0))
+    (Inverda.Genealogy.all_smos gen);
+  List.map
+    (fun name -> (name, Option.value (Hashtbl.find_opt counts name) ~default:0))
+    [ "CREATE TABLE"; "DROP TABLE"; "RENAME TABLE"; "ADD COLUMN"; "DROP COLUMN";
+      "RENAME COLUMN"; "JOIN"; "DECOMPOSE"; "MERGE"; "SPLIT" ]
+
+(** Load synthetic pages and links through the given version's views. *)
+let load api ~version ~pages ~links =
+  let db = I.database api in
+  let rng = Rng.create ~seed:99 () in
+  let page_ids = Array.make pages 0 in
+  for i = 0 to pages - 1 do
+    let id = I.fresh_id api in
+    page_ids.(i) <- id;
+    ignore
+      (Minidb.Engine.execf db
+         "INSERT INTO %s.page (p, title, namespace) VALUES (%d, 'Page_%d', %d)"
+         version id i (Rng.int rng 16))
+  done;
+  for _ = 1 to links do
+    let src = page_ids.(Rng.int rng pages) in
+    let dst = page_ids.(Rng.int rng pages) in
+    ignore
+      (Minidb.Engine.execf db
+         "INSERT INTO %s.link (src, dst) VALUES (%d, %d)" version src dst)
+  done
+
+(** Figure 12 template queries against a version's views. *)
+let query_page_by_title ~version ~i =
+  Fmt.str "SELECT p, namespace FROM %s.page WHERE title = 'Page_%d'" version i
+
+let query_link_count ~version =
+  Fmt.str
+    "SELECT COUNT(*) FROM %s.link l JOIN %s.page g ON l.src = g.p WHERE g.namespace = 0"
+    version version

@@ -1,0 +1,166 @@
+(** Workload generation and measurement: the read/insert/update/delete mixes
+    and the Technology-Adoption-Life-Cycle version shift of Figures 8-11. *)
+
+type mix = { reads : int; inserts : int; updates : int; deletes : int }
+(** percentages, summing to 100 *)
+
+(** The paper's mix: 50 % reads, 20 % inserts, 20 % updates, 10 % deletes. *)
+let paper_mix = { reads = 50; inserts = 20; updates = 20; deletes = 10 }
+
+let read_only = { reads = 100; inserts = 0; updates = 0; deletes = 0 }
+
+let insert_only = { reads = 0; inserts = 100; updates = 0; deletes = 0 }
+
+let now () = Unix.gettimeofday ()
+
+(** Wall-clock seconds spent in [f]. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_unit f = snd (time f)
+
+(** Median of [runs] timed executions (used for the point measurements of
+    Figures 8 and 11-13). *)
+let median_time ?(runs = 5) f =
+  let samples = List.init runs (fun _ -> time_unit f) |> List.sort compare in
+  List.nth samples (runs / 2)
+
+(* --- version-agnostic TasKy workload --------------------------------------- *)
+
+type version = V_tasky | V_tasky2 | V_do
+
+let version_name = function
+  | V_tasky -> "TasKy"
+  | V_tasky2 -> "TasKy2"
+  | V_do -> "Do!"
+
+(** Key pool for point updates/deletes, sampled from the version view. *)
+let sample_keys db version =
+  let view =
+    match version with
+    | V_tasky -> "TasKy.Task"
+    | V_tasky2 -> "TasKy2.Task"
+    | V_do -> "Do!.Todo"
+  in
+  Minidb.Engine.query_rows db (Fmt.str "SELECT p FROM %s" view)
+  |> List.filter_map (function
+       | [ Minidb.Value.Int p ] -> Some p
+       | _ -> None)
+  |> Array.of_list
+
+type runner = {
+  db : Minidb.Database.t;
+  rng : Rng.t;
+  mutable keys : int array;  (** known row keys per version *)
+  mutable fresh : int;  (** counter for generated task names *)
+  author_ids : int array;  (** TasKy2 author ids (for fk inserts) *)
+}
+
+let make_runner ?(rng = Rng.create ~seed:7 ()) db =
+  let author_ids =
+    match
+      Minidb.Engine.query_rows db "SELECT p FROM TasKy2.Author"
+    with
+    | rows ->
+      Array.of_list
+        (List.filter_map
+           (function [ Minidb.Value.Int p ] -> Some p | _ -> None)
+           rows)
+    | exception _ -> [||]
+  in
+  { db; rng; keys = [||]; fresh = 0; author_ids }
+
+let refresh_keys r version = r.keys <- sample_keys r.db version
+
+let exec r sql = ignore (Minidb.Engine.exec r.db sql)
+
+(** One workload operation against [version]; the statement templates follow
+    the paper's description (reads of the urgent tasks, inserts of new tasks,
+    point updates and deletes). *)
+let run_op r version kind =
+  r.fresh <- r.fresh + 1;
+  let some_key () =
+    if Array.length r.keys = 0 then None
+    else Some r.keys.(Rng.int r.rng (Array.length r.keys))
+  in
+  match version, kind with
+  | V_tasky, `Read -> exec r (Tasky.tasky_read r.rng)
+  | V_tasky2, `Read -> exec r (Tasky.tasky2_read r.rng)
+  | V_do, `Read -> exec r (Tasky.do_read r.rng)
+  | V_tasky, `Insert -> exec r (Tasky.tasky_insert r.rng r.fresh)
+  | V_do, `Insert -> exec r (Tasky.do_insert r.rng r.fresh)
+  | V_tasky2, `Insert ->
+    let author =
+      if Array.length r.author_ids = 0 then 1
+      else r.author_ids.(Rng.int r.rng (Array.length r.author_ids))
+    in
+    exec r (Tasky.tasky2_insert r.rng r.fresh author)
+  | V_tasky, `Update -> (
+    match some_key () with
+    | Some p ->
+      exec r (Fmt.str "UPDATE TasKy.Task SET task = 'upd-%d' WHERE p = %d" r.fresh p)
+    | None -> ())
+  | V_tasky2, `Update -> (
+    match some_key () with
+    | Some p ->
+      exec r (Fmt.str "UPDATE TasKy2.Task SET task = 'upd-%d' WHERE p = %d" r.fresh p)
+    | None -> ())
+  | V_do, `Update -> (
+    match some_key () with
+    | Some p ->
+      exec r (Fmt.str "UPDATE Do!.Todo SET task = 'upd-%d' WHERE p = %d" r.fresh p)
+    | None -> ())
+  | version, `Delete -> (
+    match some_key () with
+    | Some p ->
+      let view =
+        match version with
+        | V_tasky -> "TasKy.Task"
+        | V_tasky2 -> "TasKy2.Task"
+        | V_do -> "Do!.Todo"
+      in
+      (* keep the pool fresh-ish: drop the used key *)
+      r.keys <- Array.of_list (List.filter (fun k -> k <> p) (Array.to_list r.keys));
+      exec r (Fmt.str "DELETE FROM %s WHERE p = %d" view p)
+    | None -> ())
+
+let pick_kind r (mix : mix) =
+  let x = Rng.int r.rng 100 in
+  if x < mix.reads then `Read
+  else if x < mix.reads + mix.inserts then `Insert
+  else if x < mix.reads + mix.inserts + mix.updates then `Update
+  else `Delete
+
+(** Run [ops] operations of [mix] against [version]; returns elapsed wall
+    seconds. *)
+let run_mix r ~version ~mix ~ops =
+  refresh_keys r version;
+  time_unit (fun () ->
+      for _ = 1 to ops do
+        run_op r version (pick_kind r mix)
+      done)
+
+(* --- the adoption curve of Figures 9 and 10 ---------------------------------- *)
+
+(** Fraction of the workload already using the new version in time slice
+    [i] of [n]: a logistic ramp (the Technology Adoption Life Cycle). *)
+let adoption_fraction ~slice ~slices =
+  let x = 12.0 *. (float_of_int slice /. float_of_int (max 1 slices)) -. 6.0 in
+  1.0 /. (1.0 +. exp (-.x))
+
+(** One slice of the two-version shift workload: [frac] of the operations go
+    to [v_new], the rest to [v_old]. *)
+let run_slice r ~v_old ~v_new ~frac ~mix ~ops =
+  refresh_keys r v_old;
+  let keys_old = r.keys in
+  refresh_keys r v_new;
+  let keys_new = r.keys in
+  time_unit (fun () ->
+      for _ = 1 to ops do
+        let use_new = Rng.int r.rng 1000 < int_of_float (frac *. 1000.0) in
+        let version = if use_new then v_new else v_old in
+        r.keys <- (if use_new then keys_new else keys_old);
+        run_op r version (pick_kind r mix)
+      done)

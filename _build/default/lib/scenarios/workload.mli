@@ -1,0 +1,65 @@
+(** Workload generation and measurement: the read/insert/update/delete mixes
+    and the Technology-Adoption-Life-Cycle version shift of Figures 8-11. *)
+
+type mix = { reads : int; inserts : int; updates : int; deletes : int }
+(** Percentages, summing to 100. *)
+
+val paper_mix : mix
+(** The paper's 50/20/20/10 mix. *)
+
+val read_only : mix
+
+val insert_only : mix
+
+val now : unit -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val time_unit : (unit -> unit) -> float
+
+val median_time : ?runs:int -> (unit -> unit) -> float
+(** Median of [runs] (default 5) timed executions. *)
+
+(** {1 TasKy workloads} — the version views carry the same names in the
+    InVerDa and handwritten setups, so one workload drives either. *)
+
+type version = V_tasky | V_tasky2 | V_do
+
+val version_name : version -> string
+
+type runner = {
+  db : Minidb.Database.t;
+  rng : Rng.t;
+  mutable keys : int array;
+  mutable fresh : int;
+  author_ids : int array;
+}
+
+val make_runner : ?rng:Rng.t -> Minidb.Database.t -> runner
+
+val refresh_keys : runner -> version -> unit
+(** Re-sample the key pool used by point updates and deletes. *)
+
+val run_op :
+  runner -> version -> [ `Read | `Insert | `Update | `Delete ] -> unit
+
+val pick_kind : runner -> mix -> [ `Read | `Insert | `Update | `Delete ]
+
+val run_mix : runner -> version:version -> mix:mix -> ops:int -> float
+(** Run a workload slice; returns elapsed seconds. *)
+
+(** {1 The adoption curve of Figures 9/10} *)
+
+val adoption_fraction : slice:int -> slices:int -> float
+(** Logistic ramp from ~0 to ~1 (the Technology Adoption Life Cycle). *)
+
+val run_slice :
+  runner ->
+  v_old:version ->
+  v_new:version ->
+  frac:float ->
+  mix:mix ->
+  ops:int ->
+  float
+(** One time slice with [frac] of the operations on the new version. *)

@@ -1,0 +1,1 @@
+test/test_bidel.ml: Alcotest Array Ast Bidel Datalog Gen List Minidb Option Parser Printer QCheck QCheck_alcotest Smo_semantics Test Verify

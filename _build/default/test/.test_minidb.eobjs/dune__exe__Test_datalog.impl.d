@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Bidel Datalog List Minidb String

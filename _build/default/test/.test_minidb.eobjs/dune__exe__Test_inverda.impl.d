@@ -1,0 +1,1 @@
+test/test_inverda.ml: Alcotest Astring Bidel Fmt Inverda List Minidb

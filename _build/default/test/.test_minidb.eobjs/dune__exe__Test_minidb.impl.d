@@ -1,0 +1,1 @@
+test/test_minidb.ml: Alcotest Database Engine Exec Gen List Minidb QCheck QCheck_alcotest Sql_ast Sql_lexer Sql_parser Sql_printer Table Test Value

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Bidel Fmt Gen Inverda List Minidb Printexc QCheck QCheck_alcotest Scenarios

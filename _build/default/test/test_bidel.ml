@@ -1,0 +1,564 @@
+(* BiDEL: parser round trips and, centrally, the bidirectionality laws
+   (conditions 26/27 of the paper) for every SMO template, checked against
+   the Datalog evaluation oracle on both hand-picked and random data. *)
+
+open Bidel
+module Value = Minidb.Value
+module S = Smo_semantics
+
+let i n = Value.Int n
+
+let s v = Value.Text v
+
+(* --- parser -------------------------------------------------------------- *)
+
+let roundtrip_smo str =
+  let smo = Parser.smo_of_string str in
+  let printed = Printer.smo_to_string smo in
+  let smo2 = Parser.smo_of_string printed in
+  Alcotest.(check string)
+    ("stable print of " ^ str)
+    printed
+    (Printer.smo_to_string smo2)
+
+let test_parse_smos () =
+  List.iter roundtrip_smo
+    [
+      "CREATE TABLE Task(author,task,prio)";
+      "DROP TABLE Task";
+      "RENAME TABLE Task INTO Job";
+      "RENAME COLUMN author IN author TO name";
+      "ADD COLUMN prio AS 1 INTO Todo";
+      "ADD COLUMN score AS prio * 2 + 1 INTO Task";
+      "DROP COLUMN prio FROM Todo DEFAULT 1";
+      "DROP COLUMN prio FROM Todo DEFAULT CASE WHEN author = 'Ann' THEN 1 ELSE 2 END";
+      "DECOMPOSE TABLE task INTO task(task,prio), author(author) ON FOREIGN KEY author";
+      "DECOMPOSE TABLE r INTO s(a,b), t(c) ON PK";
+      "DECOMPOSE TABLE r INTO s(a,b)";
+      "DECOMPOSE TABLE r INTO s(a), t(b) ON a = b";
+      "JOIN TABLE r, s INTO t ON PK";
+      "OUTER JOIN TABLE r, s INTO t ON PK";
+      "JOIN TABLE task, author INTO t ON FOREIGN KEY author";
+      "JOIN TABLE r, s INTO t ON x < y";
+      "SPLIT TABLE Task INTO Todo WITH prio = 1";
+      "SPLIT TABLE t INTO r WITH prio = 1, s WITH prio > 1";
+      "MERGE TABLE r (prio = 1), s (prio > 1) INTO t";
+    ]
+
+let test_parse_script () =
+  let script =
+    {|
+    CREATE SCHEMA VERSION Do! FROM TasKy WITH
+      SPLIT TABLE Task INTO Todo WITH prio = 1;
+      DROP COLUMN prio FROM Todo DEFAULT 1;
+    CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+      DECOMPOSE TABLE task INTO task(task,prio), author(author) ON FOREIGN KEY author;
+      RENAME COLUMN author IN author TO name;
+    MATERIALIZE 'TasKy2';
+    DROP SCHEMA VERSION Do!;
+  |}
+  in
+  match Parser.script_of_string script with
+  | [ Ast.Create_schema_version { name = "Do!"; from = Some "TasKy"; smos = [ _; _ ] };
+      Ast.Create_schema_version { name = "TasKy2"; smos = [ _; _ ]; _ };
+      Ast.Materialize [ "TasKy2" ];
+      Ast.Drop_schema_version "Do!" ] ->
+    ()
+  | stmts -> Alcotest.failf "unexpected parse: %d statements" (List.length stmts)
+
+let test_parse_errors () =
+  let expect_fail str =
+    match Parser.smo_of_string str with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ str)
+  in
+  List.iter expect_fail
+    [ "SPLIT Task INTO Todo"; "DROP COLUMN x FROM t"; "MERGE TABLE a, b INTO c";
+      "DECOMPOSE task INTO x(a)" ]
+
+(* --- instantiation helpers ------------------------------------------------ *)
+
+let make_inst schemas smo_str =
+  let smo = Parser.smo_of_string smo_str in
+  S.instantiate ~smo
+    ~source_cols:(fun t ->
+      match List.assoc_opt t schemas with
+      | Some cols -> cols
+      | None -> Alcotest.failf "unknown test table %s" t)
+    ~name_src:(fun t -> "src!" ^ t)
+    ~name_tgt:(fun t -> "tgt!" ^ t)
+    ~aux_name:(fun k -> "aux!" ^ k)
+    ~skolem_name:Verify.skolem_name
+
+let check_both inst ~src ~tgt =
+  let r1 = Verify.check_src inst src in
+  if not r1.Verify.ok then
+    Alcotest.failf "condition (27) violated:@.%s" (Verify.report_to_string r1);
+  let r2 = Verify.check_tgt inst tgt in
+  if not r2.Verify.ok then
+    Alcotest.failf "condition (26) violated:@.%s" (Verify.report_to_string r2)
+
+(* --- hand-picked round trips ---------------------------------------------- *)
+
+let tasky_rows =
+  [
+    [| i 1; s "Ann"; s "Organize party"; i 3 |];
+    [| i 2; s "Ben"; s "Learn for exam"; i 2 |];
+    [| i 3; s "Ann"; s "Write paper"; i 1 |];
+    [| i 4; s "Ben"; s "Clean room"; i 1 |];
+  ]
+
+let test_add_column () =
+  let inst =
+    make_inst [ ("t", [ "a"; "b" ]) ] "ADD COLUMN c AS a + 1 INTO t"
+  in
+  check_both inst
+    ~src:[ ("src!t", [ [| i 1; i 10; i 20 |]; [| i 2; i 30; Value.Null |] ]) ]
+    ~tgt:[ ("tgt!t", [ [| i 1; i 10; i 20; i 99 |]; [| i 2; i 30; i 40; Value.Null |] ]) ]
+
+let test_drop_column () =
+  let inst =
+    make_inst [ ("t", [ "a"; "b"; "c" ]) ] "DROP COLUMN b FROM t DEFAULT 7"
+  in
+  check_both inst
+    ~src:[ ("src!t", [ [| i 1; i 10; i 20; i 30 |]; [| i 2; i 1; Value.Null; i 3 |] ]) ]
+    ~tgt:[ ("tgt!t", [ [| i 1; i 10; i 30 |] ]) ]
+
+let test_rename_drop_create () =
+  let inst = make_inst [ ("t", [ "a" ]) ] "RENAME TABLE t INTO u" in
+  check_both inst
+    ~src:[ ("src!t", [ [| i 1; i 5 |] ]) ]
+    ~tgt:[ ("tgt!u", [ [| i 1; i 6 |] ]) ];
+  let inst = make_inst [ ("t", [ "a"; "b" ]) ] "RENAME COLUMN a IN t TO z" in
+  check_both inst
+    ~src:[ ("src!t", [ [| i 1; i 5; i 6 |] ]) ]
+    ~tgt:[ ("tgt!t", [ [| i 1; i 7; i 8 |] ]) ];
+  let inst = make_inst [ ("t", [ "a" ]) ] "DROP TABLE t" in
+  check_both inst ~src:[ ("src!t", [ [| i 1; i 5 |] ]) ] ~tgt:[]
+
+let test_split_full () =
+  let inst =
+    make_inst
+      [ ("task", [ "author"; "task"; "prio" ]) ]
+      "SPLIT TABLE task INTO urgent WITH prio = 1, hot WITH prio <= 2"
+  in
+  (* overlapping conditions: prio = 1 rows are twins in both targets *)
+  check_both inst
+    ~src:[ ("src!task", tasky_rows) ]
+    ~tgt:
+      [
+        (* twins, separated twins, lost twins, out-of-partition rows *)
+        ( "tgt!urgent",
+          [
+            [| i 3; s "Ann"; s "Write paper"; i 1 |];
+            [| i 5; s "Cleo"; s "Edited twin"; i 1 |];
+          ] );
+        ( "tgt!hot",
+          [
+            [| i 3; s "Ann"; s "Write paper"; i 1 |];
+            [| i 5; s "Cleo"; s "Other twin value"; i 1 |];
+            [| i 6; s "Dan"; s "Lost in urgent"; i 1 |];
+            [| i 7; s "Eve"; s "Violates both"; i 9 |];
+          ] );
+      ]
+
+let test_split_single () =
+  let inst =
+    make_inst
+      [ ("task", [ "author"; "task"; "prio" ]) ]
+      "SPLIT TABLE task INTO todo WITH prio = 1"
+  in
+  check_both inst
+    ~src:[ ("src!task", tasky_rows) ]
+    ~tgt:
+      [
+        ( "tgt!todo",
+          [
+            [| i 3; s "Ann"; s "Write paper"; i 1 |];
+            [| i 9; s "Zoe"; s "Violates cond"; i 4 |];
+          ] );
+      ]
+
+let test_merge () =
+  let inst =
+    make_inst
+      [ ("r", [ "a"; "b" ]); ("q", [ "a"; "b" ]) ]
+      "MERGE TABLE r (a = 1), q (a = 2) INTO t"
+  in
+  check_both inst
+    ~src:
+      [
+        ("src!r", [ [| i 1; i 1; i 10 |]; [| i 2; i 5; i 20 |] ]);
+        ("src!q", [ [| i 3; i 2; i 30 |]; [| i 1; i 1; i 10 |] ]);
+      ]
+    ~tgt:[ ("tgt!t", [ [| i 1; i 1; i 10 |]; [| i 2; i 2; i 20 |]; [| i 3; i 7; i 9 |] ]) ]
+
+let test_decompose_pk () =
+  let inst =
+    make_inst
+      [ ("r", [ "a"; "b"; "c" ]) ]
+      "DECOMPOSE TABLE r INTO st(a,b), tt(c) ON PK"
+  in
+  check_both inst
+    ~src:
+      [ ("src!r", [ [| i 1; i 10; i 11; i 12 |]; [| i 2; i 20; i 21; Value.Null |] ]) ]
+    ~tgt:
+      [
+        ("tgt!st", [ [| i 1; i 10; i 11 |]; [| i 3; i 5; i 6 |] ]);
+        ("tgt!tt", [ [| i 1; i 12 |]; [| i 4; i 9 |] ]);
+      ]
+
+let test_decompose_projection () =
+  let inst =
+    make_inst [ ("r", [ "a"; "b"; "c" ]) ] "DECOMPOSE TABLE r INTO st(a,c)"
+  in
+  check_both inst
+    ~src:[ ("src!r", [ [| i 1; i 10; i 11; i 12 |] ]) ]
+    ~tgt:[ ("tgt!st", [ [| i 1; i 10; i 12 |] ]) ]
+
+let test_outer_join_pk () =
+  let inst =
+    make_inst
+      [ ("st", [ "a"; "b" ]); ("tt", [ "c" ]) ]
+      "OUTER JOIN TABLE st, tt INTO r ON PK"
+  in
+  check_both inst
+    ~src:
+      [
+        ("src!st", [ [| i 1; i 10; i 11 |]; [| i 2; i 20; i 21 |] ]);
+        ("src!tt", [ [| i 1; i 12 |]; [| i 3; i 30 |] ]);
+      ]
+    ~tgt:[ ("tgt!r", [ [| i 1; i 10; i 11; i 12 |]; [| i 2; i 5; Value.Null; i 7 |] ]) ]
+
+let test_inner_join_pk () =
+  let inst =
+    make_inst
+      [ ("st", [ "a"; "b" ]); ("tt", [ "c" ]) ]
+      "JOIN TABLE st, tt INTO r ON PK"
+  in
+  check_both inst
+    ~src:
+      [
+        ("src!st", [ [| i 1; i 10; i 11 |]; [| i 2; i 20; i 21 |] ]);
+        ("src!tt", [ [| i 1; i 12 |]; [| i 3; i 30 |] ]);
+      ]
+    ~tgt:[ ("tgt!r", [ [| i 1; i 10; i 11; i 12 |] ]) ]
+
+let test_decompose_fk () =
+  let inst =
+    make_inst
+      [ ("task", [ "task"; "prio"; "author" ]) ]
+      "DECOMPOSE TABLE task INTO task(task,prio), author(author) ON FOREIGN KEY author"
+  in
+  (* Ann owns two tasks: the author table must be deduplicated; one task has
+     no author at all. *)
+  check_both inst
+    ~src:
+      [
+        ( "src!task",
+          [
+            [| i 1; s "Organize party"; i 3; s "Ann" |];
+            [| i 2; s "Learn for exam"; i 2; s "Ben" |];
+            [| i 3; s "Write paper"; i 1; s "Ann" |];
+            [| i 4; s "Orphan task"; i 1; Value.Null |];
+          ] );
+      ]
+    ~tgt:
+      [
+        ( "tgt!task",
+          [
+            [| i 1; s "Organize party"; i 3; i 100 |];
+            [| i 2; s "Learn for exam"; i 2; i 101 |];
+            [| i 3; s "Write paper"; i 1; i 100 |];
+            [| i 4; s "No author"; i 2; Value.Null |];
+          ] );
+        (* author 102 is an orphan: no task references it *)
+        ("tgt!author", [ [| i 100; s "Ann" |]; [| i 101; s "Ben" |]; [| i 102; s "Cleo" |] ]);
+      ]
+
+let test_outer_join_fk () =
+  let inst =
+    make_inst
+      [ ("task", [ "task"; "author" ]); ("person", [ "name" ]) ]
+      "OUTER JOIN TABLE task, person INTO t ON FOREIGN KEY author"
+  in
+  check_both inst
+    ~src:
+      [
+        ( "src!task",
+          [
+            [| i 1; s "Write"; i 100 |];
+            [| i 2; s "Clean"; i 100 |];
+            [| i 3; s "Rest"; Value.Null |];
+          ] );
+        ("src!person", [ [| i 100; s "Ann" |]; [| i 101; s "Ben" |] ]);
+      ]
+    ~tgt:
+      [
+        ( "tgt!t",
+          [
+            [| i 1; s "Write"; s "Ann" |];
+            [| i 2; s "Clean"; s "Ann" |];
+            [| i 3; s "Rest"; Value.Null |];
+          ] );
+      ]
+
+let test_inner_join_fk () =
+  let inst =
+    make_inst
+      [ ("task", [ "task"; "author" ]); ("person", [ "name" ]) ]
+      "JOIN TABLE task, person INTO t ON FOREIGN KEY author"
+  in
+  check_both inst
+    ~src:
+      [
+        ( "src!task",
+          [ [| i 1; s "Write"; i 100 |]; [| i 3; s "Rest"; Value.Null |] ] );
+        ("src!person", [ [| i 100; s "Ann" |]; [| i 101; s "Ben" |] ]);
+      ]
+    ~tgt:[ ("tgt!t", [ [| i 1; s "Write"; s "Ann" |] ]) ]
+
+let test_decompose_cond () =
+  let inst =
+    make_inst
+      [ ("r", [ "a"; "b" ]) ]
+      "DECOMPOSE TABLE r INTO st(a), tt(b) ON a = b"
+  in
+  check_both inst
+    ~src:[ ("src!r", [ [| i 1; i 10; i 10 |]; [| i 2; i 20; i 21 |] ]) ]
+    ~tgt:
+      [
+        ("tgt!st", [ [| i 100; i 10 |]; [| i 101; i 33 |] ]);
+        ("tgt!tt", [ [| i 200; i 10 |]; [| i 201; i 44 |] ]);
+      ]
+
+let test_join_cond () =
+  let inst =
+    make_inst
+      [ ("st", [ "a" ]); ("tt", [ "b" ]) ]
+      "JOIN TABLE st, tt INTO r ON a = b"
+  in
+  check_both inst
+    ~src:
+      [
+        ("src!st", [ [| i 1; i 10 |]; [| i 2; i 20 |] ]);
+        ("src!tt", [ [| i 3; i 10 |]; [| i 4; i 30 |] ]);
+      ]
+    ~tgt:[ ("tgt!r", [ [| i 500; i 10; i 10 |]; [| i 501; i 7; i 7 |] ]) ]
+
+let test_outer_join_cond () =
+  let inst =
+    make_inst
+      [ ("st", [ "a" ]); ("tt", [ "b" ]) ]
+      "OUTER JOIN TABLE st, tt INTO r ON a = b"
+  in
+  check_both inst
+    ~src:
+      [
+        ("src!st", [ [| i 1; i 10 |]; [| i 2; i 20 |] ]);
+        ("src!tt", [ [| i 3; i 10 |]; [| i 4; i 30 |] ]);
+      ]
+    ~tgt:[ ("tgt!r", [ [| i 500; i 10; i 10 |]; [| i 2; i 20; Value.Null |] ]) ]
+
+(* --- property-based round trips ------------------------------------------- *)
+
+let qsuite =
+  let open QCheck in
+  (* payload values: small ints with occasional NULL, never all-NULL rows *)
+  let payload_gen width =
+    Gen.(
+      list_size (0 -- 12)
+        (array_size (return width)
+           (oneof [ map (fun n -> Value.Int n) (0 -- 4); return Value.Null ])))
+  in
+  let keyed rows = List.mapi (fun k row -> Array.append [| i (k + 1) |] row) rows in
+  let no_all_null rows =
+    List.filter (fun r -> Array.exists (fun v -> not (Value.is_null v)) r) rows
+  in
+  let arb width = make (Gen.map no_all_null (payload_gen width)) in
+  let prop_src name schemas smo_str width =
+    Test.make ~name:("(27) " ^ name) ~count:60 (arb width) (fun rows ->
+        let inst = make_inst schemas smo_str in
+        let src_tables = List.map (fun (r : S.rel) -> r.S.rel_name) inst.S.sources in
+        (* distribute the rows over the source tables round-robin *)
+        let n = List.length src_tables in
+        let data =
+          List.mapi
+            (fun j t ->
+              ( t,
+                keyed rows
+                |> List.filteri (fun k _ -> k mod n = j)
+                |> List.map (fun row ->
+                       Array.sub row 0
+                         (List.length
+                            (List.nth inst.S.sources j).S.rel_cols)) ))
+            src_tables
+        in
+        let r = Verify.check_src inst data in
+        if not r.Verify.ok then
+          Test.fail_reportf "condition 27 violated:@.%s" (Verify.report_to_string r)
+        else true)
+  in
+  let split_tgt =
+    (* condition (26) for SPLIT under adversarial target data: twins,
+       separated twins, lost twins, rows violating the conditions *)
+    Test.make ~name:"(26) split adversarial" ~count:100
+      (pair (arb 1) (arb 1))
+      (fun (lrows, rrows) ->
+        let inst =
+          make_inst [ ("t", [ "a" ]) ] "SPLIT TABLE t INTO r WITH a < 3, q WITH a > 1"
+        in
+        let data =
+          [ ("tgt!r", keyed lrows); ("tgt!q", keyed rrows) ]
+        in
+        let r = Verify.check_tgt inst data in
+        if not r.Verify.ok then
+          Test.fail_reportf "condition 26 violated:@.%s" (Verify.report_to_string r)
+        else true)
+  in
+  let join_pk_tgt =
+    Test.make ~name:"(26) outer join pk random" ~count:100
+      (pair (arb 1) (arb 1))
+      (fun (lrows, rrows) ->
+        let inst =
+          make_inst
+            [ ("st", [ "a" ]); ("tt", [ "b" ]) ]
+            "OUTER JOIN TABLE st, tt INTO r ON PK"
+        in
+        let data = [ ("src!st", keyed lrows); ("src!tt", keyed rrows) ] in
+        let r = Verify.check_src inst data in
+        if not r.Verify.ok then
+          Test.fail_reportf "violated:@.%s" (Verify.report_to_string r)
+        else true)
+  in
+  let fk_tgt =
+    (* condition (26) for the FK decompose under referentially consistent
+       target data: partners with ids 100.., fks drawn from them or NULL,
+       plus orphan partners *)
+    Test.make ~name:"(26) decompose fk consistent" ~count:80
+      (pair (arb 1) (small_nat))
+      (fun (trows, nulls) ->
+        let inst =
+          make_inst [ ("r", [ "a"; "b" ]) ]
+            "DECOMPOSE TABLE r INTO st(a), tt(b) ON FOREIGN KEY fk"
+        in
+        let tt =
+          List.mapi
+            (fun idx row -> Array.append [| Value.Int (100 + idx) |] row)
+            trows
+        in
+        ignore nulls;
+        let tids = List.map (fun row -> row.(0)) tt in
+        let st =
+          List.mapi
+            (fun j _ ->
+              let fk =
+                if j mod 3 = 2 || tids = [] then Value.Null
+                else List.nth tids (j mod List.length tids)
+              in
+              [| Value.Int (j + 1); Value.Int j; fk |])
+            trows
+        in
+        let data = [ ("tgt!st", st); ("tgt!tt", tt) ] in
+        let r = Verify.check_tgt inst data in
+        if not r.Verify.ok then
+          Test.fail_reportf "condition 26 violated:@.%s" (Verify.report_to_string r)
+        else true)
+  in
+  let chain_law =
+    (* the chains-of-SMOs law (51): data round trips through SPLIT followed
+       by ADD COLUMN with no loss or gain *)
+    Test.make ~name:"(51) chain SPLIT ; ADD COLUMN" ~count:60 (arb 1)
+      (fun rows ->
+        let split =
+          make_inst [ ("t", [ "a" ]) ] "SPLIT TABLE t INTO r WITH a < 3, q WITH a > 1"
+        in
+        let addcol =
+          Bidel.Smo_semantics.instantiate
+            ~smo:(Parser.smo_of_string "ADD COLUMN c AS a + 1 INTO r")
+            ~source_cols:(fun _ -> [ "a" ])
+            ~name_src:(fun t -> "tgt!" ^ t)  (* chained onto split's target *)
+            ~name_tgt:(fun t -> "tgt2!" ^ t)
+            ~aux_name:(fun k -> "aux2!" ^ k)
+            ~skolem_name:Verify.skolem_name
+        in
+        let keyed =
+          List.mapi (fun k row -> Array.append [| Value.Int (k + 1) |] row) rows
+        in
+        let src = [ ("src!t", keyed) ] in
+        let engine = Verify.test_engine () in
+        (* forward through both SMOs *)
+        let mid = Datalog.Eval.eval ~engine split.Bidel.Smo_semantics.gamma_tgt src in
+        let far = Datalog.Eval.eval ~engine addcol.Bidel.Smo_semantics.gamma_tgt mid in
+        (* and back *)
+        let mid' =
+          Datalog.Eval.eval ~engine addcol.Bidel.Smo_semantics.gamma_src
+            (far @ mid)
+        in
+        (* the split's other target q and its aux T' come from the first hop *)
+        let back_input =
+          mid' @ List.filter (fun (n, _) -> not (List.mem_assoc n mid')) mid
+        in
+        let out = Datalog.Eval.eval ~engine split.Bidel.Smo_semantics.gamma_src back_input in
+        Datalog.Eval.same_tuples
+          (Option.value (List.assoc_opt "src!t" out) ~default:[])
+          keyed)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      fk_tgt;
+      chain_law;
+      prop_src "add column" [ ("t", [ "a"; "b" ]) ] "ADD COLUMN c AS a + 1 INTO t" 2;
+      prop_src "drop column" [ ("t", [ "a"; "b" ]) ] "DROP COLUMN b FROM t DEFAULT 0" 2;
+      prop_src "split" [ ("t", [ "a" ]) ] "SPLIT TABLE t INTO r WITH a < 3, q WITH a > 1" 1;
+      prop_src "split single" [ ("t", [ "a" ]) ] "SPLIT TABLE t INTO r WITH a < 2" 1;
+      prop_src "merge"
+        [ ("r", [ "a" ]); ("q", [ "a" ]) ]
+        "MERGE TABLE r (a < 3), q (a > 1) INTO t" 1;
+      prop_src "decompose pk" [ ("r", [ "a"; "b" ]) ]
+        "DECOMPOSE TABLE r INTO st(a), tt(b) ON PK" 2;
+      prop_src "decompose fk" [ ("r", [ "a"; "b" ]) ]
+        "DECOMPOSE TABLE r INTO st(a), tt(b) ON FOREIGN KEY fk" 2;
+      prop_src "decompose cond" [ ("r", [ "a"; "b" ]) ]
+        "DECOMPOSE TABLE r INTO st(a), tt(b) ON a = b" 2;
+      prop_src "join pk"
+        [ ("st", [ "a" ]); ("tt", [ "b" ]) ]
+        "JOIN TABLE st, tt INTO r ON PK" 1;
+      prop_src "join cond"
+        [ ("st", [ "a" ]); ("tt", [ "b" ]) ]
+        "JOIN TABLE st, tt INTO r ON a = b" 1;
+      split_tgt;
+      join_pk_tgt;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bidel"
+    [
+      ( "parser",
+        [
+          tc "smos" test_parse_smos;
+          tc "script" test_parse_script;
+          tc "errors" test_parse_errors;
+        ] );
+      ( "roundtrip",
+        [
+          tc "add column" test_add_column;
+          tc "drop column" test_drop_column;
+          tc "rename/drop/create" test_rename_drop_create;
+          tc "split full" test_split_full;
+          tc "split single" test_split_single;
+          tc "merge" test_merge;
+          tc "decompose pk" test_decompose_pk;
+          tc "decompose projection" test_decompose_projection;
+          tc "outer join pk" test_outer_join_pk;
+          tc "inner join pk" test_inner_join_pk;
+          tc "decompose fk" test_decompose_fk;
+          tc "outer join fk" test_outer_join_fk;
+          tc "inner join fk" test_inner_join_fk;
+          tc "decompose cond" test_decompose_cond;
+          tc "join cond" test_join_cond;
+          tc "outer join cond" test_outer_join_cond;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,301 @@
+(* Datalog substrate: evaluation semantics, the simplification lemmas of
+   Section 5, and the mechanized Appendix A proofs — composing gamma_src
+   after gamma_tgt (and vice versa) for every non-identifier-generating SMO
+   must simplify to the identity mapping. *)
+
+module D = Datalog.Ast
+module Eval = Datalog.Eval
+module Simp = Datalog.Simplify
+module Sql = Minidb.Sql_ast
+module Value = Minidb.Value
+
+let i n = Value.Int n
+
+let atom = D.atom
+
+let ( <-- ) h b = D.rule h b
+
+let v = D.v
+
+let cond e = D.Cond e
+
+let lt a b = Sql.Binop (Sql.Lt, Sql.Col (None, a), Sql.Const (Value.Int b))
+
+(* --- evaluation ------------------------------------------------------------- *)
+
+let test_eval_join () =
+  let rules =
+    [
+      atom "out" [ v "p"; v "a"; v "b" ]
+      <-- [ D.Pos (atom "r" [ v "p"; v "a" ]); D.Pos (atom "s" [ v "p"; v "b" ]) ];
+    ]
+  in
+  let out =
+    Eval.eval_pred rules
+      [
+        ("r", [ [| i 1; i 10 |]; [| i 2; i 20 |] ]);
+        ("s", [ [| i 1; i 100 |]; [| i 3; i 300 |] ]);
+      ]
+      "out"
+  in
+  Alcotest.(check bool) "joined" true (Eval.same_tuples out [ [| i 1; i 10; i 100 |] ])
+
+let test_eval_negation () =
+  let rules =
+    [
+      atom "out" [ v "p" ]
+      <-- [ D.Pos (atom "r" [ v "p"; D.Anon ]); D.Neg (atom "s" [ v "p"; D.Anon ]) ];
+    ]
+  in
+  let out =
+    Eval.eval_pred rules
+      [ ("r", [ [| i 1; i 0 |]; [| i 2; i 0 |] ]); ("s", [ [| i 1; i 9 |] ]) ]
+      "out"
+  in
+  Alcotest.(check bool) "anti-join" true (Eval.same_tuples out [ [| i 2 |] ])
+
+let test_eval_condition_and_assign () =
+  let rules =
+    [
+      atom "out" [ v "p"; v "b" ]
+      <-- [
+            D.Pos (atom "r" [ v "p"; v "a" ]);
+            cond (lt "a" 10);
+            D.Assign
+              ("b", Sql.Binop (Sql.Add, Sql.Col (None, "a"), Sql.Const (Value.Int 1)));
+          ];
+    ]
+  in
+  let out =
+    Eval.eval_pred rules [ ("r", [ [| i 1; i 5 |]; [| i 2; i 50 |] ]) ] "out"
+  in
+  Alcotest.(check bool) "filtered + computed" true
+    (Eval.same_tuples out [ [| i 1; i 6 |] ])
+
+let test_eval_stratified () =
+  (* out depends on mid which depends on base; negation across strata *)
+  let rules =
+    [
+      atom "mid" [ v "p" ] <-- [ D.Pos (atom "base" [ v "p" ]) ];
+      atom "out" [ v "p" ]
+      <-- [ D.Pos (atom "all" [ v "p" ]); D.Neg (atom "mid" [ v "p" ]) ];
+    ]
+  in
+  let out =
+    Eval.eval_pred rules
+      [ ("base", [ [| i 1 |] ]); ("all", [ [| i 1 |]; [| i 2 |] ]) ]
+      "out"
+  in
+  Alcotest.(check bool) "stratified negation" true (Eval.same_tuples out [ [| i 2 |] ])
+
+let test_eval_rejects_recursion () =
+  let rules =
+    [ atom "p" [ v "x" ] <-- [ D.Pos (atom "p" [ v "x" ]) ] ]
+  in
+  match Eval.eval rules [] with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "recursion must be rejected"
+
+let test_safety_check () =
+  (* unbound head variable *)
+  let bad = [ atom "out" [ v "x" ] <-- [ D.Neg (atom "r" [ v "x" ]) ] ] in
+  match D.check_safety bad with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unsafe rule accepted"
+
+(* --- simplification lemmas ----------------------------------------------------- *)
+
+let test_lemma2_empty () =
+  let rules =
+    [
+      atom "out" [ v "p" ] <-- [ D.Pos (atom "r" [ v "p" ]); D.Pos (atom "e" [ v "p" ]) ];
+      atom "out2" [ v "p" ] <-- [ D.Pos (atom "r" [ v "p" ]); D.Neg (atom "e" [ v "p" ]) ];
+    ]
+  in
+  let out = Simp.simplify ~empty:[ "e" ] rules in
+  Alcotest.(check int) "one rule left" 1 (List.length out);
+  Alcotest.(check bool) "negation dropped" true
+    (Simp.rule_equivalent (List.hd out)
+       (atom "out2" [ v "p" ] <-- [ D.Pos (atom "r" [ v "p" ]) ]))
+
+let test_lemma3_tautology () =
+  let c = lt "a" 5 in
+  let rules =
+    [
+      atom "out" [ v "p"; v "a" ]
+      <-- [ D.Pos (atom "r" [ v "p"; v "a" ]); cond c ];
+      atom "out" [ v "p"; v "a" ]
+      <-- [ D.Pos (atom "r" [ v "p"; v "a" ]); cond (Simp.neg_cond c) ];
+    ]
+  in
+  let out = Simp.simplify rules in
+  Alcotest.(check int) "merged" 1 (List.length out);
+  Alcotest.(check bool) "condition dropped" true
+    (Simp.rule_equivalent (List.hd out)
+       (atom "out" [ v "p"; v "a" ] <-- [ D.Pos (atom "r" [ v "p"; v "a" ]) ]))
+
+let test_lemma4_contradiction () =
+  let c = lt "a" 5 in
+  let rules =
+    [
+      atom "out" [ v "p" ]
+      <-- [ D.Pos (atom "r" [ v "p"; v "a" ]); cond c; cond (Simp.neg_cond c) ];
+    ]
+  in
+  Alcotest.(check int) "removed" 0 (List.length (Simp.simplify rules))
+
+let test_lemma5_unique_key () =
+  (* two atoms on the same relation with the same key merge, equating their
+     payload variables *)
+  let rules =
+    [
+      atom "out" [ v "p"; v "a"; v "b" ]
+      <-- [ D.Pos (atom "r" [ v "p"; v "a" ]); D.Pos (atom "r" [ v "p"; v "b" ]) ];
+    ]
+  in
+  let out = Simp.simplify rules in
+  Alcotest.(check int) "one rule" 1 (List.length out);
+  Alcotest.(check bool) "payloads unified" true
+    (Simp.rule_equivalent (List.hd out)
+       (atom "out" [ v "p"; v "a"; v "a" ] <-- [ D.Pos (atom "r" [ v "p"; v "a" ]) ]))
+
+let test_subsumption () =
+  let rules =
+    [
+      atom "out" [ v "p" ] <-- [ D.Pos (atom "r" [ v "p" ]) ];
+      atom "out" [ v "p" ]
+      <-- [ D.Pos (atom "r" [ v "p" ]); D.Pos (atom "s" [ v "p" ]) ];
+    ]
+  in
+  Alcotest.(check int) "subsumed" 1 (List.length (Simp.simplify rules))
+
+let test_unfold_positive () =
+  let inner = [ atom "mid" [ v "p"; v "a" ] <-- [ D.Pos (atom "base" [ v "p"; v "a" ]); cond (lt "a" 5) ] ] in
+  let outer = [ atom "out" [ v "p" ] <-- [ D.Pos (atom "mid" [ v "p"; D.Anon ]) ] ] in
+  let out = Simp.compose ~inner outer in
+  Alcotest.(check int) "one rule" 1 (List.length out);
+  match out with
+  | [ r ] ->
+    Alcotest.(check bool) "references base" true
+      (List.exists
+         (function D.Pos a -> a.D.pred = "base" | _ -> false)
+         r.D.body)
+  | _ -> Alcotest.fail "unexpected"
+
+(* --- mechanized Appendix A: symbolic bidirectionality --------------------------- *)
+
+let make_inst schemas smo_str =
+  Bidel.Smo_semantics.instantiate
+    ~smo:(Bidel.Parser.smo_of_string smo_str)
+    ~source_cols:(fun t -> List.assoc t schemas)
+    ~name_src:(fun t -> "src!" ^ t)
+    ~name_tgt:(fun t -> "tgt!" ^ t)
+    ~aux_name:(fun k -> "aux!" ^ k)
+    ~skolem_name:Bidel.Verify.skolem_name
+
+let check_symbolic name schemas smo =
+  let inst = make_inst schemas smo in
+  (match Bidel.Verify.symbolic_src inst with
+  | Bidel.Verify.Identity _ -> ()
+  | Bidel.Verify.Residual msg ->
+    Alcotest.failf "%s: condition (27) not identity:@.%s" name msg
+  | Bidel.Verify.Skipped why -> Alcotest.failf "%s unexpectedly skipped: %s" name why);
+  match Bidel.Verify.symbolic_tgt inst with
+  | Bidel.Verify.Identity _ -> ()
+  | Bidel.Verify.Residual msg ->
+    Alcotest.failf "%s: condition (26) not identity:@.%s" name msg
+  | Bidel.Verify.Skipped why -> Alcotest.failf "%s unexpectedly skipped: %s" name why
+
+let test_symbolic_trivial () =
+  check_symbolic "rename table" [ ("t", [ "a"; "b" ]) ] "RENAME TABLE t INTO u";
+  check_symbolic "rename column" [ ("t", [ "a"; "b" ]) ] "RENAME COLUMN a IN t TO z";
+  check_symbolic "drop table" [ ("t", [ "a" ]) ] "DROP TABLE t"
+
+let test_symbolic_columns () =
+  check_symbolic "add column" [ ("t", [ "a"; "b" ]) ] "ADD COLUMN c AS a + 1 INTO t";
+  check_symbolic "drop column" [ ("t", [ "a"; "b"; "c" ]) ]
+    "DROP COLUMN b FROM t DEFAULT 0"
+
+let test_symbolic_split_single () =
+  check_symbolic "split single" [ ("t", [ "a"; "b" ]) ]
+    "SPLIT TABLE t INTO r WITH a < 5"
+
+let test_symbolic_split_full () =
+  (* the paper's showcase derivation: rules (28)-(45) and Appendix A *)
+  check_symbolic "split" [ ("t", [ "a" ]) ]
+    "SPLIT TABLE t INTO r WITH a < 5, s WITH a > 2"
+
+let test_symbolic_merge () =
+  check_symbolic "merge"
+    [ ("r", [ "a" ]); ("s", [ "a" ]) ]
+    "MERGE TABLE r (a < 5), s (a > 2) INTO t"
+
+let test_symbolic_decompose_pk () =
+  check_symbolic "decompose pk" [ ("t", [ "a"; "b" ]) ]
+    "DECOMPOSE TABLE t INTO r(a), s(b) ON PK";
+  check_symbolic "projection" [ ("t", [ "a"; "b"; "c" ]) ]
+    "DECOMPOSE TABLE t INTO r(a, c)"
+
+let test_symbolic_join_pk () =
+  check_symbolic "inner join pk"
+    [ ("r", [ "a" ]); ("s", [ "b" ]) ]
+    "JOIN TABLE r, s INTO t ON PK";
+  check_symbolic "outer join pk"
+    [ ("r", [ "a" ]); ("s", [ "b" ]) ]
+    "OUTER JOIN TABLE r, s INTO t ON PK"
+
+let test_symbolic_skips_skolem () =
+  let inst =
+    make_inst [ ("t", [ "a"; "b" ]) ]
+      "DECOMPOSE TABLE t INTO r(a), s(b) ON FOREIGN KEY fk"
+  in
+  match Bidel.Verify.symbolic_src inst with
+  | Bidel.Verify.Skipped _ -> ()
+  | _ -> Alcotest.fail "fk decompose must be argued via state, not symbolically"
+
+(* --- pretty printer round trip --------------------------------------------------- *)
+
+let test_pretty () =
+  let r =
+    atom "out" [ v "p"; D.Cst (Value.Int 3); D.Anon ]
+    <-- [ D.Pos (atom "r" [ v "p" ]); D.Neg (atom "s" [ v "p" ]); cond (lt "a" 5) ]
+  in
+  let s = Datalog.Pretty.rule_to_string r in
+  Alcotest.(check bool) "mentions not" true
+    (List.exists (fun part -> part = "not") (String.split_on_char ' ' s))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "datalog"
+    [
+      ( "eval",
+        [
+          tc "join" test_eval_join;
+          tc "negation" test_eval_negation;
+          tc "condition + assign" test_eval_condition_and_assign;
+          tc "stratified" test_eval_stratified;
+          tc "rejects recursion" test_eval_rejects_recursion;
+          tc "safety" test_safety_check;
+        ] );
+      ( "lemmas",
+        [
+          tc "lemma 2 (empty)" test_lemma2_empty;
+          tc "lemma 3 (tautology)" test_lemma3_tautology;
+          tc "lemma 4 (contradiction)" test_lemma4_contradiction;
+          tc "lemma 5 (unique key)" test_lemma5_unique_key;
+          tc "subsumption" test_subsumption;
+          tc "lemma 1 (unfold)" test_unfold_positive;
+        ] );
+      ( "appendix A (symbolic)",
+        [
+          tc "trivial smos" test_symbolic_trivial;
+          tc "add/drop column" test_symbolic_columns;
+          tc "split single" test_symbolic_split_single;
+          tc "split (the paper's derivation)" test_symbolic_split_full;
+          tc "merge" test_symbolic_merge;
+          tc "decompose on pk" test_symbolic_decompose_pk;
+          tc "join on pk" test_symbolic_join_pk;
+          tc "fk skolems skipped" test_symbolic_skips_skolem;
+        ] );
+      ("pretty", [ tc "printer" test_pretty ]);
+    ]

@@ -1,0 +1,470 @@
+(* End-to-end tests of InVerDa: the TasKy running example of the paper with
+   co-existing schema versions, write propagation in both directions, and
+   materialization changes that must be invisible to every version. *)
+
+module I = Inverda.Api
+module Value = Minidb.Value
+
+let tasky_script =
+  "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio);"
+
+let do_script =
+  {|CREATE SCHEMA VERSION Do! FROM TasKy WITH
+      SPLIT TABLE Task INTO Todo WITH prio = 1;
+      DROP COLUMN prio FROM Todo DEFAULT 1;|}
+
+let tasky2_script =
+  {|CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+      DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author;
+      RENAME COLUMN author IN Author TO name;|}
+
+let setup_tasky () =
+  let t = I.create () in
+  I.evolve t tasky_script;
+  List.iter
+    (fun (author, task, prio) ->
+      ignore
+        (I.exec_sql t
+           (Fmt.str
+              "INSERT INTO TasKy.Task (author, task, prio) VALUES ('%s', '%s', %d)"
+              author task prio)))
+    [
+      ("Ann", "Organize party", 3);
+      ("Ben", "Learn for exam", 2);
+      ("Ann", "Write paper", 1);
+      ("Ben", "Clean room", 1);
+    ];
+  t
+
+let setup_full () =
+  let t = setup_tasky () in
+  I.evolve t do_script;
+  I.evolve t tasky2_script;
+  t
+
+let sorted rows = List.sort compare rows
+
+let check_rows msg expected actual =
+  Alcotest.(check (list (list string)))
+    msg (sorted expected)
+    (sorted (List.map (List.map Value.to_string) actual))
+
+(* reads every version must serve, used after each state change *)
+let check_all_versions ?(extra = []) t =
+  check_rows "TasKy.Task"
+    ([
+       [ "Ann"; "Organize party"; "3" ];
+       [ "Ben"; "Learn for exam"; "2" ];
+       [ "Ann"; "Write paper"; "1" ];
+       [ "Ben"; "Clean room"; "1" ];
+     ]
+    @ extra)
+    (I.query_rows t "SELECT author, task, prio FROM TasKy.Task");
+  check_rows "Do!.Todo"
+    ([ [ "Ann"; "Write paper" ]; [ "Ben"; "Clean room" ] ]
+    @ List.filter_map
+        (function
+          | [ a; tk; "1" ] -> Some [ a; tk ]
+          | _ -> None)
+        extra)
+    (I.query_rows t "SELECT author, task FROM Do!.Todo");
+  check_rows "TasKy2.Task"
+    ([
+       [ "Organize party"; "3" ];
+       [ "Learn for exam"; "2" ];
+       [ "Write paper"; "1" ];
+       [ "Clean room"; "1" ];
+     ]
+    @ List.map (function [ _; tk; p ] -> [ tk; p ] | _ -> assert false) extra)
+    (I.query_rows t "SELECT task, prio FROM TasKy2.Task");
+  check_rows "TasKy2.Author"
+    (List.sort_uniq compare
+       ([ [ "Ann" ]; [ "Ben" ] ]
+       @ List.map (function [ a; _; _ ] -> [ a ] | _ -> assert false) extra))
+    (I.query_rows t "SELECT name FROM TasKy2.Author")
+
+let test_initial_version () =
+  let t = setup_tasky () in
+  Alcotest.(check int)
+    "4 tasks" 4
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task");
+  Alcotest.(check (list string)) "one version" [ "TasKy" ] (I.versions t)
+
+let test_do_version () =
+  let t = setup_tasky () in
+  I.evolve t do_script;
+  check_rows "urgent only"
+    [ [ "Ann"; "Write paper" ]; [ "Ben"; "Clean room" ] ]
+    (I.query_rows t "SELECT author, task FROM Do!.Todo");
+  (* write through Do! : insert gets prio 1 in TasKy (the DROP COLUMN
+     DEFAULT) *)
+  ignore
+    (I.exec_sql t "INSERT INTO Do!.Todo (author, task) VALUES ('Cleo', 'Ship it')");
+  check_rows "visible in TasKy with prio 1"
+    [ [ "Cleo"; "Ship it"; "1" ] ]
+    (I.query_rows t
+       "SELECT author, task, prio FROM TasKy.Task WHERE author = 'Cleo'");
+  (* update through Do! *)
+  ignore
+    (I.exec_sql t
+       "UPDATE Do!.Todo SET task = 'Ship it now' WHERE author = 'Cleo'");
+  Alcotest.(check int)
+    "updated in TasKy" 1
+    (I.query_int t
+       "SELECT COUNT(*) FROM TasKy.Task WHERE task = 'Ship it now'");
+  (* delete through Do! *)
+  ignore (I.exec_sql t "DELETE FROM Do!.Todo WHERE author = 'Cleo'");
+  Alcotest.(check int)
+    "gone from TasKy" 0
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task WHERE author = 'Cleo'")
+
+let test_tasky2_version () =
+  let t = setup_tasky () in
+  I.evolve t tasky2_script;
+  check_rows "normalized tasks"
+    [
+      [ "Organize party"; "3" ];
+      [ "Learn for exam"; "2" ];
+      [ "Write paper"; "1" ];
+      [ "Clean room"; "1" ];
+    ]
+    (I.query_rows t "SELECT task, prio FROM TasKy2.Task");
+  check_rows "authors deduplicated"
+    [ [ "Ann" ]; [ "Ben" ] ]
+    (I.query_rows t "SELECT name FROM TasKy2.Author");
+  (* the foreign key joins back *)
+  check_rows "join recovers the original"
+    [
+      [ "Ann"; "Organize party" ];
+      [ "Ben"; "Learn for exam" ];
+      [ "Ann"; "Write paper" ];
+      [ "Ben"; "Clean room" ];
+    ]
+    (I.query_rows t
+       "SELECT a.name, t.task FROM TasKy2.Task t JOIN TasKy2.Author a ON t.author = a.p")
+
+let test_three_versions_coexist () =
+  let t = setup_full () in
+  check_all_versions t
+
+let test_write_propagation_tasky () =
+  let t = setup_full () in
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Cleo', 'New thing', 1)");
+  check_all_versions ~extra:[ [ "Cleo"; "New thing"; "1" ] ] t
+
+let test_write_propagation_tasky2 () =
+  let t = setup_full () in
+  (* insert a task for the existing author Ann through TasKy2 *)
+  let ann =
+    I.query_int t "SELECT p FROM TasKy2.Author WHERE name = 'Ann'"
+  in
+  ignore
+    (I.exec_sql t
+       (Fmt.str
+          "INSERT INTO TasKy2.Task (task, prio, author) VALUES ('Review paper', 1, %d)"
+          ann));
+  check_all_versions ~extra:[ [ "Ann"; "Review paper"; "1" ] ] t
+
+let test_materialize_tasky2 () =
+  let t = setup_full () in
+  I.materialize t [ "TasKy2" ];
+  check_all_versions t;
+  (* writes still propagate everywhere after the migration *)
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Cleo', 'New thing', 1)");
+  check_all_versions ~extra:[ [ "Cleo"; "New thing"; "1" ] ] t
+
+let test_materialize_do () =
+  let t = setup_full () in
+  I.materialize t [ "Do!" ];
+  check_all_versions t;
+  ignore
+    (I.exec_sql t
+       "INSERT INTO Do!.Todo (author, task) VALUES ('Cleo', 'Ship it')");
+  check_all_versions ~extra:[ [ "Cleo"; "Ship it"; "1" ] ] t
+
+let test_materialize_round_trip () =
+  let t = setup_full () in
+  I.materialize t [ "TasKy2" ];
+  I.materialize t [ "Do!" ];
+  I.materialize t [ "TasKy" ];
+  check_all_versions t
+
+let test_all_materializations_table2 () =
+  (* Table 2 of the paper: the TasKy genealogy admits exactly 5 valid
+     materialization schemas *)
+  let t = setup_full () in
+  let mats = Inverda.Genealogy.enumerate_materializations (I.genealogy t) in
+  Alcotest.(check int) "five materializations" 5 (List.length mats);
+  (* every one of them serves all versions identically *)
+  List.iter
+    (fun mat ->
+      I.set_materialization t mat;
+      check_all_versions t)
+    mats
+
+let test_update_through_tasky2 () =
+  let t = setup_full () in
+  (* renaming an author in TasKy2 renames it for all tasks in TasKy *)
+  ignore (I.exec_sql t "UPDATE TasKy2.Author SET name = 'Annette' WHERE name = 'Ann'");
+  Alcotest.(check int)
+    "both tasks renamed" 2
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task WHERE author = 'Annette'")
+
+let test_delete_through_do () =
+  let t = setup_full () in
+  ignore (I.exec_sql t "DELETE FROM Do!.Todo WHERE task = 'Clean room'");
+  Alcotest.(check int)
+    "gone in TasKy" 0
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task WHERE task = 'Clean room'");
+  Alcotest.(check int)
+    "gone in TasKy2" 0
+    (I.query_int t "SELECT COUNT(*) FROM TasKy2.Task WHERE task = 'Clean room'")
+
+let test_drop_schema_version () =
+  let t = setup_full () in
+  I.exec_bidel t (Bidel.Ast.Drop_schema_version "Do!");
+  Alcotest.(check (list string))
+    "two versions left" [ "TasKy"; "TasKy2" ] (I.versions t);
+  (* remaining versions still work *)
+  Alcotest.(check int) "tasky works" 4
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task")
+
+let test_describe () =
+  let t = setup_full () in
+  let d = I.describe t in
+  Alcotest.(check bool) "mentions TasKy2" true
+    (Astring.String.is_infix ~affix:"TasKy2" d)
+
+(* --- genealogy, advisor, errors, extensions ---------------------------------- *)
+
+let test_validity_conditions () =
+  (* conditions (55)/(56) of the paper *)
+  let t = setup_full () in
+  let gen = I.genealogy t in
+  let smos = Inverda.Genealogy.all_smos gen in
+  let creates =
+    List.filter_map
+      (fun (si : Inverda.Genealogy.smo_instance) ->
+        match si.Inverda.Genealogy.si_smo with
+        | Bidel.Ast.Create_table _ -> Some si.Inverda.Genealogy.si_id
+        | _ -> None)
+      smos
+  in
+  let find name =
+    (List.find
+       (fun (si : Inverda.Genealogy.smo_instance) ->
+         Bidel.Ast.smo_name si.Inverda.Genealogy.si_smo = name)
+       smos)
+      .Inverda.Genealogy.si_id
+  in
+  let split = find "SPLIT" and dropcol = find "DROP COLUMN" in
+  let decompose = find "DECOMPOSE" in
+  (* (55): DROP COLUMN's source (Todo-0) requires SPLIT materialized *)
+  Alcotest.(check bool) "55 violated" false
+    (Inverda.Genealogy.valid_materialization gen (creates @ [ dropcol ]));
+  Alcotest.(check bool) "55 satisfied" true
+    (Inverda.Genealogy.valid_materialization gen (creates @ [ split; dropcol ]));
+  (* (56): SPLIT and DECOMPOSE share the source Task-0 *)
+  Alcotest.(check bool) "56 violated" false
+    (Inverda.Genealogy.valid_materialization gen (creates @ [ split; decompose ]));
+  (* CREATE TABLE SMOs are always materialized *)
+  Alcotest.(check bool) "create-table SMOs mandatory" false
+    (Inverda.Genealogy.valid_materialization gen [ split ])
+
+let test_invalid_materialization_rejected () =
+  let t = setup_full () in
+  let gen = I.genealogy t in
+  let split =
+    (List.find
+       (fun (si : Inverda.Genealogy.smo_instance) ->
+         Bidel.Ast.smo_name si.Inverda.Genealogy.si_smo = "SPLIT")
+       (Inverda.Genealogy.all_smos gen))
+      .Inverda.Genealogy.si_id
+  in
+  match I.set_materialization t [ split ] with
+  | exception Inverda.Migration.Migration_error _ -> ()
+  | () -> Alcotest.fail "invalid materialization accepted"
+
+let test_unknown_version_errors () =
+  let t = setup_full () in
+  (match I.materialize t [ "NoSuch" ] with
+  | exception Inverda.Genealogy.Catalog_error _ -> ()
+  | () -> Alcotest.fail "unknown version accepted");
+  match I.evolve t "CREATE SCHEMA VERSION X FROM NoSuch WITH CREATE TABLE t(a);" with
+  | exception Inverda.Genealogy.Catalog_error _ -> ()
+  | () -> Alcotest.fail "unknown parent accepted"
+
+let test_duplicate_version_rejected () =
+  let t = setup_full () in
+  match I.evolve t "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE t(a);" with
+  | exception Inverda.Genealogy.Catalog_error _ -> ()
+  | () -> Alcotest.fail "duplicate version accepted"
+
+let test_smo_on_unknown_table_rejected () =
+  let t = setup_full () in
+  match
+    I.evolve t "CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE nosuch;"
+  with
+  | exception Inverda.Genealogy.Catalog_error _ -> ()
+  | () -> Alcotest.fail "SMO on unknown table accepted"
+
+let test_untouched_tables_carry_over () =
+  (* tables not consumed by any SMO are shared between versions *)
+  let t = I.create () in
+  I.evolve t "CREATE SCHEMA VERSION v1 WITH CREATE TABLE a(x); CREATE TABLE b(y);";
+  I.evolve t "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN z AS 0 INTO a;";
+  Alcotest.(check (list string)) "v2 keeps b" [ "b"; "a" ]
+    (List.sort compare (I.version_tables t "v2") |> List.rev);
+  ignore (I.exec_sql t "INSERT INTO v1.b (y) VALUES (7)");
+  Alcotest.(check int) "b shared" 7 (I.query_int t "SELECT y FROM v2.b")
+
+let test_deep_chain_writes () =
+  (* 12 ADD COLUMN hops: writes propagate the whole chain in both directions *)
+  let t = I.create () in
+  I.evolve t "CREATE SCHEMA VERSION v0 WITH CREATE TABLE r(a);";
+  for i = 1 to 12 do
+    ignore
+      (I.evolve t
+         (Fmt.str "CREATE SCHEMA VERSION v%d FROM v%d WITH ADD COLUMN c%d AS %d INTO r;"
+            i (i - 1) i i))
+  done;
+  ignore (I.exec_sql t "INSERT INTO v12.r (a, c12) VALUES (1, 99)");
+  Alcotest.(check int) "visible at v0" 1 (I.query_int t "SELECT COUNT(*) FROM v0.r");
+  ignore (I.exec_sql t "INSERT INTO v0.r (a) VALUES (2)");
+  Alcotest.(check int) "defaults applied along the chain" 7
+    (I.query_int t "SELECT c7 FROM v12.r WHERE a = 2");
+  Alcotest.(check int) "explicit value preserved" 99
+    (I.query_int t "SELECT c12 FROM v12.r WHERE a = 1");
+  (* migrate the whole chain forward and back *)
+  I.materialize t [ "v12" ];
+  Alcotest.(check int) "v0 after migration" 2
+    (I.query_int t "SELECT COUNT(*) FROM v0.r");
+  I.materialize t [ "v0" ];
+  Alcotest.(check int) "v12 after migrating back" 2
+    (I.query_int t "SELECT COUNT(*) FROM v12.r")
+
+let test_advisor () =
+  let t = setup_full () in
+  let gen = I.genealogy t in
+  let pick profile =
+    match Inverda.Advisor.advise gen profile with
+    | Some r -> r.Inverda.Advisor.materialization
+    | None -> Alcotest.fail "no recommendation"
+  in
+  (* pure TasKy2 load: materialize the whole decompose+rename branch *)
+  let m = pick [ ("TasKy2", 1.0) ] in
+  Alcotest.(check int) "TasKy2 branch fully materialized" 0
+    (Inverda.Advisor.cost gen m [ ("TasKy2", 1.0) ] |> int_of_float);
+  (* pure TasKy load: the initial materialization is optimal *)
+  let m0 = pick [ ("TasKy", 1.0) ] in
+  Alcotest.(check (float 0.001)) "TasKy local" 0.0
+    (Inverda.Advisor.cost gen m0 [ ("TasKy", 1.0) ]);
+  (* migrating to the recommendation keeps all versions intact *)
+  Alcotest.(check bool) "migrates" true
+    (Inverda.Advisor.advise_and_migrate (I.database t) gen [ ("TasKy2", 1.0) ]);
+  check_all_versions t
+
+let test_bidel_via_sql_interface () =
+  (* MATERIALIZE parsed from BiDEL text, with table-version targets *)
+  let t = setup_full () in
+  I.evolve t "MATERIALIZE 'TasKy2.Task', 'TasKy2.Author';";
+  check_all_versions t
+
+let test_drop_version_preserves_connections () =
+  (* dropping the middle version keeps evolutions between the remaining ones *)
+  let t = I.create () in
+  I.evolve t "CREATE SCHEMA VERSION v1 WITH CREATE TABLE r(a);";
+  I.evolve t "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS 1 INTO r;";
+  I.evolve t "CREATE SCHEMA VERSION v3 FROM v2 WITH ADD COLUMN c AS 2 INTO r;";
+  ignore (I.exec_sql t "INSERT INTO v1.r (a) VALUES (5)");
+  I.exec_bidel t (Bidel.Ast.Drop_schema_version "v2");
+  Alcotest.(check (list string)) "v2 gone" [ "v1"; "v3" ] (I.versions t);
+  Alcotest.(check int) "v3 still served" 1
+    (I.query_int t "SELECT COUNT(*) FROM v3.r");
+  I.materialize t [ "v3" ];
+  Alcotest.(check int) "v1 still served after migration" 5
+    (I.query_int t "SELECT a FROM v1.r")
+
+let test_condition_decompose_end_to_end () =
+  (* the B.4 machinery end to end: pair table, rule-166 re-joining, the
+     omega-pad guard on IDn, and the IDn fold-back at virtualisation *)
+  let t = I.create () in
+  I.evolve t "CREATE SCHEMA VERSION v1 WITH CREATE TABLE booking(guest, room);";
+  ignore
+    (I.exec_sql t
+       "INSERT INTO v1.booking (guest, room) VALUES ('Ann', 101), ('Ben', 102), ('Cleo', 101)");
+  I.evolve t
+    "CREATE SCHEMA VERSION v2 FROM v1 WITH      DECOMPOSE TABLE booking INTO guest(guest), room(room) ON guest <> 'nobody';";
+  check_rows "guests" [ [ "Ann" ]; [ "Ben" ]; [ "Cleo" ] ]
+    (I.query_rows t "SELECT guest FROM v2.guest");
+  check_rows "rooms deduplicated" [ [ "101" ]; [ "102" ] ]
+    (I.query_rows t "SELECT room FROM v2.room");
+  (* renaming through v2 reaches v1 *)
+  ignore (I.exec_sql t "UPDATE v2.guest SET guest = 'Annette' WHERE guest = 'Ann'");
+  Alcotest.(check int) "renamed in v1" 1
+    (I.query_int t "SELECT COUNT(*) FROM v1.booking WHERE guest = 'Annette'");
+  I.materialize t [ "v2" ];
+  check_rows "v1 after migration"
+    [ [ "Annette"; "101" ]; [ "Ben"; "102" ]; [ "Cleo"; "101" ] ]
+    (I.query_rows t "SELECT guest, room FROM v1.booking");
+  (* a lone guest inserted while materialized re-joins with every matching
+     partner (rule 166) and must not also resurface omega-padded *)
+  ignore (I.exec_sql t "INSERT INTO v2.guest (guest) VALUES ('Eve')");
+  check_rows "rule 166 re-joins, no padded duplicate"
+    [ [ "Eve"; "101" ]; [ "Eve"; "102" ] ]
+    (I.query_rows t "SELECT guest, room FROM v1.booking WHERE guest = 'Eve'");
+  (* migrating back folds IDn into the persistent pair table: no duplicates *)
+  I.materialize t [ "v1" ];
+  check_rows "guest view stays deduplicated"
+    [ [ "Annette" ]; [ "Ben" ]; [ "Cleo" ]; [ "Eve" ] ]
+    (I.query_rows t "SELECT guest FROM v2.guest")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "inverda"
+    [
+      ( "evolution",
+        [
+          tc "initial version" test_initial_version;
+          tc "Do! (split + drop column)" test_do_version;
+          tc "TasKy2 (fk decompose + rename)" test_tasky2_version;
+          tc "three versions co-exist" test_three_versions_coexist;
+        ] );
+      ( "write propagation",
+        [
+          tc "through TasKy" test_write_propagation_tasky;
+          tc "through TasKy2" test_write_propagation_tasky2;
+          tc "update through TasKy2" test_update_through_tasky2;
+          tc "delete through Do!" test_delete_through_do;
+        ] );
+      ( "migration",
+        [
+          tc "materialize TasKy2" test_materialize_tasky2;
+          tc "materialize Do!" test_materialize_do;
+          tc "round trip" test_materialize_round_trip;
+          tc "all 5 materializations (Table 2)" test_all_materializations_table2;
+        ] );
+      ( "catalog",
+        [
+          tc "drop schema version" test_drop_schema_version;
+          tc "describe" test_describe;
+          tc "validity conditions (55)/(56)" test_validity_conditions;
+          tc "invalid materialization rejected" test_invalid_materialization_rejected;
+          tc "unknown version errors" test_unknown_version_errors;
+          tc "duplicate version rejected" test_duplicate_version_rejected;
+          tc "SMO on unknown table rejected" test_smo_on_unknown_table_rejected;
+          tc "untouched tables carry over" test_untouched_tables_carry_over;
+          tc "drop version keeps connections" test_drop_version_preserves_connections;
+        ] );
+      ( "extensions",
+        [
+          tc "deep evolution chain" test_deep_chain_writes;
+          tc "advisor" test_advisor;
+          tc "MATERIALIZE with table targets" test_bidel_via_sql_interface;
+          tc "condition decompose end to end" test_condition_decompose_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,691 @@
+(* Tests for the minidb relational engine substrate. *)
+
+open Minidb
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_rows msg expected actual =
+  let sort = List.sort compare in
+  Alcotest.(check (list (list value))) msg (sort expected) (sort actual)
+
+let fresh_tasky () =
+  let db = Engine.create () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE task (p INTEGER PRIMARY KEY, author TEXT, task TEXT, prio INTEGER);
+    INSERT INTO task (p, author, task, prio) VALUES
+      (1, 'Ann', 'Organize party', 3),
+      (2, 'Ben', 'Learn for exam', 2),
+      (3, 'Ann', 'Write paper', 1),
+      (4, 'Ben', 'Clean room', 1);
+  |});
+  db
+
+(* --- values -------------------------------------------------------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int eq" true (Value.equal (Int 3) (Int 3));
+  Alcotest.(check bool) "int/real eq" true (Value.equal (Int 3) (Real 3.0));
+  Alcotest.(check bool) "null structural eq" true (Value.equal Null Null);
+  Alcotest.(check (option bool)) "sql null eq" None (Value.sql_eq Null (Int 1));
+  Alcotest.(check (option bool)) "sql eq" (Some true) (Value.sql_eq (Int 1) (Int 1))
+
+let test_value_literal () =
+  Alcotest.(check string) "escaping" "'it''s'" (Value.to_literal (Text "it's"));
+  Alcotest.(check string) "null" "NULL" (Value.to_literal Null)
+
+(* --- lexer / parser ------------------------------------------------------- *)
+
+let roundtrip sql =
+  let stmt = Sql_parser.statement_of_string sql in
+  let printed = Sql_printer.statement_to_string stmt in
+  let stmt2 = Sql_parser.statement_of_string printed in
+  Alcotest.(check string)
+    ("stable print of " ^ sql)
+    printed
+    (Sql_printer.statement_to_string stmt2)
+
+let test_parser_roundtrip () =
+  List.iter roundtrip
+    [
+      "SELECT * FROM t";
+      "SELECT a, b AS c FROM t WHERE a = 1 AND b <> 'x' ORDER BY a DESC LIMIT 3";
+      "SELECT t.a FROM t JOIN s ON t.p = s.p LEFT JOIN u ON u.p = t.p";
+      "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM s WHERE s.p = t.p)";
+      "SELECT a FROM t WHERE a IN (SELECT b FROM s) OR a IN (1, 2, 3)";
+      "SELECT COUNT(*), SUM(a) FROM t GROUP BY b HAVING COUNT(*) > 1";
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t";
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)";
+      "INSERT INTO t SELECT * FROM s WHERE s.a IS NOT NULL";
+      "UPDATE t SET a = a + 1, b = 'z' WHERE p = 4";
+      "DELETE FROM t WHERE NOT (a > 2)";
+      "CREATE TABLE t (p INTEGER PRIMARY KEY, a TEXT)";
+      "CREATE VIEW v AS SELECT a FROM t UNION ALL SELECT b FROM s";
+      "DROP VIEW IF EXISTS v";
+      "SELECT a FROM t UNION SELECT a FROM s";
+      "SELECT x + 3 * y - 2 FROM t WHERE x % 2 = 0";
+      "SELECT a || '-' || b FROM t";
+      "SELECT COALESCE(a, 0) FROM t";
+    ]
+
+let test_parser_trigger () =
+  let sql =
+    "CREATE TRIGGER trg INSTEAD OF INSERT ON v FOR EACH ROW BEGIN \
+     SET NEW.p = COALESCE(NEW.p, NEXTVAL('s')); \
+     INSERT INTO t (p, a) VALUES (NEW.p, NEW.a); END"
+  in
+  roundtrip sql;
+  match Sql_parser.statement_of_string sql with
+  | Sql_ast.Create_trigger { body; instead_of = true; _ } ->
+    Alcotest.(check int) "two body statements" 2 (List.length body)
+  | _ -> Alcotest.fail "expected trigger"
+
+let test_parser_qualified_names () =
+  match Sql_parser.statement_of_string "SELECT * FROM TasKy.Task" with
+  | Sql_ast.Query
+      { body = Select { from = Some (From_table (name, None)); _ }; _ } ->
+    Alcotest.(check string) "qualified" "TasKy.Task" name
+  | _ -> Alcotest.fail "expected qualified table"
+
+let test_parser_errors () =
+  let expect_fail sql =
+    match Sql_parser.statement_of_string sql with
+    | exception Sql_parser.Parse_error _ -> ()
+    | exception Sql_lexer.Lex_error _ -> ()
+    | exception Value.Type_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ sql)
+  in
+  List.iter expect_fail
+    [ "SELECT FROM"; "INSERT t VALUES (1)"; "SELECT * FROM t WHERE";
+      "SELECT 'unterminated"; "CREATE TABLE t (a WIBBLE)"; "SELECT * FROM t;x" ]
+
+(* --- basic query execution ------------------------------------------------ *)
+
+let test_select_where () =
+  let db = fresh_tasky () in
+  check_rows "prio 1 tasks"
+    [ [ Value.Text "Write paper" ]; [ Value.Text "Clean room" ] ]
+    (Engine.query_rows db "SELECT task FROM task WHERE prio = 1")
+
+let test_order_limit () =
+  let db = fresh_tasky () in
+  Alcotest.(check (list (list value)))
+    "order by prio desc"
+    [ [ Value.Int 3 ]; [ Value.Int 2 ] ]
+    (Engine.query_rows db "SELECT prio FROM task ORDER BY prio DESC LIMIT 2")
+
+let test_distinct () =
+  let db = fresh_tasky () in
+  check_rows "distinct authors"
+    [ [ Value.Text "Ann" ]; [ Value.Text "Ben" ] ]
+    (Engine.query_rows db "SELECT DISTINCT author FROM task")
+
+let test_union () =
+  let db = fresh_tasky () in
+  Alcotest.(check int)
+    "union all" 8
+    (List.length (Engine.query_rows db
+       "SELECT p FROM task UNION ALL SELECT p FROM task"));
+  Alcotest.(check int)
+    "union dedupes" 4
+    (List.length (Engine.query_rows db
+       "SELECT p FROM task UNION SELECT p FROM task"))
+
+let test_join () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE person (name TEXT PRIMARY KEY, age INTEGER);
+    INSERT INTO person (name, age) VALUES ('Ann', 31), ('Ben', 27);
+  |});
+  check_rows "equi join"
+    [
+      [ Value.Text "Organize party"; Value.Int 31 ];
+      [ Value.Text "Learn for exam"; Value.Int 27 ];
+      [ Value.Text "Write paper"; Value.Int 31 ];
+      [ Value.Text "Clean room"; Value.Int 27 ];
+    ]
+    (Engine.query_rows db
+       "SELECT t.task, p.age FROM task t JOIN person p ON t.author = p.name")
+
+let test_left_join () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE person (name TEXT PRIMARY KEY, age INTEGER);
+    INSERT INTO person (name, age) VALUES ('Ann', 31);
+  |});
+  check_rows "left join pads with NULL"
+    [
+      [ Value.Text "Ann"; Value.Int 31 ];
+      [ Value.Text "Ben"; Value.Null ];
+      [ Value.Text "Ann"; Value.Int 31 ];
+      [ Value.Text "Ben"; Value.Null ];
+    ]
+    (Engine.query_rows db
+       "SELECT t.author, p.age FROM task t LEFT JOIN person p ON t.author = p.name")
+
+let test_cross_join () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "cartesian" 16
+    (List.length (Engine.query_rows db "SELECT a.p, b.p FROM task a, task b"))
+
+let test_exists () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE done (p INTEGER PRIMARY KEY);
+    INSERT INTO done (p) VALUES (1), (3);
+  |});
+  check_rows "not exists"
+    [ [ Value.Int 2 ]; [ Value.Int 4 ] ]
+    (Engine.query_rows db
+       "SELECT p FROM task t WHERE NOT EXISTS (SELECT * FROM done d WHERE d.p = t.p)");
+  check_rows "exists with extra inner predicate"
+    [ [ Value.Int 3 ] ]
+    (Engine.query_rows db
+       "SELECT p FROM task t WHERE EXISTS (SELECT * FROM done d WHERE d.p = t.p AND d.p > 2)")
+
+let test_in_subquery () =
+  let db = fresh_tasky () in
+  check_rows "in subquery"
+    [ [ Value.Text "Write paper" ]; [ Value.Text "Clean room" ] ]
+    (Engine.query_rows db
+       "SELECT task FROM task WHERE p IN (SELECT p FROM task WHERE prio = 1)")
+
+let test_scalar_subquery () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "scalar" 4
+    (Engine.query_int db "SELECT (SELECT COUNT(*) FROM task)")
+
+let test_aggregates () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "count" 4 (Engine.query_int db "SELECT COUNT(*) FROM task");
+  Alcotest.(check int) "sum" 7 (Engine.query_int db "SELECT SUM(prio) FROM task");
+  Alcotest.(check int) "min" 1 (Engine.query_int db "SELECT MIN(prio) FROM task");
+  Alcotest.(check int) "max" 3 (Engine.query_int db "SELECT MAX(prio) FROM task");
+  check_rows "group by"
+    [ [ Value.Text "Ann"; Value.Int 2 ]; [ Value.Text "Ben"; Value.Int 2 ] ]
+    (Engine.query_rows db
+       "SELECT author, COUNT(*) FROM task GROUP BY author");
+  check_rows "having"
+    [ [ Value.Text "Ben" ] ]
+    (Engine.query_rows db
+       "SELECT author FROM task GROUP BY author HAVING SUM(prio) = 3")
+
+let test_aggregate_empty () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "count of empty" 0
+    (Engine.query_int db "SELECT COUNT(*) FROM task WHERE prio = 99");
+  Alcotest.(check value) "sum of empty is NULL" Value.Null
+    (Engine.query_scalar db "SELECT SUM(prio) FROM task WHERE prio = 99")
+
+let test_null_semantics () =
+  let db = Engine.create () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER);
+    INSERT INTO t (p, a) VALUES (1, 10), (2, NULL);
+  |});
+  check_rows "null filtered by =" [ [ Value.Int 1 ] ]
+    (Engine.query_rows db "SELECT p FROM t WHERE a = 10");
+  check_rows "null not matched by <>" []
+    (Engine.query_rows db "SELECT p FROM t WHERE a <> 10 AND p = 2");
+  check_rows "is null" [ [ Value.Int 2 ] ]
+    (Engine.query_rows db "SELECT p FROM t WHERE a IS NULL");
+  check_rows "is not null" [ [ Value.Int 1 ] ]
+    (Engine.query_rows db "SELECT p FROM t WHERE a IS NOT NULL");
+  Alcotest.(check value) "coalesce" (Value.Int 0)
+    (Engine.query_scalar db "SELECT COALESCE(a, 0) FROM t WHERE p = 2");
+  Alcotest.(check value) "null arithmetic" Value.Null
+    (Engine.query_scalar db "SELECT a + 1 FROM t WHERE p = 2")
+
+let test_case_expr () =
+  let db = fresh_tasky () in
+  check_rows "case"
+    [ [ Value.Text "hot" ]; [ Value.Text "cold" ]; [ Value.Text "hot" ];
+      [ Value.Text "hot" ] ]
+    (Engine.query_rows db
+       "SELECT CASE WHEN prio = 1 THEN 'hot' WHEN author = 'Ann' THEN 'hot' ELSE 'cold' END FROM task")
+
+(* --- DML ------------------------------------------------------------------- *)
+
+let test_insert_defaults () =
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "INSERT INTO task (p, task) VALUES (9, 'New')");
+  check_rows "missing columns are NULL"
+    [ [ Value.Null; Value.Text "New"; Value.Null ] ]
+    (Engine.query_rows db "SELECT author, task, prio FROM task WHERE p = 9")
+
+let test_insert_select () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec db
+       "CREATE TABLE archive (p INTEGER PRIMARY KEY, task TEXT)");
+  Alcotest.(check int) "2 copied" 2
+    (Engine.affected db
+       "INSERT INTO archive (p, task) SELECT p, task FROM task WHERE prio = 1")
+
+let test_update () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "1 row" 1
+    (Engine.affected db "UPDATE task SET prio = prio + 10 WHERE p = 1");
+  Alcotest.(check int) "updated" 13
+    (Engine.query_int db "SELECT prio FROM task WHERE p = 1")
+
+let test_delete () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "2 rows" 2 (Engine.affected db "DELETE FROM task WHERE prio = 1");
+  Alcotest.(check int) "2 remain" 2 (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+let test_pk_violation () =
+  let db = fresh_tasky () in
+  (match Engine.exec db "INSERT INTO task (p, task) VALUES (1, 'dup')" with
+  | exception Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "expected PK violation");
+  (* the failing statement must have been rolled back atomically *)
+  Alcotest.(check int) "row count unchanged" 4
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+let test_multi_row_insert_atomicity () =
+  let db = fresh_tasky () in
+  (match
+     Engine.exec db "INSERT INTO task (p, task) VALUES (10, 'ok'), (1, 'dup')"
+   with
+  | exception Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "expected PK violation");
+  Alcotest.(check int) "partial insert rolled back" 4
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+let test_transactions () =
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "BEGIN");
+  ignore (Engine.exec db "DELETE FROM task");
+  Alcotest.(check int) "empty inside txn" 0
+    (Engine.query_int db "SELECT COUNT(*) FROM task");
+  ignore (Engine.exec db "ROLLBACK");
+  Alcotest.(check int) "restored" 4
+    (Engine.query_int db "SELECT COUNT(*) FROM task");
+  ignore (Engine.exec db "BEGIN");
+  ignore (Engine.exec db "DELETE FROM task WHERE p = 1");
+  ignore (Engine.exec db "COMMIT");
+  Alcotest.(check int) "committed" 3
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+(* --- views and triggers ------------------------------------------------------ *)
+
+let test_view_read () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec db
+       "CREATE VIEW urgent AS SELECT p, author, task FROM task WHERE prio = 1");
+  check_rows "view rows"
+    [ [ Value.Int 3; Value.Text "Ann" ]; [ Value.Int 4; Value.Text "Ben" ] ]
+    (Engine.query_rows db "SELECT p, author FROM urgent");
+  (* views over views *)
+  ignore (Engine.exec db "CREATE VIEW urgent2 AS SELECT author FROM urgent");
+  Alcotest.(check int) "nested view" 2
+    (Engine.query_int db "SELECT COUNT(*) FROM urgent2")
+
+let test_view_insert_trigger () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec db
+       "CREATE VIEW urgent AS SELECT p, author, task FROM task WHERE prio = 1");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER urgent_ins INSTEAD OF INSERT ON urgent FOR EACH ROW BEGIN \
+        INSERT INTO task (p, author, task, prio) VALUES (NEW.p, NEW.author, NEW.task, 1); END");
+  ignore
+    (Engine.exec db
+       "INSERT INTO urgent (p, author, task) VALUES (7, 'Cleo', 'Ship it')");
+  Alcotest.(check int) "propagated with prio 1" 1
+    (Engine.query_int db "SELECT prio FROM task WHERE p = 7")
+
+let test_view_update_delete_triggers () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec db
+       "CREATE VIEW urgent AS SELECT p, author, task FROM task WHERE prio = 1");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER urgent_upd INSTEAD OF UPDATE ON urgent FOR EACH ROW BEGIN \
+        UPDATE task SET author = NEW.author, task = NEW.task WHERE p = OLD.p; END");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER urgent_del INSTEAD OF DELETE ON urgent FOR EACH ROW BEGIN \
+        DELETE FROM task WHERE p = OLD.p; END");
+  Alcotest.(check int) "update through view" 1
+    (Engine.affected db "UPDATE urgent SET task = 'Party!' WHERE p = 3");
+  Alcotest.(check value) "base table updated" (Value.Text "Party!")
+    (Engine.query_scalar db "SELECT task FROM task WHERE p = 3");
+  Alcotest.(check int) "delete through view" 1
+    (Engine.affected db "DELETE FROM urgent WHERE p = 4");
+  Alcotest.(check int) "gone from base" 0
+    (Engine.query_int db "SELECT COUNT(*) FROM task WHERE p = 4")
+
+let test_trigger_cascade () =
+  (* view -> view -> table, two trigger hops *)
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "CREATE VIEW v1 AS SELECT p, task FROM task");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER v1_ins INSTEAD OF INSERT ON v1 FOR EACH ROW BEGIN \
+        INSERT INTO task (p, task, prio) VALUES (NEW.p, NEW.task, 5); END");
+  ignore (Engine.exec db "CREATE VIEW v2 AS SELECT p, task FROM v1");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER v2_ins INSTEAD OF INSERT ON v2 FOR EACH ROW BEGIN \
+        INSERT INTO v1 (p, task) VALUES (NEW.p, NEW.task); END");
+  ignore (Engine.exec db "INSERT INTO v2 (p, task) VALUES (11, 'cascade')");
+  Alcotest.(check int) "reached base table" 5
+    (Engine.query_int db "SELECT prio FROM task WHERE p = 11")
+
+let test_trigger_set_new () =
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "CREATE VIEW v1 AS SELECT p, task FROM task");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER v1_ins INSTEAD OF INSERT ON v1 FOR EACH ROW BEGIN \
+        SET NEW.p = COALESCE(NEW.p, 100 + NEXTVAL('ids')); \
+        INSERT INTO task (p, task, prio) VALUES (NEW.p, NEW.task, 1); END");
+  ignore (Engine.exec db "INSERT INTO v1 (task) VALUES ('auto id')");
+  Alcotest.(check int) "id assigned" 1
+    (Engine.query_int db "SELECT COUNT(*) FROM task WHERE p = 101")
+
+let test_sequences () =
+  let db = Engine.create () in
+  Alcotest.(check int) "1" 1 (Engine.query_int db "SELECT NEXTVAL('s')");
+  Alcotest.(check int) "2" 2 (Engine.query_int db "SELECT NEXTVAL('s')");
+  Alcotest.(check int) "independent" 1 (Engine.query_int db "SELECT NEXTVAL('t')")
+
+let test_registered_function () =
+  let db = Engine.create () in
+  Database.register_function db "double"
+    (fun _ args ->
+      match args with
+      | [ Value.Int i ] -> Value.Int (2 * i)
+      | _ -> Value.Null);
+  Alcotest.(check int) "udf" 42 (Engine.query_int db "SELECT DOUBLE(21)")
+
+let test_drop_table_drops_triggers () =
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "CREATE VIEW v1 AS SELECT p FROM task");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER v1_ins INSTEAD OF INSERT ON v1 FOR EACH ROW BEGIN \
+        INSERT INTO task (p) VALUES (NEW.p); END");
+  ignore (Engine.exec db "DROP VIEW v1");
+  (* recreating the view and trigger must not clash with stale state *)
+  ignore (Engine.exec db "CREATE VIEW v1 AS SELECT p FROM task");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER v1_ins INSTEAD OF INSERT ON v1 FOR EACH ROW BEGIN \
+        INSERT INTO task (p) VALUES (NEW.p); END")
+
+(* --- planner fast paths --------------------------------------------------------- *)
+
+let chain_db depth =
+  (* v0 -> v1 -> ... -> v<depth> as stacked views *)
+  let db = Engine.create () in
+  ignore (Engine.exec db "CREATE TABLE base (p INTEGER PRIMARY KEY, a INTEGER)");
+  for i = 1 to 200 do
+    ignore (Engine.execf db "INSERT INTO base (p, a) VALUES (%d, %d)" i (i * 2))
+  done;
+  ignore (Engine.exec db "CREATE VIEW v0 AS SELECT p, a FROM base");
+  for d = 1 to depth do
+    ignore (Engine.execf db "CREATE VIEW v%d AS SELECT p, a + 1 AS a FROM v%d" d (d - 1))
+  done;
+  db
+
+let test_view_pushdown_equivalence () =
+  let db = chain_db 8 in
+  let with_opts flag sql =
+    db.Database.optimizations <- flag;
+    let r = Engine.query_rows db sql in
+    db.Database.optimizations <- true;
+    r
+  in
+  List.iter
+    (fun sql ->
+      Alcotest.(check (list (list value)))
+        sql (with_opts false sql) (with_opts true sql))
+    [
+      "SELECT a FROM v8 WHERE p = 42";
+      "SELECT a FROM v8 WHERE p = 9999";
+      "SELECT COUNT(*) FROM v8 WHERE a > 100";
+      "SELECT a FROM v3 WHERE p = 1";
+    ]
+
+let test_pushdown_through_union_view () =
+  let db = Engine.create () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE t1 (p INTEGER PRIMARY KEY, a INTEGER);
+    CREATE TABLE t2 (p INTEGER PRIMARY KEY, a INTEGER);
+    INSERT INTO t1 (p, a) VALUES (1, 10), (2, 20);
+    INSERT INTO t2 (p, a) VALUES (3, 30), (4, 40);
+    CREATE VIEW u AS SELECT p, a FROM t1 UNION ALL SELECT p, a FROM t2;
+  |});
+  Alcotest.(check (list (list value)))
+    "keyed lookup through union"
+    [ [ Value.Int 30 ] ]
+    (Engine.query_rows db "SELECT a FROM u WHERE p = 3")
+
+let test_index_nl_join_equivalence () =
+  let db = chain_db 2 in
+  ignore (Engine.exec db "CREATE TABLE small (p INTEGER PRIMARY KEY, tag TEXT)");
+  ignore (Engine.exec db "INSERT INTO small (p, tag) VALUES (5, 'x'), (7, 'y')");
+  let q = "SELECT s.tag, b.a FROM small s JOIN base b ON b.p = s.p" in
+  db.Database.optimizations <- false;
+  let slow = List.sort compare (Engine.query_rows db q) in
+  db.Database.optimizations <- true;
+  let fast = List.sort compare (Engine.query_rows db q) in
+  Alcotest.(check (list (list value))) "join equal" slow fast
+
+let test_trigger_depth_guard () =
+  let db = Engine.create () in
+  ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY)");
+  ignore (Engine.exec db "CREATE VIEW v AS SELECT p FROM t");
+  (* a self-recursive trigger must hit the depth guard, not loop forever *)
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER loop INSTEAD OF INSERT ON v FOR EACH ROW BEGIN         INSERT INTO v (p) VALUES (NEW.p + 1); END");
+  (match Engine.exec db "INSERT INTO v (p) VALUES (1)" with
+  | exception Exec.Exec_error _ -> ()
+  | _ -> Alcotest.fail "expected depth-guard error");
+  (* and the failed cascade must have been rolled back atomically *)
+  Alcotest.(check int) "rolled back" 0 (Engine.query_int db "SELECT COUNT(*) FROM t")
+
+let test_three_valued_not_in () =
+  let db = Engine.create () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER);
+    INSERT INTO t (p, a) VALUES (1, 1), (2, NULL);
+  |});
+  (* NOT IN over a set containing NULL filters everything *)
+  Alcotest.(check int) "not in with null" 0
+    (Engine.query_int db
+       "SELECT COUNT(*) FROM t WHERE a NOT IN (SELECT a FROM t WHERE p = 2)");
+  Alcotest.(check int) "in finds match" 1
+    (Engine.query_int db "SELECT COUNT(*) FROM t WHERE a IN (1, 3)")
+
+let test_order_by_nulls_and_limit () =
+  let db = Engine.create () in
+  ignore
+    (Engine.exec_script db
+       {|
+    CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER);
+    INSERT INTO t (p, a) VALUES (1, 5), (2, NULL), (3, 1);
+  |});
+  Alcotest.(check (list (list value)))
+    "nulls sort first ascending"
+    [ [ Value.Null ]; [ Value.Int 1 ]; [ Value.Int 5 ] ]
+    (Engine.query_rows db "SELECT a FROM t ORDER BY a");
+  Alcotest.(check (list (list value)))
+    "desc + limit"
+    [ [ Value.Int 5 ]; [ Value.Int 1 ] ]
+    (Engine.query_rows db "SELECT a FROM t ORDER BY a DESC LIMIT 2")
+
+let test_scalar_subquery_multi_row_error () =
+  let db = fresh_tasky () in
+  match Engine.query db "SELECT (SELECT p FROM task)" with
+  | exception Exec.Exec_error _ -> ()
+  | _ -> Alcotest.fail "expected multi-row scalar error"
+
+let test_update_via_in_subquery () =
+  let db = fresh_tasky () in
+  Alcotest.(check int) "two urgent renamed" 2
+    (Engine.affected db
+       "UPDATE task SET task = 'urgent' WHERE p IN (SELECT p FROM task WHERE prio = 1)")
+
+let test_rollback_restores_sequences () =
+  let db = Engine.create () in
+  ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY)");
+  ignore (Engine.exec db "BEGIN");
+  Alcotest.(check int) "1" 1 (Engine.query_int db "SELECT NEXTVAL('s')");
+  ignore (Engine.exec db "ROLLBACK");
+  Alcotest.(check int) "sequence rolled back" 1
+    (Engine.query_int db "SELECT NEXTVAL('s')")
+
+(* --- qcheck properties -------------------------------------------------------- *)
+
+let qsuite =
+  let open QCheck in
+  let ins_then_count =
+    Test.make ~name:"insert count matches SELECT COUNT(*)" ~count:50
+      (list small_nat) (fun xs ->
+        let db = Engine.create () in
+        ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER)");
+        let inserted =
+          List.fold_left
+            (fun (i, n) x ->
+              ignore
+                (Engine.execf db "INSERT INTO t (p, a) VALUES (%d, %d)" i x);
+              (i + 1, n + 1))
+            (0, 0) xs
+          |> snd
+        in
+        Engine.query_int db "SELECT COUNT(*) FROM t" = inserted)
+  in
+  let update_preserves_count =
+    Test.make ~name:"update never changes cardinality" ~count:50
+      (pair (list small_nat) small_nat) (fun (xs, bump) ->
+        let db = Engine.create () in
+        ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER)");
+        List.iteri
+          (fun i x ->
+            ignore (Engine.execf db "INSERT INTO t (p, a) VALUES (%d, %d)" i x))
+          xs;
+        let before = Engine.query_int db "SELECT COUNT(*) FROM t" in
+        ignore (Engine.execf db "UPDATE t SET a = a + %d" bump);
+        Engine.query_int db "SELECT COUNT(*) FROM t" = before)
+  in
+  let sum_linear =
+    Test.make ~name:"SUM is linear under constant shift" ~count:50
+      (list_of_size Gen.(1 -- 20) (int_bound 1000))
+      (fun xs ->
+        let db = Engine.create () in
+        ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER)");
+        List.iteri
+          (fun i x ->
+            ignore (Engine.execf db "INSERT INTO t (p, a) VALUES (%d, %d)" i x))
+          xs;
+        let s = Engine.query_int db "SELECT SUM(a) FROM t" in
+        let s2 = Engine.query_int db "SELECT SUM(a + 1) FROM t" in
+        s2 = s + List.length xs)
+  in
+  let dedupe_idempotent =
+    Test.make ~name:"UNION of relation with itself is identity" ~count:50
+      (list (pair (int_bound 10) (int_bound 10)))
+      (fun xs ->
+        let db = Engine.create () in
+        ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY, a INTEGER)");
+        List.iteri
+          (fun i (_, x) ->
+            ignore (Engine.execf db "INSERT INTO t (p, a) VALUES (%d, %d)" i x))
+          xs;
+        let plain =
+          List.sort compare (Engine.query_rows db "SELECT a FROM t UNION SELECT a FROM t")
+        in
+        let distinct =
+          List.sort compare (Engine.query_rows db "SELECT DISTINCT a FROM t")
+        in
+        plain = distinct)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [ ins_then_count; update_preserves_count; sum_linear; dedupe_idempotent ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "minidb"
+    [
+      ( "value",
+        [ tc "compare" test_value_compare; tc "literal" test_value_literal ] );
+      ( "parser",
+        [
+          tc "roundtrip" test_parser_roundtrip;
+          tc "trigger" test_parser_trigger;
+          tc "qualified names" test_parser_qualified_names;
+          tc "errors" test_parser_errors;
+        ] );
+      ( "query",
+        [
+          tc "select/where" test_select_where;
+          tc "order/limit" test_order_limit;
+          tc "distinct" test_distinct;
+          tc "union" test_union;
+          tc "join" test_join;
+          tc "left join" test_left_join;
+          tc "cross join" test_cross_join;
+          tc "exists" test_exists;
+          tc "in subquery" test_in_subquery;
+          tc "scalar subquery" test_scalar_subquery;
+          tc "aggregates" test_aggregates;
+          tc "aggregate empty" test_aggregate_empty;
+          tc "null semantics" test_null_semantics;
+          tc "case" test_case_expr;
+        ] );
+      ( "dml",
+        [
+          tc "insert defaults" test_insert_defaults;
+          tc "insert select" test_insert_select;
+          tc "update" test_update;
+          tc "delete" test_delete;
+          tc "pk violation" test_pk_violation;
+          tc "statement atomicity" test_multi_row_insert_atomicity;
+          tc "transactions" test_transactions;
+        ] );
+      ( "planner",
+        [
+          tc "view pushdown equivalence" test_view_pushdown_equivalence;
+          tc "pushdown through union" test_pushdown_through_union_view;
+          tc "index nested-loop join" test_index_nl_join_equivalence;
+          tc "trigger depth guard" test_trigger_depth_guard;
+          tc "three-valued NOT IN" test_three_valued_not_in;
+          tc "order by NULLs + limit" test_order_by_nulls_and_limit;
+          tc "scalar multi-row error" test_scalar_subquery_multi_row_error;
+          tc "update via IN subquery" test_update_via_in_subquery;
+          tc "rollback restores sequences" test_rollback_restores_sequences;
+        ] );
+      ( "views+triggers",
+        [
+          tc "view read" test_view_read;
+          tc "insert trigger" test_view_insert_trigger;
+          tc "update/delete triggers" test_view_update_delete_triggers;
+          tc "cascade" test_trigger_cascade;
+          tc "set new" test_trigger_set_new;
+          tc "sequences" test_sequences;
+          tc "registered function" test_registered_function;
+          tc "drop cleans triggers" test_drop_table_drops_triggers;
+        ] );
+      ("properties", qsuite);
+    ]
