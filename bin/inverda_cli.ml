@@ -61,6 +61,9 @@ let execute t input =
   | Inverda.Genealogy.Catalog_error msg
   | Inverda.Migration.Migration_error msg ->
     Fmt.pr "error: %s@." msg
+  | Analysis.Diagnostic.Rejected ds ->
+    Fmt.pr "rejected by the static analyzer:@.";
+    Analysis.Diagnostic.report Fmt.stdout ds
   | Minidb.Table.Constraint_violation msg -> Fmt.pr "constraint violation: %s@." msg
   | Minidb.Value.Type_error msg -> Fmt.pr "type error: %s@." msg
   | Bidel.Smo_semantics.Semantics_error msg -> Fmt.pr "SMO error: %s@." msg
@@ -124,7 +127,55 @@ let run demo =
     Fmt.pr "loaded the TasKy demo: versions %s@."
       (String.concat ", " (I.versions t))
   end;
-  repl t
+  repl t;
+  0
+
+(* --- the lint command ------------------------------------------------------- *)
+
+let read_script path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+(* Replay the script on a scratch instance and collect the deeper layers'
+   diagnostics: rule-set safety for every instantiated SMO, plus the
+   typechecked delta code of the final state. *)
+let deep_diagnostics src =
+  let t = I.create ~strict:false () in
+  match I.evolve t src with
+  | () -> I.rule_diagnostics t @ I.delta_diagnostics t
+  | exception e ->
+    [
+      Analysis.Diagnostic.error "IVD000" "script replay failed: %s"
+        (match e with
+        | Inverda.Genealogy.Catalog_error m
+        | Inverda.Migration.Migration_error m
+        | Minidb.Database.Engine_error m
+        | Minidb.Exec.Exec_error m
+        | Bidel.Smo_semantics.Semantics_error m ->
+          m
+        | e -> Printexc.to_string e);
+    ]
+
+let lint file json shallow deny_warnings =
+  match read_script file with
+  | exception Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    2
+  | src ->
+    let script = Analysis.lint_source src in
+    (* replaying an erroneous script would only duplicate its findings *)
+    let deep =
+      if shallow || Analysis.Diagnostic.has_errors script then []
+      else deep_diagnostics src
+    in
+    let all = script @ deep in
+    if json then print_endline (Analysis.Diagnostic.list_to_json all)
+    else begin
+      Analysis.Diagnostic.report Fmt.stdout all;
+      if all = [] then Fmt.pr "no diagnostics@."
+    end;
+    if Analysis.Diagnostic.has_errors all || (deny_warnings && all <> []) then 1
+    else 0
 
 open Cmdliner
 
@@ -132,8 +183,51 @@ let demo =
   let doc = "Preload the TasKy example (three schema versions, 20 tasks)." in
   Arg.(value & flag & info [ "demo" ] ~doc)
 
-let cmd =
-  let doc = "Interactive shell for co-existing schema versions" in
-  Cmd.v (Cmd.info "inverda" ~doc) Term.(const run $ demo)
+let shell_term = Term.(const run $ demo)
 
-let () = exit (Cmd.eval cmd)
+let shell_cmd =
+  let doc = "Interactive shell (the default command)" in
+  Cmd.v (Cmd.info "shell" ~doc) shell_term
+
+let lint_cmd =
+  let file =
+    let doc = "BiDEL script to lint ($(b,-) reads standard input)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let json =
+    let doc = "Emit diagnostics as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let shallow =
+    let doc =
+      "Script lints only: skip replaying the script to check Datalog rule \
+       safety and typecheck the generated delta code."
+    in
+    Arg.(value & flag & info [ "shallow" ] ~doc)
+  in
+  let deny_warnings =
+    let doc = "Exit non-zero on warnings too (for CI gates)." in
+    Arg.(value & flag & info [ "deny-warnings" ] ~doc)
+  in
+  let doc = "Statically analyze a BiDEL evolution script" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses the script and reports coded diagnostics: evolution-script \
+         lints ($(b,BDL0xx)), Datalog rule safety violations ($(b,DLG0xx)) \
+         and delta-code type errors ($(b,IVD0xx)), each with its source \
+         location where available. Exits non-zero when any error-severity \
+         diagnostic is reported; warnings alone exit zero unless \
+         $(b,--deny-warnings) is given.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(const lint $ file $ json $ shallow $ deny_warnings)
+
+let cmd =
+  let doc = "Co-existing schema versions: shell and static analyzer" in
+  Cmd.group ~default:shell_term (Cmd.info "inverda" ~doc) [ shell_cmd; lint_cmd ]
+
+let () = exit (Cmd.eval' cmd)

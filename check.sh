@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification: build, test suite (unit tests + examples), and the
+# static-analysis gate (@lint: example scripts lint clean, every seeded bad
+# script triggers its diagnostic).
+set -e
+cd "$(dirname "$0")"
+dune build
+dune runtest
+dune build @lint
+echo "check.sh: all green"

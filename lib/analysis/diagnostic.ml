@@ -1,0 +1,104 @@
+(** Diagnostics: coded, located findings produced by the static analyzer.
+
+    Codes are stable identifiers grouped by layer:
+    - [BDL0xx] — BiDEL evolution-script lints
+    - [DLG0xx] — Datalog rule safety checks
+    - [IVD0xx] — delta-code / catalog checks
+
+    See the "Diagnostics" section of README.md for the full catalogue. *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  span : Bidel.Ast.span;  (** {!Bidel.Ast.no_span} when no source location *)
+  context : string;  (** what was being checked, e.g. a version or rule name *)
+}
+
+let make severity code ?(span = Bidel.Ast.no_span) ?(context = "") fmt =
+  Fmt.kstr (fun message -> { code; severity; message; span; context }) fmt
+
+let error code ?span ?context fmt = make Error code ?span ?context fmt
+let warning code ?span ?context fmt = make Warning code ?span ?context fmt
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let errors ds = List.filter is_error ds
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (severity_string d.severity);
+  Buffer.add_string b "[";
+  Buffer.add_string b d.code;
+  Buffer.add_string b "]";
+  if d.span <> Bidel.Ast.no_span then
+    Buffer.add_string b
+      (Printf.sprintf " line %d, column %d" d.span.Bidel.Ast.line
+         d.span.Bidel.Ast.col);
+  Buffer.add_string b ": ";
+  Buffer.add_string b d.message;
+  if d.context <> "" then begin
+    Buffer.add_string b " (in ";
+    Buffer.add_string b d.context;
+    Buffer.add_string b ")"
+  end;
+  Buffer.contents b
+
+let pp ppf d = Fmt.string ppf (to_string d)
+
+(** Sort by source position (unlocated diagnostics last), errors before
+    warnings at the same position. *)
+let sort ds =
+  let key d =
+    let s = d.span in
+    let line = if s = Bidel.Ast.no_span then max_int else s.Bidel.Ast.line in
+    (line, s.Bidel.Ast.col, (match d.severity with Error -> 0 | Warning -> 1))
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) ds
+
+let report ppf ds = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (sort ds)
+
+(* JSON rendering is hand-rolled: the repo has no JSON dependency and the
+   shape is flat. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let span =
+    if d.span = Bidel.Ast.no_span then "null"
+    else
+      Printf.sprintf
+        {|{"line":%d,"col":%d,"end_line":%d,"end_col":%d}|}
+        d.span.Bidel.Ast.line d.span.Bidel.Ast.col d.span.Bidel.Ast.end_line
+        d.span.Bidel.Ast.end_col
+  in
+  Printf.sprintf
+    {|{"code":"%s","severity":"%s","message":"%s","span":%s,"context":"%s"}|}
+    (json_escape d.code)
+    (severity_string d.severity)
+    (json_escape d.message) span (json_escape d.context)
+
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json (sort ds)) ^ "]"
+
+exception Rejected of t list
+(** Raised by strict-mode callers when a check produced errors. *)
+
+let reject_errors ds = if has_errors ds then raise (Rejected (errors ds))

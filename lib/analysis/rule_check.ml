@@ -1,0 +1,166 @@
+(** Safety checks on Datalog rule sets (the γ_src / γ_tgt mapping programs of
+    SMO instances).
+
+    Errors ([DLG001]-[DLG005], [DLG008]) mean evaluation can fail or is
+    ill-defined: range restriction violated, unsafe negation or assignment,
+    recursion, inconsistent arities. Warnings ([DLG006], [DLG007]) flag rules
+    that evaluate but are probably not what was meant: singleton variables and
+    references to predicates nothing defines or supplies. *)
+
+module D = Datalog.Ast
+
+let diag = Diagnostic.error
+let warn = Diagnostic.warning
+
+let rule_name (r : D.rule) = Printf.sprintf "rule for %s" r.D.head.D.pred
+
+(* Variables bound by the positive part of a body, closed under assignments
+   whose right-hand sides are themselves bound (order-independent, matching
+   the evaluator's safety reordering rather than textual order). *)
+let bound_fixpoint (body : D.literal list) =
+  let bound = ref [] in
+  List.iter
+    (function D.Pos a -> bound := D.atom_vars a @ !bound | _ -> ())
+    body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | D.Assign (x, e) when not (List.mem x !bound) ->
+          if List.for_all (fun y -> List.mem y !bound) (D.expr_vars e) then begin
+            bound := x :: !bound;
+            changed := true
+          end
+        | _ -> ())
+      body
+  done;
+  !bound
+
+let check_rule ?(unused = false) ?context (r : D.rule) : Diagnostic.t list =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  let ctx =
+    match context with
+    | Some c -> Printf.sprintf "%s, %s" c (rule_name r)
+    | None -> rule_name r
+  in
+  let bound = bound_fixpoint r.D.body in
+  let is_bound x = List.mem x bound in
+  (* DLG001: range restriction — every head variable is bound *)
+  List.iter
+    (fun x ->
+      if not (is_bound x) then
+        push (diag "DLG001" ~context:ctx "unbound head variable %s" x))
+    (List.sort_uniq compare (D.atom_vars r.D.head));
+  (* DLG002: negation safety — negated atoms only test bound variables *)
+  List.iter
+    (function
+      | D.Neg a ->
+        List.iter
+          (fun x ->
+            if not (is_bound x) then
+              push
+                (diag "DLG002" ~context:ctx
+                   "variable %s in negated atom %s is not bound by a positive literal"
+                   x a.D.pred))
+          (List.sort_uniq compare (D.atom_vars a))
+      | _ -> ())
+    r.D.body;
+  (* DLG003: conditions only read bound variables *)
+  List.iter
+    (function
+      | D.Cond e ->
+        List.iter
+          (fun x ->
+            if not (is_bound x) then
+              push
+                (diag "DLG003" ~context:ctx
+                   "unbound variable %s in condition" x))
+          (List.sort_uniq compare (D.expr_vars e))
+      | _ -> ())
+    r.D.body;
+  (* DLG004: assignments compute from bound variables only (a variable that
+     the fixpoint could not close over is genuinely circular or unbound) *)
+  List.iter
+    (function
+      | D.Assign (x, e) ->
+        List.iter
+          (fun y ->
+            if not (is_bound y) then
+              push
+                (diag "DLG004" ~context:ctx
+                   "assignment to %s reads unbound variable %s" x y))
+          (List.sort_uniq compare (D.expr_vars e))
+      | _ -> ())
+    r.D.body;
+  (* DLG006: singleton variables — named once, read nowhere else; an
+     anonymous [_] was almost certainly intended. Off by default: the SMO
+     templates instantiate rules over full column lists and project in the
+     head, so their auxiliary rules systematically contain such variables. *)
+  if unused then begin
+    let occurrences =
+      D.atom_vars r.D.head @ List.concat_map D.literal_vars r.D.body
+    in
+    List.iter
+      (fun x ->
+        if List.length (List.filter (( = ) x) occurrences) = 1 && is_bound x
+        then
+          push
+            (warn "DLG006" ~context:ctx
+               "variable %s occurs only once; use an anonymous variable if the value is irrelevant"
+               x))
+      (List.sort_uniq compare occurrences)
+  end;
+  List.rev !out
+
+(** Check a whole rule set.
+
+    [edb] lists the extensional predicates the caller will supply at
+    evaluation time; body predicates that are neither derived by the rule set
+    nor listed there are flagged [DLG007]. When [edb] is omitted the check is
+    skipped (any non-head predicate may be extensional). [unused] enables the
+    [DLG006] singleton-variable warning. *)
+let check_rules ?unused ?edb ?context (rules : D.t) : Diagnostic.t list =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  (* per-rule checks *)
+  List.iter (fun r -> List.iter push (check_rule ?unused ?context r)) rules;
+  let ctx = Option.value context ~default:"rule set" in
+  (* DLG008: consistent arities across every use of a predicate *)
+  let arities : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let note_atom (a : D.atom) =
+    let n = List.length a.D.args in
+    match Hashtbl.find_opt arities a.D.pred with
+    | None -> Hashtbl.replace arities a.D.pred n
+    | Some m ->
+      if m <> n then
+        push
+          (diag "DLG008" ~context:ctx
+             "predicate %s used with arities %d and %d" a.D.pred m n)
+  in
+  List.iter
+    (fun (r : D.rule) ->
+      note_atom r.D.head;
+      List.iter
+        (function D.Pos a | D.Neg a -> note_atom a | _ -> ())
+        r.D.body)
+    rules;
+  (* DLG007: body predicates nothing defines or supplies *)
+  (match edb with
+  | None -> ()
+  | Some edb ->
+    let heads = D.head_preds rules in
+    List.iter
+      (fun p ->
+        if not (List.mem p heads || List.mem p edb) then
+          push
+            (warn "DLG007" ~context:ctx
+               "predicate %s is read but never derived or supplied; it is always empty"
+               p))
+      (D.body_preds rules));
+  (* DLG005: stratification — surface the evaluator's own cycle report *)
+  (try ignore (Datalog.Eval.stratify rules)
+   with Datalog.Eval.Eval_error msg ->
+     push (diag "DLG005" ~context:ctx "%s" msg));
+  List.rev !out

@@ -1,0 +1,77 @@
+(** Delta-code typechecking: validate generated SQL (views, triggers, version
+    aliases, backfill DML) against a catalog snapshot before it is installed.
+
+    Two independent gates:
+
+    - round-trip: every statement is printed with {!Minidb.Sql_printer} and
+      re-parsed with {!Minidb.Sql_parser}. A parse failure ([IVD001]) means
+      codegen emitted something the engine's own grammar cannot read back; a
+      print mismatch after re-parsing ([IVD002], warning) means printer and
+      parser disagree about some construct.
+    - resolution: names and arities are resolved with {!Minidb.Resolve}
+      against the caller's schema callback, treating objects created by the
+      batch itself as visible (delta code routinely forward-references its
+      own views): unknown objects [IVD003], unknown columns [IVD004],
+      ambiguous references [IVD005], unknown functions [IVD006], arity
+      mismatches [IVD007], bad NEW/OLD references [IVD008], cyclic view
+      definitions [IVD009], duplicate columns [IVD010]. *)
+
+module R = Minidb.Resolve
+
+type env = {
+  schema : string -> string list option;
+      (** existing table/view -> columns; [None] = unknown *)
+  is_function : string -> bool;  (** registered scalar functions *)
+}
+
+let code_of_kind = function
+  | R.Unknown_object -> "IVD003"
+  | R.Unknown_column -> "IVD004"
+  | R.Ambiguous_column -> "IVD005"
+  | R.Unknown_function -> "IVD006"
+  | R.Arity_mismatch -> "IVD007"
+  | R.Bad_trigger_ref -> "IVD008"
+  | R.View_cycle -> "IVD009"
+  | R.Duplicate_column -> "IVD010"
+
+let roundtrip_check (stmt : Minidb.Sql_ast.statement) : Diagnostic.t list =
+  let printed = Minidb.Sql_printer.statement_to_string stmt in
+  let context =
+    if String.length printed > 60 then String.sub printed 0 57 ^ "..."
+    else printed
+  in
+  match Minidb.Sql_parser.statement_of_string printed with
+  | reparsed ->
+    let reprinted = Minidb.Sql_printer.statement_to_string reparsed in
+    if reprinted <> printed then
+      [
+        Diagnostic.warning "IVD002" ~context
+          "printer/parser disagree: reprinting the reparsed statement yields %s"
+          reprinted;
+      ]
+    else []
+  | exception Minidb.Sql_parser.Parse_error msg ->
+    [
+      Diagnostic.error "IVD001" ~context
+        "generated statement does not re-parse: %s" msg;
+    ]
+  | exception Minidb.Sql_lexer.Lex_error (msg, _) ->
+    [
+      Diagnostic.error "IVD001" ~context
+        "generated statement does not re-lex: %s" msg;
+    ]
+
+(** Typecheck a batch of generated statements against [env]. *)
+let check_delta (env : env) (stmts : Minidb.Sql_ast.statement list) :
+    Diagnostic.t list =
+  let roundtrip = List.concat_map roundtrip_check stmts in
+  let issues =
+    R.check_statements ~schema:env.schema ~is_function:env.is_function stmts
+  in
+  let resolved =
+    List.map
+      (fun (i : R.issue) ->
+        Diagnostic.error (code_of_kind i.R.kind) ~context:i.R.obj "%s" i.R.msg)
+      issues
+  in
+  roundtrip @ resolved

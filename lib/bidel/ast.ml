@@ -10,6 +10,20 @@ type expr = Minidb.Sql_ast.expr
 (** Conditions and value functions range over column names:
     [Col (None, c)] refers to column [c]. *)
 
+(** Source span of a parsed node (1-based line/column of the first token and
+    of the start of the last token); [no_span] marks synthetic nodes. *)
+type span = { line : int; col : int; end_line : int; end_col : int }
+
+let no_span = { line = 0; col = 0; end_line = 0; end_col = 0 }
+
+let pp_span ppf s =
+  if s = no_span then Fmt.string ppf "<no location>"
+  else Fmt.pf ppf "line %d, column %d" s.line s.col
+
+type 'a located = { node : 'a; span : span }
+
+let at ?(span = no_span) node = { node; span }
+
 (** Join/decompose linkage: primary key, a named foreign-key column, or an
     arbitrary condition over the columns of both sides. *)
 type linkage = On_pk | On_fk of string | On_cond of expr

@@ -9,6 +9,21 @@ exception Parse_error = C.Parse_error
 
 let perror = C.perror
 
+let span_between (start : L.pos) (stop : L.pos) =
+  {
+    Ast.line = start.L.line;
+    col = start.L.col;
+    end_line = stop.L.line;
+    end_col = stop.L.col;
+  }
+
+(** Run [f] on the cursor and record the span of the tokens it consumed. *)
+let with_span c f =
+  let start = C.pos c in
+  let node = f c in
+  let stop = if C.last_pos c = L.no_pos then start else C.last_pos c in
+  { Ast.node; span = span_between start stop }
+
 let parse_expr c = Minidb.Sql_parser.parse_expr c
 
 let parse_name_list c =
@@ -140,15 +155,31 @@ let parse_smo c =
     Merge { left = (lname, lcond); right = (rname, rcond); into = C.ident c }
   end
   else
-    perror "expected an SMO, found %s" (L.token_to_string (C.peek c))
+    C.perror_at c "expected an SMO, found %s" (L.token_to_string (C.peek c))
 
 let parse_version_name c =
-  match C.next c with
-  | L.IDENT s -> s
-  | L.STRING s -> s
-  | tok -> perror "expected a schema version name, found %s" (L.token_to_string tok)
+  match C.peek c with
+  | L.IDENT s | L.STRING s ->
+    C.advance c;
+    s
+  | tok ->
+    C.perror_at c "expected a schema version name, found %s"
+      (L.token_to_string tok)
 
-let parse_statement c =
+(** A parsed statement with source spans: the whole statement's span plus one
+    span per SMO of a [Create_schema_version] (aligned with its [smos]). *)
+type lstatement = {
+  l_stmt : statement;
+  l_span : Ast.span;
+  l_smos : Ast.smo Ast.located list;
+}
+
+let parse_statement_located c =
+  let start = C.pos c in
+  let finish stmt l_smos =
+    let stop = if C.last_pos c = L.no_pos then start else C.last_pos c in
+    { l_stmt = stmt; l_span = span_between start stop; l_smos }
+  in
   if C.accept_kw c "CREATE" then begin
     C.expect_kw c "SCHEMA";
     C.expect_kw c "VERSION";
@@ -158,7 +189,7 @@ let parse_statement c =
     in
     C.expect_kw c "WITH";
     let rec smos acc =
-      let smo = parse_smo c in
+      let smo = with_span c parse_smo in
       (match C.peek c with L.SEMI -> C.advance c | _ -> ());
       if
         C.at_end c
@@ -168,7 +199,11 @@ let parse_statement c =
       then List.rev (smo :: acc)
       else smos (smo :: acc)
     in
-    Create_schema_version { name; from; smos = smos [] }
+    let located = smos [] in
+    finish
+      (Create_schema_version
+         { name; from; smos = List.map (fun l -> l.Ast.node) located })
+      located
   end
   else if C.is_kw c "DROP" && C.is_kw2 c "SCHEMA" then begin
     C.advance c;
@@ -176,7 +211,7 @@ let parse_statement c =
     C.expect_kw c "VERSION";
     let name = parse_version_name c in
     (match C.peek c with L.SEMI -> C.advance c | _ -> ());
-    Drop_schema_version name
+    finish (Drop_schema_version name) []
   end
   else if C.accept_kw c "MATERIALIZE" then begin
     let rec names acc =
@@ -189,16 +224,24 @@ let parse_statement c =
     in
     let targets = names [] in
     (match C.peek c with L.SEMI -> C.advance c | _ -> ());
-    Materialize targets
+    finish (Materialize targets) []
   end
   else
-    perror "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE, found %s"
+    C.perror_at c
+      "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE, found %s"
       (L.token_to_string (C.peek c))
 
-let script_of_string src =
-  let c = C.make (L.tokenize src) in
-  let rec go acc = if C.at_end c then List.rev acc else go (parse_statement c :: acc) in
+let parse_statement c = (parse_statement_located c).l_stmt
+
+let script_of_string_located src =
+  let c = C.make_pos (L.tokenize_pos src) in
+  let rec go acc =
+    if C.at_end c then List.rev acc else go (parse_statement_located c :: acc)
+  in
   go []
+
+let script_of_string src =
+  List.map (fun l -> l.l_stmt) (script_of_string_located src)
 
 let statement_of_string src =
   match script_of_string src with
@@ -206,7 +249,7 @@ let statement_of_string src =
   | stmts -> perror "expected exactly one statement, got %d" (List.length stmts)
 
 let smo_of_string src =
-  let c = C.make (L.tokenize src) in
+  let c = C.make_pos (L.tokenize_pos src) in
   let smo = parse_smo c in
   (match C.peek c with L.SEMI -> C.advance c | _ -> ());
   if not (C.at_end c) then

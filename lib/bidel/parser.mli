@@ -8,6 +8,21 @@ val parse_smo : Minidb.Sql_lexer.Cursor.t -> Ast.smo
 
 val parse_statement : Minidb.Sql_lexer.Cursor.t -> Ast.statement
 
+(** A parsed statement together with source spans: the statement's overall
+    span plus one located entry per SMO of a [Create_schema_version]
+    (aligned with its [smos] list; empty for the other statements). *)
+type lstatement = {
+  l_stmt : Ast.statement;
+  l_span : Ast.span;
+  l_smos : Ast.smo Ast.located list;
+}
+
+val parse_statement_located : Minidb.Sql_lexer.Cursor.t -> lstatement
+
+val script_of_string_located : string -> lstatement list
+(** As {!script_of_string}, preserving source spans (the input of the static
+    analyzer). *)
+
 val script_of_string : string -> Ast.statement list
 (** Parse a whole script ([CREATE SCHEMA VERSION ...], [DROP SCHEMA VERSION],
     [MATERIALIZE] statements). *)

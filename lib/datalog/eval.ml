@@ -34,9 +34,19 @@ let stratify rules =
   in
   let visited = Hashtbl.create 8 in
   let order = ref [] in
+  (* [path] holds the predicates currently being visited, most recent first;
+     on a back-edge it yields the offending dependency cycle for the error *)
+  let cycle_string path h =
+    let rec upto = function
+      | [] -> []
+      | x :: rest -> if x = h then [ x ] else x :: upto rest
+    in
+    String.concat " -> " (List.rev (upto path))
+  in
   let rec visit path h =
     if List.mem h path then
-      error "recursive rule set through predicate %s" h
+      error "recursive rule set through predicate %s (cycle: %s -> %s)" h
+        (cycle_string path h) h
     else if not (Hashtbl.mem visited h) then begin
       Hashtbl.replace visited h ();
       List.iter (visit (h :: path)) (List.filter (fun d -> d <> h || true) (deps h));
@@ -46,7 +56,9 @@ let stratify rules =
   (* allow a head to read its own predicate only if it is not derived, which
      [deps] already excludes; self-loops are recursion *)
   List.iter
-    (fun h -> if List.mem h (deps h) then error "recursive predicate %s" h)
+    (fun h ->
+      if List.mem h (deps h) then
+        error "recursive predicate %s (cycle: %s -> %s)" h h h)
     heads;
   List.iter (visit []) heads;
   List.rev !order

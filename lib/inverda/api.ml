@@ -13,17 +13,21 @@ type t = {
   db : Db.t;
   gen : G.t;
   counter : int ref;  (** global id sequence: row keys and skolem ids *)
+  mutable strict : bool;
+      (** run the static analyzer on every evolution / migration *)
 }
 
 exception Inverda_error = G.Catalog_error
 
-let create () =
+let create ?(strict = true) () =
   let db = Db.create () in
   let counter = ref 0 in
   Db.register_function db Naming.global_id_function (fun _ _ ->
       incr counter;
       Minidb.Value.Int !counter);
-  { db; gen = G.create (); counter }
+  { db; gen = G.create (); counter; strict }
+
+let set_strict t b = t.strict <- b
 
 let database t = t.db
 
@@ -34,6 +38,72 @@ let genealogy t = t.gen
 let fresh_id t =
   incr t.counter;
   !(t.counter)
+
+(* --- static analysis hooks -------------------------------------------------- *)
+
+(** Catalog snapshot for the delta-code typechecker: every table and view of
+    the engine, by columns. *)
+let lint_env t : Analysis.Sql_check.env =
+  {
+    Analysis.Sql_check.schema =
+      (fun name ->
+        match Db.find_object t.db name with
+        | Some (Db.Obj_table tbl) ->
+          Some (Minidb.Schema.names tbl.Minidb.Table.schema)
+        | Some (Db.Obj_view v) -> Some v.Db.view_cols
+        | None -> None);
+    is_function = (fun name -> Db.find_function t.db name <> None);
+  }
+
+(** Version environment for the script linter, from the live catalog. *)
+let script_env t : Analysis.Script_check.env =
+  List.map
+    (fun (sv : G.schema_version) ->
+      ( sv.G.sv_name,
+        List.map
+          (fun (table, tvid) -> (table, (G.tv t.gen tvid).G.tv_cols))
+          sv.G.sv_tables ))
+    t.gen.G.versions
+  |> Analysis.Script_check.env_of_versions
+
+(* In strict mode, reject regenerated delta code with resolution or
+   round-trip errors before any of it is installed. *)
+let validate_delta t stmts =
+  if t.strict then
+    Analysis.Diagnostic.reject_errors (Analysis.check_delta (lint_env t) stmts)
+
+(** Diagnostics for the current state's complete delta code (also used by the
+    [lint] CLI). *)
+let delta_diagnostics t =
+  Analysis.check_delta (lint_env t) (Codegen.delta_statements t.gen)
+
+(* Safety diagnostics for one SMO instance's three mapping rule sets. *)
+let instance_rule_diagnostics (si : G.smo_instance) =
+  let i = si.G.si_inst in
+  let edb =
+    List.map
+      (fun (r : S.rel) -> r.S.rel_name)
+      (i.S.sources @ i.S.targets @ i.S.aux_src @ i.S.aux_tgt @ i.S.aux_both)
+  in
+  let check what rules =
+    let context =
+      Fmt.str "%s of SMO #%d (%s)" what si.G.si_id
+        (Bidel.Ast.smo_name si.G.si_smo)
+    in
+    Analysis.check_rules ~edb ~context rules
+  in
+  check "gamma_src" i.S.gamma_src
+  @ check "gamma_tgt" i.S.gamma_tgt
+  @ check "backfill" i.S.backfill
+
+(** Safety diagnostics for every SMO instance in the catalog. *)
+let rule_diagnostics t =
+  List.concat_map instance_rule_diagnostics (G.all_smos t.gen)
+
+(* Safety-check the mapping rule sets of freshly instantiated SMOs. *)
+let check_instance_rules t (si : G.smo_instance) =
+  if t.strict then
+    Analysis.Diagnostic.reject_errors (instance_rule_diagnostics si)
 
 (* --- the Database Evolution Operation -------------------------------------- *)
 
@@ -67,26 +137,30 @@ let exec_bidel t (stmt : Bidel.Ast.statement) =
     let _sv, instances =
       G.create_schema_version t.gen ~register_skolem ~name ~from ~smos
     in
+    List.iter (check_instance_rules t) instances;
     (* physical storage for the new SMOs (they start virtualized:
        aux_src + aux_both; CREATE TABLE SMOs get their data tables) *)
     Codegen.ensure_physical t.db t.gen;
     (* identifier backfill for pre-existing source data reads the *current*
        views, which still exist *)
     List.iter (run_backfill t) instances;
-    Codegen.regenerate t.db t.gen
+    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen
   | Bidel.Ast.Drop_schema_version name ->
     G.drop_schema_version t.gen name;
-    Codegen.regenerate t.db t.gen
-  | Bidel.Ast.Materialize targets -> Migration.materialize t.db t.gen targets
+    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen
+  | Bidel.Ast.Materialize targets ->
+    Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
 
 (** Execute a BiDEL script given as text. *)
 let evolve t script =
   List.iter (exec_bidel t) (Bidel.Parser.script_of_string script)
 
 (** One-line migration command, e.g. [materialize t ["TasKy2"]]. *)
-let materialize t targets = Migration.materialize t.db t.gen targets
+let materialize t targets =
+  Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
 
-let set_materialization t mat = Migration.set_materialization t.db t.gen mat
+let set_materialization t mat =
+  Migration.set_materialization ~validate:(validate_delta t) t.db t.gen mat
 
 (* --- data access ------------------------------------------------------------ *)
 

@@ -20,8 +20,16 @@ type t
 
 exception Inverda_error of string
 
-val create : unit -> t
-(** A fresh database with an empty schema version catalog. *)
+val create : ?strict:bool -> unit -> t
+(** A fresh database with an empty schema version catalog. With
+    [strict] (the default), every evolution and migration runs the static
+    analyzer: the mapping rule sets of new SMOs are safety-checked and the
+    regenerated delta code is typechecked against the catalog {e before}
+    installation; errors raise {!Analysis.Diagnostic.Rejected} and leave the
+    delta code untouched. *)
+
+val set_strict : t -> bool -> unit
+(** Toggle strict mode on a live instance. *)
 
 val database : t -> Minidb.Database.t
 (** The underlying relational engine (for direct SQL access). *)
@@ -73,6 +81,25 @@ val query_int : t -> string -> int
 val insert_row :
   t -> version:string -> table:string -> Minidb.Value.t list -> unit
 (** Positional insert through a version view. *)
+
+(** {1 Static analysis} *)
+
+val lint_env : t -> Analysis.Sql_check.env
+(** Catalog snapshot (object -> columns, registered functions) for
+    {!Analysis.check_delta}. *)
+
+val script_env : t -> Analysis.Script_check.env
+(** The live catalog's schema versions as a seed environment for
+    {!Analysis.check_script}, so scripts evolving an existing database lint
+    against its versions. *)
+
+val delta_diagnostics : t -> Analysis.Diagnostic.t list
+(** Regenerate (without installing) the complete delta code for the current
+    state and typecheck it. *)
+
+val rule_diagnostics : t -> Analysis.Diagnostic.t list
+(** Safety diagnostics for the mapping rule sets (γ_src, γ_tgt, backfill) of
+    every SMO instance in the catalog. *)
 
 (** {1 Introspection} *)
 

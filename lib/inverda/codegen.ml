@@ -163,22 +163,31 @@ let physical_aux (si : G.smo_instance) =
   let i = si.G.si_inst in
   (if si.G.si_materialized then i.S.aux_tgt else i.S.aux_src) @ i.S.aux_both
 
-(** Create any missing physical tables for the current state. *)
-let ensure_physical db (gen : G.t) =
-  List.iter
+(** CREATE TABLE IF NOT EXISTS statements for all physical storage of the
+    current state. *)
+let physical_statements (gen : G.t) =
+  List.filter_map
     (fun v ->
       if G.is_physical gen v then
-        exec db
+        Some
           (create_table_stmt
              (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table)
-             ("p" :: v.G.tv_cols)))
-    (G.all_table_versions gen);
+             ("p" :: v.G.tv_cols))
+      else None)
+    (G.all_table_versions gen)
+  @ List.concat_map
+      (fun si ->
+        List.map
+          (fun (r : S.rel) -> create_table_stmt r.S.rel_name r.S.rel_cols)
+          (physical_aux si))
+      (G.all_smos gen)
+
+(* identifier auxiliaries are probed by their non-key columns *)
+let ensure_aux_indexes db (gen : G.t) =
   List.iter
     (fun si ->
       List.iter
         (fun (r : S.rel) ->
-          exec db (create_table_stmt r.S.rel_name r.S.rel_cols);
-          (* identifier auxiliaries are probed by their non-key columns *)
           match Minidb.Database.find_table_opt db r.S.rel_name with
           | Some tbl ->
             List.iter
@@ -188,10 +197,19 @@ let ensure_physical db (gen : G.t) =
         (physical_aux si))
     (G.all_smos gen)
 
+(** Create any missing physical tables for the current state. *)
+let ensure_physical db (gen : G.t) =
+  List.iter (exec db) (physical_statements gen);
+  ensure_aux_indexes db gen
+
 (* --- view + trigger assembly ------------------------------------------------- *)
 
-let star_view db name source =
-  exec db
+(* The generators below write to an [emit] callback so the same code paths
+   produce either live installation ({!regenerate}) or the pure statement
+   list ({!delta_statements}) the static analyzer typechecks. *)
+
+let star_view emit name source =
+  emit
     (Sql.Create_view
        {
          name;
@@ -199,9 +217,9 @@ let star_view db name source =
          query = Sql.select_query (Sql.simple_select ~from:(Sql.From_table (source, None)) [ Sql.Star ]);
        })
 
-let make_trigger db ~target ~event body =
+let make_trigger emit ~target ~event body =
   if body <> [] then
-    exec db
+    emit
       (Sql.Create_trigger
          {
            name = Naming.trigger ~target event;
@@ -373,15 +391,15 @@ let adjacent_smos v =
 
 
 
-let generate_tv db (gen : G.t) lookup rename v =
+let generate_tv emit (gen : G.t) lookup rename v =
   let name = G.tv_name v in
   (* the read side *)
   (match G.access_case gen v with
   | G.Local ->
-    star_view db name (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table)
+    star_view emit name (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table)
   | G.Forwards o ->
     let si = G.smo gen o in
-    exec db
+    emit
       (Sql.Create_view
          {
            name;
@@ -392,7 +410,7 @@ let generate_tv db (gen : G.t) lookup rename v =
          })
   | G.Backwards i ->
     let si = G.smo gen i in
-    exec db
+    emit
       (Sql.Create_view
          {
            name;
@@ -406,7 +424,7 @@ let generate_tv db (gen : G.t) lookup rename v =
     List.map (rewrite_statement_reads rename) (tv_trigger_body gen v ?arrived_via op)
   in
   List.iter
-    (fun (op, event) -> make_trigger db ~target:name ~event (body op))
+    (fun (op, event) -> make_trigger emit ~target:name ~event (body op))
     [
       (Triggers.Ins, Sql.On_insert);
       (Triggers.Upd, Sql.On_update);
@@ -416,10 +434,10 @@ let generate_tv db (gen : G.t) lookup rename v =
   List.iter
     (fun smo_id ->
       let via_name = Naming.via name ~smo_id in
-      star_view db via_name (rename name);
+      star_view emit via_name (rename name);
       List.iter
         (fun (op, event) ->
-          make_trigger db ~target:via_name ~event (body ~arrived_via:smo_id op))
+          make_trigger emit ~target:via_name ~event (body ~arrived_via:smo_id op))
         [
           (Triggers.Ins, Sql.On_insert);
           (Triggers.Upd, Sql.On_update);
@@ -428,7 +446,7 @@ let generate_tv db (gen : G.t) lookup rename v =
     (adjacent_smos v)
 
 (** Derived views for the auxiliaries that are not physical right now. *)
-let generate_aux_views db (gen : G.t) lookup rename =
+let generate_aux_views emit (gen : G.t) lookup rename =
   List.iter
     (fun (si : G.smo_instance) ->
       let i = si.G.si_inst in
@@ -438,7 +456,7 @@ let generate_aux_views db (gen : G.t) lookup rename =
       in
       List.iter
         (fun (r : S.rel) ->
-          exec db
+          emit
             (Sql.Create_view
                {
                  name = r.S.rel_name;
@@ -451,7 +469,7 @@ let generate_aux_views db (gen : G.t) lookup rename =
     (G.all_smos gen)
 
 (** User-facing alias views per schema version. *)
-let generate_version_views db (gen : G.t) =
+let generate_version_views emit (gen : G.t) =
   List.iter
     (fun (sv : G.schema_version) ->
       List.iter
@@ -459,9 +477,9 @@ let generate_version_views db (gen : G.t) =
           let v = G.tv gen tvid in
           let alias = Naming.version_view ~version:sv.G.sv_name ~table in
           let canonical = G.tv_name v in
-          star_view db alias canonical;
+          star_view emit alias canonical;
           let cols = "p" :: v.G.tv_cols in
-          make_trigger db ~target:alias ~event:Sql.On_insert
+          make_trigger emit ~target:alias ~event:Sql.On_insert
             [
               Sql.Insert
                 {
@@ -470,13 +488,13 @@ let generate_version_views db (gen : G.t) =
                   source = Sql.Values [ List.map Triggers.nw cols ];
                 };
             ];
-          make_trigger db ~target:alias ~event:Sql.On_update
+          make_trigger emit ~target:alias ~event:Sql.On_update
             [
               Triggers.update_where canonical
                 (List.map (fun c -> (c, Triggers.nw c)) v.G.tv_cols)
                 (Triggers.key_eq (Triggers.od "p"));
             ];
-          make_trigger db ~target:alias ~event:Sql.On_delete
+          make_trigger emit ~target:alias ~event:Sql.On_delete
             [ Triggers.delete_key canonical (Triggers.od "p") ])
         sv.G.sv_tables)
     gen.G.versions
@@ -493,12 +511,28 @@ let drop_generated db =
       | Db.Obj_table _ -> ())
     (Db.list_objects db)
 
-(** Full regeneration of all delta code for the current state. *)
-let regenerate db (gen : G.t) =
-  drop_generated db;
-  ensure_physical db gen;
+(** The complete delta code for the current state, as a pure statement list
+    in installation order: physical CREATE TABLEs, auxiliary views, canonical
+    views with their triggers, version alias views with theirs. This is what
+    {!regenerate} installs and what the static analyzer typechecks. *)
+let delta_statements (gen : G.t) : Sql.statement list =
+  let acc = ref [] in
+  let emit stmt = acc := stmt :: !acc in
+  List.iter emit (physical_statements gen);
   let lookup = schema_lookup gen in
   let rename = physical_rename gen in
-  generate_aux_views db gen lookup rename;
-  List.iter (generate_tv db gen lookup rename) (G.all_table_versions gen);
-  generate_version_views db gen
+  generate_aux_views emit gen lookup rename;
+  List.iter (generate_tv emit gen lookup rename) (G.all_table_versions gen);
+  generate_version_views emit gen;
+  List.rev !acc
+
+(** Full regeneration of all delta code for the current state. [validate] is
+    called on the statement list before anything is dropped or installed;
+    raising from it leaves the database untouched. *)
+let regenerate ?(validate = fun (_ : Sql.statement list) -> ()) db (gen : G.t)
+    =
+  let stmts = delta_statements gen in
+  validate stmts;
+  drop_generated db;
+  List.iter (exec db) stmts;
+  ensure_aux_indexes db gen

@@ -35,7 +35,7 @@ let drop_table db name = Db.drop_table db ~name ~if_exists:true
    views in the current state; snapshot them into fresh physical tables, flip
    the state, regenerate the delta code, then drop the now-derived physical
    storage of the old side. *)
-let flip db (gen : G.t) (si : G.smo_instance) ~to_materialized =
+let flip ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
   if si.G.si_materialized = to_materialized then ()
   else begin
     let i = si.G.si_inst in
@@ -117,11 +117,11 @@ let flip db (gen : G.t) (si : G.smo_instance) ~to_materialized =
           drop_table db (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table))
       old_tvs;
     List.iter (fun (r : S.rel) -> drop_table db r.S.rel_name) old_aux;
-    Codegen.regenerate db gen
+    Codegen.regenerate ?validate db gen
   end
 
 (** Move to the materialization schema [mat] (a set of SMO ids). *)
-let set_materialization db (gen : G.t) mat =
+let set_materialization ?validate db (gen : G.t) mat =
   if not (G.valid_materialization gen mat) then
     error "invalid materialization schema {%s}"
       (String.concat "," (List.map string_of_int mat));
@@ -134,15 +134,15 @@ let set_materialization db (gen : G.t) mat =
     List.filter (fun id -> not (List.mem id current)) mat |> List.sort compare
   in
   List.iter
-    (fun id -> flip db gen (G.smo gen id) ~to_materialized:false)
+    (fun id -> flip ?validate db gen (G.smo gen id) ~to_materialized:false)
     to_virtualize;
   List.iter
-    (fun id -> flip db gen (G.smo gen id) ~to_materialized:true)
+    (fun id -> flip ?validate db gen (G.smo gen id) ~to_materialized:true)
     to_materialize
 
 (** The MATERIALIZE command: arguments are schema version names or
     ["version.table"] table versions. *)
-let materialize db (gen : G.t) targets =
+let materialize ?validate db (gen : G.t) targets =
   let tv_ids =
     List.concat_map
       (fun target ->
@@ -159,4 +159,4 @@ let materialize db (gen : G.t) targets =
           List.map snd sv.G.sv_tables)
       targets
   in
-  set_materialization db gen (G.materialization_for_tables gen tv_ids)
+  set_materialization ?validate db gen (G.materialization_for_tables gen tv_ids)

@@ -7,17 +7,24 @@
 exception Migration_error of string
 
 val flip :
+  ?validate:(Minidb.Sql_ast.statement list -> unit) ->
   Minidb.Database.t -> Genealogy.t -> Genealogy.smo_instance ->
   to_materialized:bool -> unit
 (** Flip one SMO instance: snapshot the destination side's relations from the
     current views into fresh physical tables, switch the state, drop the old
-    side's storage and regenerate. No-op if already in the requested state. *)
+    side's storage and regenerate. No-op if already in the requested state.
+    [validate] is passed to {!Codegen.regenerate}: it sees the regenerated
+    delta code before installation and may raise to abort. *)
 
-val set_materialization : Minidb.Database.t -> Genealogy.t -> int list -> unit
+val set_materialization :
+  ?validate:(Minidb.Sql_ast.statement list -> unit) ->
+  Minidb.Database.t -> Genealogy.t -> int list -> unit
 (** Move to the given materialization schema (a set of SMO ids), virtualizing
     outside-in and materializing inside-out so every intermediate state is
     valid. Raises {!Migration_error} on conditions (55)/(56) violations. *)
 
-val materialize : Minidb.Database.t -> Genealogy.t -> string list -> unit
+val materialize :
+  ?validate:(Minidb.Sql_ast.statement list -> unit) ->
+  Minidb.Database.t -> Genealogy.t -> string list -> unit
 (** The [MATERIALIZE] command: targets are schema version names or
     ["version.table"] table versions. *)

@@ -1,0 +1,424 @@
+(** Static name/arity resolution of SQL statements against a catalog
+    snapshot. This is the engine-side half of delta-code typechecking: given
+    the schema (object name -> columns) it walks statements the way {!Exec}
+    would compile them — scope stacks for FROM clauses, NEW/OLD parameters
+    inside trigger bodies, view columns computed from their defining queries —
+    and reports every name or arity that would fail at runtime, without
+    executing anything. *)
+
+type schema = string -> string list option
+(** Object (table or view) name to its columns; [None] = unknown object.
+    Lookups are case-insensitive on the caller's side ({!Database.key}). *)
+
+type kind =
+  | Unknown_object
+  | Unknown_column
+  | Ambiguous_column
+  | Unknown_function
+  | Arity_mismatch
+  | Bad_trigger_ref  (** NEW/OLD outside a trigger or naming a foreign column *)
+  | View_cycle
+  | Duplicate_column
+
+type issue = { kind : kind; msg : string; obj : string }
+(** [obj] names the statement/object the issue was found in. *)
+
+(* Scalar functions compiled natively by {!Exec.compile_function}; everything
+   else must be registered on the database. *)
+let builtin_functions =
+  [ "COALESCE"; "NULLIF"; "ABS"; "LENGTH"; "UPPER"; "LOWER"; "NEXTVAL" ]
+
+let aggregate_functions = Exec.aggregate_names
+
+let known_builtin name =
+  List.mem name builtin_functions || List.mem name aggregate_functions
+
+(* A scope level: the columns one FROM clause contributes. [complete] is
+   false when some underlying object was unknown — column lookups against an
+   incomplete scope stay silent to avoid cascading reports. *)
+type level = { entries : (string option * string) list; complete : bool }
+
+type ctx = {
+  schema : schema;
+  is_function : string -> bool;
+  trigger_cols : string list option;  (** NEW/OLD columns, inside a body *)
+  obj : string;  (** current statement description, for issue context *)
+  issues : issue list ref;
+}
+
+let add ctx kind fmt =
+  Fmt.kstr (fun msg -> ctx.issues := { kind; msg; obj = ctx.obj } :: !(ctx.issues)) fmt
+
+let lc = String.lowercase_ascii
+
+(* --- column lookup (mirrors Exec.resolve_column) -------------------------- *)
+
+let resolve_col ctx (scopes : level list) qualifier name =
+  let lname = lc name in
+  let lqual = Option.map lc qualifier in
+  let matches (alias, cname) =
+    lc cname = lname
+    &&
+    match lqual with
+    | None -> true
+    | Some q -> ( match alias with Some a -> lc a = q | None -> false)
+  in
+  let pretty =
+    match qualifier with Some q -> q ^ "." ^ name | None -> name
+  in
+  let rec go complete_all = function
+    | [] -> if complete_all then add ctx Unknown_column "unknown column %s" pretty
+    | level :: rest -> (
+      match List.filter matches level.entries with
+      | [ _ ] -> ()
+      | [] -> go (complete_all && level.complete) rest
+      | _ :: _ :: _ ->
+        add ctx Ambiguous_column "ambiguous column reference %s" pretty)
+  in
+  go true scopes
+
+let check_param ctx p =
+  (* Params are NEW.col / OLD.col, legal only inside trigger bodies and only
+     for columns of the trigger's target. *)
+  match String.index_opt p '.' with
+  | Some i
+    when (let pre = String.uppercase_ascii (String.sub p 0 i) in
+          pre = "NEW" || pre = "OLD") -> (
+    let col = String.sub p (i + 1) (String.length p - i - 1) in
+    match ctx.trigger_cols with
+    | None -> add ctx Bad_trigger_ref "%s referenced outside a trigger body" p
+    | Some cols ->
+      if not (List.exists (fun c -> lc c = lc col) cols) then
+        add ctx Bad_trigger_ref
+          "%s does not name a column of the trigger's target" p)
+  | _ -> add ctx Bad_trigger_ref "unknown parameter %s" p
+
+(* --- expressions and queries ---------------------------------------------- *)
+
+let rec walk_expr ctx scopes (e : Sql_ast.expr) =
+  match e with
+  | Sql_ast.Const _ -> ()
+  | Sql_ast.Col (q, n) -> resolve_col ctx scopes q n
+  | Sql_ast.Param p -> check_param ctx p
+  | Sql_ast.Unop (_, a) | Sql_ast.Is_null (a, _) -> walk_expr ctx scopes a
+  | Sql_ast.Binop (_, a, b) ->
+    walk_expr ctx scopes a;
+    walk_expr ctx scopes b
+  | Sql_ast.Fun ("COUNT", [ Sql_ast.Const (Value.Text "*") ]) -> ()
+  | Sql_ast.Fun (name, args) ->
+    if not (known_builtin (String.uppercase_ascii name) || ctx.is_function name)
+    then add ctx Unknown_function "unknown function %s" name;
+    List.iter (walk_expr ctx scopes) args
+  | Sql_ast.Case (arms, default) ->
+    List.iter
+      (fun (c, v) ->
+        walk_expr ctx scopes c;
+        walk_expr ctx scopes v)
+      arms;
+    Option.iter (walk_expr ctx scopes) default
+  | Sql_ast.In_list (a, items, _) ->
+    walk_expr ctx scopes a;
+    List.iter (walk_expr ctx scopes) items
+  | Sql_ast.Exists (q, _) -> walk_query ctx scopes q
+  | Sql_ast.In_query (a, q, _) ->
+    walk_expr ctx scopes a;
+    walk_query ctx scopes q
+  | Sql_ast.Scalar q -> walk_query ctx scopes q
+
+(* Column names and completeness a FROM clause contributes. *)
+and from_level ctx outer (f : Sql_ast.from) : level =
+  match f with
+  | Sql_ast.From_table (name, alias) -> (
+    match ctx.schema name with
+    | Some cols ->
+      let a = Some (Option.value alias ~default:name) in
+      { entries = List.map (fun c -> (a, c)) cols; complete = true }
+    | None ->
+      add ctx Unknown_object "no such table or view %s" name;
+      { entries = []; complete = false })
+  | Sql_ast.From_select (q, alias) -> (
+    walk_query ctx outer q;
+    match query_cols ctx q with
+    | Some cols ->
+      { entries = List.map (fun c -> (Some alias, c)) cols; complete = true }
+    | None -> { entries = []; complete = false })
+  | Sql_ast.From_join (l, _, r, cond) ->
+    let ll = from_level ctx outer l in
+    let rl = from_level ctx outer r in
+    let level =
+      { entries = ll.entries @ rl.entries; complete = ll.complete && rl.complete }
+    in
+    Option.iter (walk_expr ctx (level :: outer)) cond;
+    level
+
+(* Output columns of a query, [None] when not statically known (mirrors
+   Exec.select_columns / query_columns). *)
+and select_cols ctx (s : Sql_ast.select) : string list option =
+  let level = lazy (from_level { ctx with issues = ref [] } [] (Option.get s.Sql_ast.from)) in
+  let item = function
+    | Sql_ast.Star ->
+      if s.Sql_ast.from = None then Some []
+      else
+        let l = Lazy.force level in
+        if l.complete then Some (List.map snd l.entries) else None
+    | Sql_ast.Qualified_star _ when s.Sql_ast.from = None -> None
+    | Sql_ast.Qualified_star q ->
+      let l = Lazy.force level in
+      if not l.complete then None
+      else
+        Some
+          (List.filter_map
+             (fun (alias, n) ->
+               match alias with
+               | Some a when lc a = lc q -> Some n
+               | _ -> None)
+             l.entries)
+    | Sql_ast.Sel_expr (_, Some a) -> Some [ a ]
+    | Sql_ast.Sel_expr (Sql_ast.Col (_, n), None) -> Some [ n ]
+    | Sql_ast.Sel_expr (Sql_ast.Fun (name, _), None) -> Some [ lc name ]
+    | Sql_ast.Sel_expr (_, None) -> Some [ "column" ]
+  in
+  List.fold_left
+    (fun acc it ->
+      match (acc, item it) with
+      | Some cs, Some more -> Some (cs @ more)
+      | _ -> None)
+    (Some []) s.Sql_ast.items
+
+and query_cols ctx (q : Sql_ast.query) : string list option =
+  let rec of_set_op = function
+    | Sql_ast.Select s -> select_cols ctx s
+    | Sql_ast.Union (a, _, _) -> of_set_op a
+  in
+  of_set_op q.Sql_ast.body
+
+and walk_select ctx outer (s : Sql_ast.select) =
+  let scopes =
+    match s.Sql_ast.from with
+    | None -> outer
+    | Some f -> from_level ctx outer f :: outer
+  in
+  List.iter
+    (function
+      | Sql_ast.Star | Sql_ast.Qualified_star _ -> ()
+      | Sql_ast.Sel_expr (e, _) -> walk_expr ctx scopes e)
+    s.Sql_ast.items;
+  Option.iter (walk_expr ctx scopes) s.Sql_ast.where;
+  List.iter (walk_expr ctx scopes) s.Sql_ast.group_by;
+  Option.iter (walk_expr ctx scopes) s.Sql_ast.having
+
+and walk_set_op ctx outer = function
+  | Sql_ast.Select s -> walk_select ctx outer s
+  | Sql_ast.Union (a, b, _) ->
+    walk_set_op ctx outer a;
+    walk_set_op ctx outer b;
+    (match (set_op_arity ctx a, set_op_arity ctx b) with
+    | Some n, Some m when n <> m ->
+      add ctx Arity_mismatch
+        "UNION branches have different arities (%d vs %d)" n m
+    | _ -> ())
+
+and set_op_arity ctx = function
+  | Sql_ast.Select s -> Option.map List.length (select_cols ctx s)
+  | Sql_ast.Union (a, _, _) -> set_op_arity ctx a
+
+and walk_query ctx outer (q : Sql_ast.query) =
+  walk_set_op ctx outer q.Sql_ast.body;
+  (* ORDER BY keys are resolved against the query's own output relation at
+     runtime; checking them against the FROM scope would misreport computed
+     aliases, so they are left to the arity checks only. *)
+  ignore q.Sql_ast.order_by
+
+(* --- statements ------------------------------------------------------------ *)
+
+let table_level ctx name =
+  match ctx.schema name with
+  | Some cols ->
+    { entries = List.map (fun c -> (Some name, c)) cols; complete = true }
+  | None ->
+    add ctx Unknown_object "no such table or view %s" name;
+    { entries = []; complete = false }
+
+let check_target_cols ctx table cols table_cols =
+  match (cols, table_cols) with
+  | Some cs, Some tcs ->
+    List.iter
+      (fun c ->
+        if not (List.exists (fun tc -> lc tc = lc c) tcs) then
+          add ctx Unknown_column "table %s has no column %s" table c)
+      cs
+  | _ -> ()
+
+let rec walk_statement ctx (stmt : Sql_ast.statement) =
+  match stmt with
+  | Sql_ast.Create_table { name = _; cols; _ } ->
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Sql_ast.column_def) ->
+        let k = lc c.Sql_ast.col_name in
+        if Hashtbl.mem seen k then
+          add ctx Duplicate_column "duplicate column %s" c.Sql_ast.col_name
+        else Hashtbl.replace seen k ())
+      cols
+  | Sql_ast.Create_view { query; _ } -> walk_query ctx [] query
+  | Sql_ast.Create_index { table; column; _ } ->
+    let cols = ctx.schema table in
+    if cols = None then add ctx Unknown_object "no such table %s" table
+    else check_target_cols ctx table (Some [ column ]) cols
+  | Sql_ast.Create_trigger { table; body; _ } -> (
+    match ctx.schema table with
+    | None -> add ctx Unknown_object "trigger targets unknown object %s" table
+    | Some cols ->
+      let inner = { ctx with trigger_cols = Some cols } in
+      List.iter (walk_statement inner) body)
+  | Sql_ast.Insert { table; columns; source } -> (
+    let table_cols = ctx.schema table in
+    if table_cols = None then
+      add ctx Unknown_object "no such table or view %s" table;
+    check_target_cols ctx table columns table_cols;
+    let expected =
+      match (columns, table_cols) with
+      | Some cs, _ -> Some (List.length cs)
+      | None, Some tc -> Some (List.length tc)
+      | None, None -> None
+    in
+    match source with
+    | Sql_ast.Values rows ->
+      List.iter
+        (fun row ->
+          (match expected with
+          | Some n when List.length row <> n ->
+            add ctx Arity_mismatch
+              "INSERT into %s supplies %d values for %d columns" table
+              (List.length row) n
+          | _ -> ());
+          List.iter (walk_expr ctx []) row)
+        rows
+    | Sql_ast.Insert_query q ->
+      walk_query ctx [] q;
+      (match (expected, query_cols ctx q) with
+      | Some n, Some cs when List.length cs <> n ->
+        add ctx Arity_mismatch
+          "INSERT into %s selects %d columns for %d targets" table
+          (List.length cs) n
+      | _ -> ()))
+  | Sql_ast.Update { table; sets; where } ->
+    let level = table_level ctx table in
+    check_target_cols ctx table
+      (Some (List.map fst sets))
+      (ctx.schema table);
+    List.iter (fun (_, e) -> walk_expr ctx [ level ] e) sets;
+    Option.iter (walk_expr ctx [ level ]) where
+  | Sql_ast.Delete { table; where } ->
+    let level = table_level ctx table in
+    Option.iter (walk_expr ctx [ level ]) where
+  | Sql_ast.Query q -> walk_query ctx [] q
+  | Sql_ast.Set_new (col, e) ->
+    (match ctx.trigger_cols with
+    | None -> add ctx Bad_trigger_ref "SET NEW.%s outside a trigger body" col
+    | Some cols ->
+      if not (List.exists (fun c -> lc c = lc col) cols) then
+        add ctx Bad_trigger_ref
+          "SET NEW.%s does not name a column of the trigger's target" col);
+    walk_expr ctx [] e
+  | Sql_ast.Drop_table _ | Sql_ast.Drop_view _ | Sql_ast.Drop_trigger _
+  | Sql_ast.Begin_txn | Sql_ast.Commit | Sql_ast.Rollback ->
+    ()
+
+let statement_label (stmt : Sql_ast.statement) =
+  match stmt with
+  | Sql_ast.Create_table { name; _ } -> "CREATE TABLE " ^ name
+  | Sql_ast.Create_view { name; _ } -> "CREATE VIEW " ^ name
+  | Sql_ast.Create_index { name; _ } -> "CREATE INDEX " ^ name
+  | Sql_ast.Create_trigger { name; _ } -> "CREATE TRIGGER " ^ name
+  | Sql_ast.Insert { table; _ } -> "INSERT INTO " ^ table
+  | Sql_ast.Update { table; _ } -> "UPDATE " ^ table
+  | Sql_ast.Delete { table; _ } -> "DELETE FROM " ^ table
+  | Sql_ast.Drop_table { name; _ } -> "DROP TABLE " ^ name
+  | Sql_ast.Drop_view { name; _ } -> "DROP VIEW " ^ name
+  | Sql_ast.Drop_trigger { name; _ } -> "DROP TRIGGER " ^ name
+  | Sql_ast.Query _ -> "SELECT"
+  | Sql_ast.Set_new (c, _) -> "SET NEW." ^ c
+  | Sql_ast.Begin_txn -> "BEGIN"
+  | Sql_ast.Commit -> "COMMIT"
+  | Sql_ast.Rollback -> "ROLLBACK"
+
+(** Check a batch of statements against [schema], treating objects the batch
+    itself creates (tables and views, in any order — generated delta code
+    contains forward references) as part of the schema. View columns are
+    computed from their defining queries; cyclic view definitions are
+    reported once per cycle member. *)
+let check_statements ~(schema : schema) ~is_function stmts : issue list =
+  let issues = ref [] in
+  (* pass 1: objects defined by the batch *)
+  let batch_tables : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let batch_views : (string, Sql_ast.query) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Sql_ast.Create_table { name; cols; _ } ->
+        Hashtbl.replace batch_tables (lc name)
+          (List.map (fun (c : Sql_ast.column_def) -> c.Sql_ast.col_name) cols)
+      | Sql_ast.Create_view { name; query; _ } ->
+        Hashtbl.replace batch_views (lc name) query
+      | _ -> ())
+    stmts;
+  (* the combined schema; view columns are memoized, with cycle detection *)
+  let view_cols : (string, string list option) Hashtbl.t = Hashtbl.create 32 in
+  let rec combined visiting name : string list option =
+    let k = lc name in
+    match Hashtbl.find_opt batch_tables k with
+    | Some cols -> Some cols
+    | None -> (
+      match Hashtbl.find_opt batch_views k with
+      | Some query -> (
+        match Hashtbl.find_opt view_cols k with
+        | Some cached -> cached
+        | None ->
+          if List.mem k visiting then begin
+            issues :=
+              {
+                kind = View_cycle;
+                msg = Fmt.str "view %s is defined in terms of itself" name;
+                obj = "CREATE VIEW " ^ name;
+              }
+              :: !issues;
+            Hashtbl.replace view_cols k None;
+            None
+          end
+          else begin
+            let ctx =
+              {
+                schema = combined (k :: visiting);
+                is_function;
+                trigger_cols = None;
+                obj = "CREATE VIEW " ^ name;
+                issues = ref [];
+              }
+            in
+            let cols = query_cols ctx query in
+            Hashtbl.replace view_cols k cols;
+            cols
+          end)
+      | None -> schema name)
+  in
+  let schema' = combined [] in
+  (* pass 2: walk every statement *)
+  List.iter
+    (fun stmt ->
+      let ctx =
+        {
+          schema = schema';
+          is_function;
+          trigger_cols = None;
+          obj = statement_label stmt;
+          issues;
+        }
+      in
+      walk_statement ctx stmt)
+    stmts;
+  List.rev !issues
+
+(** Check a single statement (no batch-defined objects). *)
+let check_statement ~schema ~is_function stmt =
+  check_statements ~schema ~is_function [ stmt ]

@@ -26,6 +26,13 @@ type token =
 
 exception Lex_error of string * int  (** message, offset *)
 
+(** Source position of a token (1-based); [no_pos] marks synthetic tokens. *)
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.line p.col
+
 let error pos fmt = Fmt.kstr (fun s -> raise (Lex_error (s, pos))) fmt
 
 let is_ident_start c =
@@ -36,13 +43,16 @@ let is_ident_char c =
   is_ident_start c || (c >= '0' && c <= '9') || c = '$' || c = '~' || c = '!'
   || c = '@'
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit tok = tokens := tok :: !tokens in
   let pos = ref 0 in
+  (* offset where the token produced by the current loop iteration starts *)
+  let cur = ref 0 in
+  let emit tok = tokens := (tok, !cur) :: !tokens in
   let peek off = if !pos + off < n then Some src.[!pos + off] else None in
   while !pos < n do
+    cur := !pos;
     let c = src.[!pos] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
     else if c = '-' && peek 1 = Some '-' then begin
@@ -159,8 +169,22 @@ let tokenize src =
       end
     end
   done;
+  cur := n;
   emit EOF;
+  (* one forward pass converts token offsets to line/column positions *)
+  let line = ref 1 and bol = ref 0 and idx = ref 0 in
   List.rev !tokens
+  |> List.map (fun (tok, off) ->
+         while !idx < off do
+           if src.[!idx] = '\n' then begin
+             incr line;
+             bol := !idx + 1
+           end;
+           incr idx
+         done;
+         (tok, { line = !line; col = off - !bol + 1 }))
+
+let tokenize src = List.map fst (tokenize_pos src)
 
 let token_to_string = function
   | IDENT s -> s
@@ -186,32 +210,65 @@ let token_to_string = function
   | CONCAT -> "||"
   | EOF -> "<eof>"
 
-(** Cursor over a token list, shared by the SQL and BiDEL parsers. *)
+(** Cursor over a token list, shared by the SQL and BiDEL parsers. Cursors
+    built with {!make_pos} carry source positions: parse errors are located
+    and parsers can attach spans to their AST nodes. *)
 module Cursor = struct
-  type t = { mutable toks : token list }
+  type t = { mutable toks : (token * pos) list; mutable last : pos }
 
   exception Parse_error of string
 
   let perror fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
 
-  let make toks = { toks }
+  let make toks = { toks = List.map (fun tok -> (tok, no_pos)) toks; last = no_pos }
 
-  let peek t = match t.toks with [] -> EOF | tok :: _ -> tok
+  let make_pos toks = { toks; last = no_pos }
 
-  let peek2 t = match t.toks with _ :: tok :: _ -> tok | _ -> EOF
+  let peek t = match t.toks with [] -> EOF | (tok, _) :: _ -> tok
 
-  let advance t = match t.toks with [] -> () | _ :: rest -> t.toks <- rest
+  let peek2 t = match t.toks with _ :: (tok, _) :: _ -> tok | _ -> EOF
+
+  (** Position of the next (unconsumed) token. *)
+  let pos t = match t.toks with [] -> no_pos | (_, p) :: _ -> p
+
+  (** Position of the most recently consumed token. *)
+  let last_pos t = t.last
+
+  let advance t =
+    match t.toks with
+    | [] -> ()
+    | (_, p) :: rest ->
+      if p <> no_pos then t.last <- p;
+      t.toks <- rest
 
   let next t =
     let tok = peek t in
     advance t;
     tok
 
+  (** Raise a [Parse_error] whose message is prefixed with the position of
+      the next token (when the cursor carries positions). *)
+  let perror_at t fmt =
+    let p = pos t in
+    Fmt.kstr
+      (fun s ->
+        let msg = if p = no_pos then s else Fmt.str "%a: %s" pp_pos p s in
+        raise (Parse_error msg))
+      fmt
+
   let expect t tok =
+    let got_pos = pos t in
     let got = next t in
-    if got <> tok then
-      perror "expected %s but found %s" (token_to_string tok)
-        (token_to_string got)
+    if got <> tok then begin
+      let s =
+        Fmt.str "expected %s but found %s" (token_to_string tok)
+          (token_to_string got)
+      in
+      let msg =
+        if got_pos = no_pos then s else Fmt.str "%a: %s" pp_pos got_pos s
+      in
+      raise (Parse_error msg)
+    end
 
   (** Case-insensitive keyword check. *)
   let is_kw t kw =
@@ -233,12 +290,16 @@ module Cursor = struct
 
   let expect_kw t kw =
     if not (accept_kw t kw) then
-      perror "expected %s but found %s" kw (token_to_string (peek t))
+      perror_at t "expected %s but found %s" kw (token_to_string (peek t))
 
   let ident t =
+    let p = pos t in
     match next t with
     | IDENT s -> s
-    | tok -> perror "expected identifier, found %s" (token_to_string tok)
+    | tok ->
+      let s = Fmt.str "expected identifier, found %s" (token_to_string tok) in
+      raise
+        (Parse_error (if p = no_pos then s else Fmt.str "%a: %s" pp_pos p s))
 
   let at_end t = peek t = EOF
 end

@@ -307,7 +307,7 @@ and parse_select c =
         | Sql_lexer.IDENT q, Sql_lexer.DOT when not (is_reserved q) -> (
           (* lookahead for "alias.*" *)
           match c.C.toks with
-          | _ :: _ :: Sql_lexer.STAR :: rest ->
+          | _ :: _ :: (Sql_lexer.STAR, _) :: rest ->
             c.C.toks <- rest;
             Qualified_star q
           | _ ->
@@ -563,7 +563,9 @@ and parse_create c =
     Create_index { name; table; column }
   end
   else if C.accept_kw c "TRIGGER" then begin
-    let name = C.ident c in
+    (* trigger names derive from their target's name and may be dotted
+       (version alias views are named "version.table") *)
+    let name = parse_table_name c in
     let instead_of =
       if C.is_kw c "INSTEAD" then begin
         C.advance c;
@@ -629,7 +631,7 @@ and parse_drop c =
 (** Parse a single statement; fails on trailing tokens (a trailing ';' is
     allowed). *)
 let statement_of_string src =
-  let c = C.make (Sql_lexer.tokenize src) in
+  let c = C.make_pos (Sql_lexer.tokenize_pos src) in
   let stmt = parse_statement c in
   (match C.peek c with Sql_lexer.SEMI -> C.advance c | _ -> ());
   if not (C.at_end c) then
@@ -638,7 +640,7 @@ let statement_of_string src =
 
 (** Parse a ';'-separated script. *)
 let script_of_string src =
-  let c = C.make (Sql_lexer.tokenize src) in
+  let c = C.make_pos (Sql_lexer.tokenize_pos src) in
   let rec go acc =
     if C.at_end c then List.rev acc
     else if C.peek c = Sql_lexer.SEMI then begin

@@ -50,7 +50,13 @@ let rec pp_expr ppf = function
   | Fun (name, [ Const (Value.Text "*") ]) when name = "COUNT" ->
     Fmt.string ppf "COUNT(*)"
   | Fun (name, args) ->
-    Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+    (* the parser normalizes function names to upper case; print the same
+       spelling so printing is idempotent under reparsing (function lookup is
+       case-insensitive either way) *)
+    Fmt.pf ppf "%s(%a)"
+      (String.uppercase_ascii name)
+      (Fmt.list ~sep:(Fmt.any ", ") pp_expr)
+      args
   | Case (arms, default) ->
     Fmt.pf ppf "CASE";
     List.iter
