@@ -49,6 +49,23 @@ let paper_scale =
     runs = 5;
   }
 
+(* Tiny parameters for CI smoke runs (check.sh): exercise the full code paths
+   in well under a second per experiment. *)
+let smoke_scale =
+  {
+    fig8_tasks = 200;
+    fig9_tasks = 100;
+    fig9_slices = 2;
+    fig9_ops_per_slice = 5;
+    fig11_tasks = 100;
+    fig11_ops = 5;
+    fig12_versions = 8;
+    fig12_pages = 40;
+    fig12_links = 120;
+    fig13_sizes = [ 50 ];
+    runs = 1;
+  }
+
 let section title =
   Fmt.pr "@.=== %s ===@." title
 
@@ -555,3 +572,85 @@ let ablation_chain scale =
       in
       Fmt.pr "  chain length %2d: %7.2f ms / 20 writes@." len (ms cost))
     [ 1; 2; 4; 8; 16 ]
+
+(* --- machine-readable baseline (--json) ---------------------------------------- *)
+
+let ns t = t *. 1e9
+
+(* Steady-state per-statement read cost: one warm-up execution (statement
+   compilation, cache fill), then the mean over a repeated-read loop. *)
+let repeated_read_cost db ~reads sql =
+  ignore (Minidb.Engine.query db sql);
+  W.time_unit (fun () ->
+      for _ = 1 to reads do
+        ignore (Minidb.Engine.query db sql)
+      done)
+  /. float_of_int reads
+
+(** The persistent per-experiment ns/op baseline (BENCH_PR2.json): repeated
+    reads at version distance 0 and >= 2 with the view-result cache on and
+    off, representative write costs, and a migration. Written as JSON so
+    future PRs have a trajectory to compare against. *)
+let json_baseline scale out =
+  let tasks = min scale.fig8_tasks 5_000 in
+  let reads = 50 in
+  let rng = Scenarios.Rng.create ~seed:11 () in
+  (* data stays materialized at TasKy: TasKy2 sits two SMOs away
+     (DECOMPOSE + RENAME COLUMN) and Do! two as well (SPLIT + DROP COLUMN) *)
+  let setup cache =
+    let t = Scenarios.Tasky.setup_full ~tasks () in
+    I.set_cache t cache;
+    t
+  in
+  let t_on = setup true and t_off = setup false in
+  let db_on = I.database t_on and db_off = I.database t_off in
+  let results = ref [] in
+  let add name v = results := (name, v) :: !results in
+  let read db q = ns (repeated_read_cost db ~reads q) in
+  add "read_local_cache" (read db_on (Scenarios.Tasky.tasky_read rng));
+  add "read_local_nocache" (read db_off (Scenarios.Tasky.tasky_read rng));
+  let dist2_on = read db_on (Scenarios.Tasky.tasky2_read rng) in
+  let dist2_off = read db_off (Scenarios.Tasky.tasky2_read rng) in
+  add "read_dist2_cache" dist2_on;
+  add "read_dist2_nocache" dist2_off;
+  add "read_do_dist2_cache" (read db_on (Scenarios.Tasky.do_read rng));
+  add "read_do_dist2_nocache" (read db_off (Scenarios.Tasky.do_read rng));
+  let insert_cost db base =
+    ns
+      (W.time_unit (fun () ->
+           for i = 1 to 50 do
+             ignore
+               (Minidb.Engine.exec db (Scenarios.Tasky.tasky_insert rng (base + i)))
+           done)
+      /. 50.0)
+  in
+  add "insert_tasky_cache" (insert_cost db_on 800_000);
+  add "insert_tasky_nocache" (insert_cost db_off 810_000);
+  add "materialize_tasky2"
+    (ns (W.time_unit (fun () -> I.materialize t_on [ "TasKy2" ])));
+  (* after the migration TasKy itself is two SMO hops away *)
+  add "read_tasky_dist2_after_mat_cache"
+    (read db_on (Scenarios.Tasky.tasky_read rng));
+  let hits, misses = I.cache_stats t_on in
+  let speedup = dist2_off /. Float.max 1e-9 dist2_on in
+  let buf = Buffer.create 1024 in
+  let addf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  addf "{\n";
+  addf "  \"baseline\": \"PR2\",\n";
+  addf "  \"unit\": \"ns/op\",\n";
+  addf "  \"tasks\": %d,\n" tasks;
+  addf "  \"cache_hits\": %d,\n" hits;
+  addf "  \"cache_misses\": %d,\n" misses;
+  addf "  \"speedup_read_dist2\": %.2f,\n" speedup;
+  addf "  \"experiments\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      addf "    \"%s\": %.0f%s\n" name v
+        (if i = List.length !results - 1 then "" else ","))
+    (List.rev !results);
+  addf "  }\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "%s" (Buffer.contents buf);
+  Fmt.pr "wrote %s (repeated dist-2 reads: x%.1f with the cache)@." out speedup

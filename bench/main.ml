@@ -25,12 +25,16 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("ablation_chain", Experiments.ablation_chain);
   ]
 
-let run only full bechamel =
+let run only full bechamel smoke json =
   if bechamel then Micro.run ()
   else
   let scale =
-    if full then Experiments.paper_scale else Experiments.default_scale
+    if full then Experiments.paper_scale
+    else if smoke then Experiments.smoke_scale
+    else Experiments.default_scale
   in
+  if json then Experiments.json_baseline scale "BENCH_PR2.json"
+  else
   let selected =
     match only with
     | [] -> all_experiments
@@ -65,8 +69,22 @@ let full =
   let doc = "Use paper-scale parameters (much slower)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let smoke =
+  let doc = "Use tiny CI-smoke parameters (seconds overall)." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let json =
+  let doc =
+    "Write the machine-readable per-experiment baseline to BENCH_PR2.json \
+     (repeated reads at version distance 0 and >= 2 with the view cache on \
+     and off, write and migration costs) instead of running the figure \
+     harness."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
-  Cmd.v (Cmd.info "inverda-bench" ~doc) Term.(const run $ only $ full $ bechamel)
+  Cmd.v (Cmd.info "inverda-bench" ~doc)
+    Term.(const run $ only $ full $ bechamel $ smoke $ json)
 
 let () = exit (Cmd.eval cmd)

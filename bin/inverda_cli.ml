@@ -117,8 +117,9 @@ let repl t =
     let rest = String.trim (Buffer.contents buf) in
     if rest <> "" then execute t rest
 
-let run demo =
+let run demo no_cache =
   let t = I.create () in
+  if no_cache then I.set_cache t false;
   if demo then begin
     I.evolve t Scenarios.Tasky.bidel_initial;
     Scenarios.Tasky.load_tasks t 20;
@@ -183,7 +184,14 @@ let demo =
   let doc = "Preload the TasKy example (three schema versions, 20 tasks)." in
   Arg.(value & flag & info [ "demo" ] ~doc)
 
-let shell_term = Term.(const run $ demo)
+let no_cache =
+  let doc =
+    "Disable the cross-statement view-result cache (every read re-evaluates \
+     the delta-view stack)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let shell_term = Term.(const run $ demo $ no_cache)
 
 let shell_cmd =
   let doc = "Interactive shell (the default command)" in

@@ -7,4 +7,6 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 dune build @lint
+# bench smoke: the harness itself must run end to end at tiny scale
+dune exec bench/main.exe -- --only table2 --smoke
 echo "check.sh: all green"

@@ -26,7 +26,9 @@ type data = (string * Value.t array list) list
     for different payloads). *)
 let register_skolem db ~counter name =
   let memo : (Value.t list, Value.t) Hashtbl.t = Hashtbl.create 16 in
-  Minidb.Database.register_function db name (fun _db args ->
+  (* the memo makes the function deterministic in its arguments, so results
+     computed through it may be served from the view cache *)
+  Minidb.Database.register_function ~pure:true db name (fun _db args ->
       match Hashtbl.find_opt memo args with
       | Some v -> v
       | None ->

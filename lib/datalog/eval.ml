@@ -49,7 +49,7 @@ let stratify rules =
         (cycle_string path h) h
     else if not (Hashtbl.mem visited h) then begin
       Hashtbl.replace visited h ();
-      List.iter (visit (h :: path)) (List.filter (fun d -> d <> h || true) (deps h));
+      List.iter (visit (h :: path)) (List.filter (fun d -> d <> h) (deps h));
       order := h :: !order
     end
   in

@@ -29,6 +29,13 @@ let create ?(strict = true) () =
 
 let set_strict t b = t.strict <- b
 
+(** Toggle the engine's cross-statement view-result cache (enabled by
+    default; disabling it also drops all cached results). *)
+let set_cache t b = Db.set_view_cache t.db b
+
+(** (hits, misses) of the view-result cache since creation. *)
+let cache_stats t = Db.cache_stats t.db
+
 let database t = t.db
 
 let genealogy t = t.gen

@@ -31,6 +31,14 @@ val create : ?strict:bool -> unit -> t
 val set_strict : t -> bool -> unit
 (** Toggle strict mode on a live instance. *)
 
+val set_cache : t -> bool -> unit
+(** Toggle the engine's cross-statement view-result cache (enabled by
+    default). Disabling it drops all cached results, so reads fall back to
+    re-evaluating the delta-view stack on every statement. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the view-result cache since creation. *)
+
 val database : t -> Minidb.Database.t
 (** The underlying relational engine (for direct SQL access). *)
 

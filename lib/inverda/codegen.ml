@@ -249,12 +249,40 @@ let direct_dml ~data_table ~cols op =
         (Triggers.key_eq (Triggers.od "p"));
     ]
 
-let assign_key_stmt =
+(* Key assignment for an INSERT entering at [view_name]: an explicit NEW.p
+   that is already present is a duplicate-key violation (matching stored
+   tables; silently upserting here used to mask collisions), otherwise the
+   key is NEW.p or a fresh global identifier. The duplicate probe reads the
+   canonical view, so the read-position rewrite turns it into an indexed
+   probe of the data table whenever the version is physical. *)
+let assign_key_stmt view_name =
+  let dup_probe =
+    Sql.Exists
+      ( Sql.select_query
+          (Sql.simple_select
+             ~from:(Sql.From_table (view_name, None))
+             ~where:(Sql.Binop (Sql.Eq, Sql.Col (None, "p"), Sql.Param "NEW.p"))
+             [ Sql.Star ]),
+        false )
+  in
+  let message =
+    Sql.Binop
+      ( Sql.Concat,
+        Sql.Const (Value.Text "duplicate primary key "),
+        Sql.Binop
+          ( Sql.Concat,
+            Sql.Param "NEW.p",
+            Sql.Const (Value.Text (" in " ^ view_name)) ) )
+  in
   Sql.Set_new
     ( "p",
-      Sql.Fun
-        ( "COALESCE",
-          [ Sql.Param "NEW.p"; Sql.Fun (Naming.global_id_function, []) ] ) )
+      Sql.Case
+        ( [ (dup_probe, Sql.Fun ("CONSTRAINT_ERROR", [ message ])) ],
+          Some
+            (Sql.Fun
+               ( "COALESCE",
+                 [ Sql.Param "NEW.p"; Sql.Fun (Naming.global_id_function, []) ]
+               )) ) )
 
 (* Propagation statements across [si]: write targets are redirected to the
    opposite side's via-views so their triggers skip [si]'s own maintenance. *)
@@ -383,7 +411,11 @@ let tv_trigger_body (gen : G.t) v ?arrived_via op =
         (remote_id_smos gen v)
     | G.Forwards _ | G.Backwards _ -> []
   in
-  let setp = match op with Triggers.Ins -> [ assign_key_stmt ] | _ -> [] in
+  let setp =
+    match op with
+    | Triggers.Ins -> [ assign_key_stmt (G.tv_name v) ]
+    | _ -> []
+  in
   setp @ primary @ source_side @ target_side @ remote
 
 let adjacent_smos v =
@@ -535,4 +567,7 @@ let regenerate ?(validate = fun (_ : Sql.statement list) -> ()) db (gen : G.t)
   validate stmts;
   drop_generated db;
   List.iter (exec db) stmts;
-  ensure_aux_indexes db gen
+  ensure_aux_indexes db gen;
+  (* the DDL above flushed all cached view results and base closures;
+     re-register the genealogy-derived closures for the fresh delta code *)
+  Viewcache.register db gen

@@ -12,8 +12,11 @@
     - the written row is available as NEW.<col> / OLD.<col> parameters;
     - statements are ordered so that every statement reading a derived view
       observes the state it needs (pre- or post-modification);
-    - [Ins] with an existing key behaves as an upsert (the engine's PK check
-      only guards physical tables), documented in DESIGN.md. *)
+    - a direct [Ins] whose explicit key already exists in the written view is
+      rejected up front by the key-assignment guard ({!Codegen.assign_key_stmt}
+      raises {!Minidb.Table.Constraint_violation}), matching physical-table
+      behaviour; the propagation templates below therefore only ever insert
+      keys they have established as fresh ([insert_if]/[upsert] guards). *)
 
 module S = Bidel.Smo_semantics
 module Sql = Minidb.Sql_ast

@@ -4,6 +4,18 @@
 
 type view = { view_name : string; query : Sql_ast.query; view_cols : string list }
 
+(** Result of a query: column names and rows. Defined here (rather than in
+    {!Exec}) so the catalog can hold cached view results; {!Exec} re-exports
+    it under the same name. *)
+type relation = { rel_cols : string list; rel_rows : Value.t array list }
+
+(** A cached view result is valid as long as every physical base table it
+    was computed from is still at the epoch recorded at compute time. *)
+type cached_view = {
+  cv_rel : relation;
+  cv_deps : (Table.t * int) list;  (** base table, epoch when computed *)
+}
+
 type trigger = {
   trig_name : string;
   event : Sql_ast.trigger_event;
@@ -34,6 +46,18 @@ type t = {
       (** planner fast paths (index probes, view pushdown, index
           nested-loop joins); disabling them is used by the ablation
           benchmarks only *)
+  view_cache : (string, cached_view) Hashtbl.t;
+      (** cross-statement view results, keyed by lowercase view name *)
+  view_bases : (string, string list option) Hashtbl.t;
+      (** physical-base closure per view (lowercase names); [None] marks a
+          view as uncacheable (e.g. an impure function in its body).
+          Registered by the delta-code generator or memoized on demand. *)
+  pure_functions : (string, unit) Hashtbl.t;
+      (** registered functions that are safe to re-evaluate from a cache
+          (deterministic, no observable side effects) *)
+  mutable view_cache_enabled : bool;
+  mutable view_cache_hits : int;
+  mutable view_cache_misses : int;
 }
 
 exception Engine_error of string
@@ -54,7 +78,63 @@ let create () =
     trigger_depth = 0;
     statements_executed = 0;
     optimizations = true;
+    view_cache = Hashtbl.create 64;
+    view_bases = Hashtbl.create 64;
+    pure_functions = Hashtbl.create 8;
+    view_cache_enabled = true;
+    view_cache_hits = 0;
+    view_cache_misses = 0;
   }
+
+(* --- the cross-statement view-result cache ------------------------------ *)
+
+(** Drop every cached view result (cheap; closures stay registered). *)
+let flush_view_cache t = Hashtbl.reset t.view_cache
+
+(* Any DDL can change what a view name means, so both the cached results and
+   the registered base closures are stale. Regeneration of the delta code
+   re-registers closures afterwards; generic views are re-memoized on
+   demand. *)
+let flush_view_metadata t =
+  Hashtbl.reset t.view_cache;
+  Hashtbl.reset t.view_bases
+
+let set_view_cache t enabled =
+  t.view_cache_enabled <- enabled;
+  if not enabled then flush_view_cache t
+
+(** Declare the stored tables a view's result depends on (transitively).
+    A registration overrides the generic query-walk memoization. *)
+let register_view_bases t name bases =
+  Hashtbl.replace t.view_bases (key name) (Some (List.map key bases))
+
+(** Declare a view never safe to serve from the cache. *)
+let mark_view_uncacheable t name = Hashtbl.replace t.view_bases (key name) None
+
+let view_bases_opt t name = Hashtbl.find_opt t.view_bases (key name)
+
+(** Cached result for [name], provided every base table is unchanged. *)
+let cache_lookup t name =
+  if not t.view_cache_enabled then None
+  else
+    let k = key name in
+    match Hashtbl.find_opt t.view_cache k with
+    | Some cv
+      when List.for_all (fun (tbl, e) -> tbl.Table.epoch = e) cv.cv_deps ->
+      t.view_cache_hits <- t.view_cache_hits + 1;
+      Some cv.cv_rel
+    | Some _ ->
+      Hashtbl.remove t.view_cache k;
+      None
+    | None -> None
+
+let cache_store t name rel deps =
+  if t.view_cache_enabled then begin
+    t.view_cache_misses <- t.view_cache_misses + 1;
+    Hashtbl.replace t.view_cache (key name) { cv_rel = rel; cv_deps = deps }
+  end
+
+let cache_stats t = (t.view_cache_hits, t.view_cache_misses)
 
 let find_object t name = Hashtbl.find_opt t.objects (key name)
 
@@ -76,9 +156,11 @@ let create_table t ~name ~schema ~pk ~if_not_exists =
   if object_exists t name then begin
     if not if_not_exists then error "object %s already exists" name
   end
-  else
+  else begin
+    flush_view_metadata t;
     Hashtbl.replace t.objects (key name)
       (Obj_table (Table.create ~name ~schema ~pk))
+  end
 
 let drop_triggers_of_target t target_key =
   let stale =
@@ -96,6 +178,7 @@ let drop_triggers_of_target t target_key =
 let drop_table t ~name ~if_exists =
   match find_object t name with
   | Some (Obj_table _) ->
+    flush_view_metadata t;
     Hashtbl.remove t.objects (key name);
     drop_triggers_of_target t (key name)
   | Some (Obj_view _) -> error "%s is a view; use DROP VIEW" name
@@ -106,12 +189,14 @@ let create_view t ~name ~query ~cols ~or_replace =
   | Some (Obj_table _) -> error "object %s already exists as a table" name
   | Some (Obj_view _) when not or_replace -> error "view %s already exists" name
   | _ -> ());
+  flush_view_metadata t;
   Hashtbl.replace t.objects (key name)
     (Obj_view { view_name = name; query; view_cols = cols })
 
 let drop_view t ~name ~if_exists =
   match find_object t name with
   | Some (Obj_view _) ->
+    flush_view_metadata t;
     Hashtbl.remove t.objects (key name);
     drop_triggers_of_target t (key name)
   | Some (Obj_table _) -> error "%s is a table; use DROP TABLE" name
@@ -138,9 +223,14 @@ let drop_trigger t ~name ~if_exists =
 
 let trigger_for t ~target ~event = Hashtbl.find_opt t.by_target (key target, event)
 
-let register_function t name f = Hashtbl.replace t.functions (key name) f
+let register_function ?(pure = false) t name f =
+  Hashtbl.replace t.functions (key name) f;
+  if pure then Hashtbl.replace t.pure_functions (key name) ()
 
 let find_function t name = Hashtbl.find_opt t.functions (key name)
+
+(** Is [name] registered as safe to re-evaluate from a cached result? *)
+let function_is_pure t name = Hashtbl.mem t.pure_functions (key name)
 
 let sequence t name =
   match Hashtbl.find_opt t.sequences (key name) with

@@ -11,7 +11,10 @@
 open Sql_ast
 module Db = Database
 
-type relation = { rel_cols : string list; rel_rows : Value.t array list }
+type relation = Db.relation = {
+  rel_cols : string list;
+  rel_rows : Value.t array list;
+}
 
 type result = Rows of relation | Affected of int | Done
 
@@ -103,6 +106,90 @@ let rec has_aggregate = function
   | In_list (e, items, _) -> has_aggregate e || List.exists has_aggregate items
   | In_query (e, _, _) -> has_aggregate e
   | Const _ | Col _ | Param _ | Exists _ | Scalar _ -> false
+
+(* --- physical-base closure of a query (cross-statement view cache) ------- *)
+
+(* Built-in scalar functions that are safe to serve from a cached result:
+   deterministic in their arguments and free of observable side effects.
+   NEXTVAL is deliberately absent (it increments a sequence). *)
+let pure_builtins =
+  [ "COALESCE"; "NULLIF"; "ABS"; "LENGTH"; "UPPER"; "LOWER"; "CONSTRAINT_ERROR" ]
+
+(** The stored tables a query's result depends on, transitively through
+    views; [None] when the query can call an impure function, whose
+    re-evaluation the cache would wrongly suppress. Registered closures
+    ({!Db.register_view_bases}) short-circuit the walk. *)
+let query_bases db q =
+  let acc = Hashtbl.create 8 in
+  let visiting = Hashtbl.create 8 in
+  let exception Uncacheable in
+  let rec walk_object name =
+    let k = Db.key name in
+    if not (Hashtbl.mem visiting k) then begin
+      Hashtbl.replace visiting k ();
+      match Db.find_object db name with
+      | Some (Db.Obj_table _) -> Hashtbl.replace acc k ()
+      | Some (Db.Obj_view v) -> (
+        match Db.view_bases_opt db k with
+        | Some (Some bases) -> List.iter (fun b -> Hashtbl.replace acc b ()) bases
+        | Some None -> raise Uncacheable
+        | None -> walk_query v.Db.query)
+      | None -> raise Uncacheable
+    end
+  and walk_query q =
+    walk_set_op q.body;
+    List.iter (fun (o : order_item) -> walk_expr o.key) q.order_by
+  and walk_set_op = function
+    | Select s -> walk_select s
+    | Union (a, b, _) ->
+      walk_set_op a;
+      walk_set_op b
+  and walk_select s =
+    List.iter
+      (function
+        | Sel_expr (e, _) -> walk_expr e | Star | Qualified_star _ -> ())
+      s.items;
+    Option.iter walk_from s.from;
+    Option.iter walk_expr s.where;
+    List.iter walk_expr s.group_by;
+    Option.iter walk_expr s.having
+  and walk_from = function
+    | From_table (name, _) -> walk_object name
+    | From_select (q, _) -> walk_query q
+    | From_join (a, _, b, cond) ->
+      walk_from a;
+      walk_from b;
+      Option.iter walk_expr cond
+  and walk_expr = function
+    | Const _ | Col _ | Param _ -> ()
+    | Unop (_, e) | Is_null (e, _) -> walk_expr e
+    | Binop (_, a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Fun (name, args) ->
+      if
+        (not (List.mem name pure_builtins))
+        && not (Db.function_is_pure db name)
+      then raise Uncacheable;
+      List.iter walk_expr args
+    | Case (arms, default) ->
+      List.iter
+        (fun (c, v) ->
+          walk_expr c;
+          walk_expr v)
+        arms;
+      Option.iter walk_expr default
+    | Exists (q, _) | Scalar q -> walk_query q
+    | In_query (e, q, _) ->
+      walk_expr e;
+      walk_query q
+    | In_list (e, items, _) ->
+      walk_expr e;
+      List.iter walk_expr items
+  in
+  match walk_query q with
+  | () -> Some (Hashtbl.fold (fun k () l -> k :: l) acc [])
+  | exception Uncacheable -> None
 
 (* --- column resolution --------------------------------------------------- *)
 
@@ -325,6 +412,10 @@ and compile_function ctx scopes name args =
       match fa env with
       | Value.Text seq -> Value.Int (Db.nextval env.ctx.db seq)
       | v -> error "NEXTVAL expects a sequence name, got %s" (Value.describe v))
+  | "CONSTRAINT_ERROR", [ fa ] ->
+    (* trigger-body guard: abort the statement with a constraint violation
+       carrying the evaluated message *)
+    fun env -> Table.violation "%s" (Value.to_string (fa env))
   | _, _ -> (
     match Db.find_function ctx.db name with
     | Some f -> fun env -> f env.ctx.db (List.map (fun g -> g env) fargs)
@@ -520,14 +611,55 @@ and object_relation ctx name : relation =
           Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
         in
         { rel_cols = Schema.names tbl.Table.schema; rel_rows = rows }
-      | Some (Db.Obj_view v) ->
-        let f = compile_query ctx [] v.Db.query in
-        let rel = f { ctx; rows = []; params = no_params } in
-        { rel with rel_cols = v.Db.view_cols }
+      | Some (Db.Obj_view v) -> view_relation ctx k v
       | None -> error "no such table or view %s" name
     in
     Hashtbl.replace ctx.cache k rel;
     rel
+
+(* Evaluate a view, going through the cross-statement result cache: a hit is
+   served as long as every physical base table is at the epoch recorded when
+   the result was computed; a miss recomputes and re-stores. Views whose
+   closure cannot be established (impure functions, dangling references) are
+   evaluated afresh every statement, as before. *)
+and view_relation ctx k (v : Db.view) : relation =
+  let compute () =
+    let f = compile_query ctx [] v.Db.query in
+    let rel = f { ctx; rows = []; params = no_params } in
+    { rel with rel_cols = v.Db.view_cols }
+  in
+  if not ctx.db.Db.view_cache_enabled then compute ()
+  else
+    match Db.cache_lookup ctx.db k with
+    | Some rel -> rel
+    | None ->
+      let bases =
+        match Db.view_bases_opt ctx.db k with
+        | Some b -> b
+        | None ->
+          let b = query_bases ctx.db v.Db.query in
+          (match b with
+          | Some l -> Db.register_view_bases ctx.db k l
+          | None -> Db.mark_view_uncacheable ctx.db k);
+          b
+      in
+      (* epochs are pinned before evaluation; view bodies cannot write *)
+      let deps =
+        match bases with
+        | None -> None
+        | Some names ->
+          List.fold_left
+            (fun acc n ->
+              match acc, Db.find_table_opt ctx.db n with
+              | Some l, Some tbl -> Some ((tbl, tbl.Table.epoch) :: l)
+              | _ -> None)
+            (Some []) names
+      in
+      let rel = compute () in
+      (match deps with
+      | Some deps -> Db.cache_store ctx.db k rel deps
+      | None -> ());
+      rel
 
 (* --- FROM clause ---------------------------------------------------------- *)
 

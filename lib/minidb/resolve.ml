@@ -26,7 +26,10 @@ type issue = { kind : kind; msg : string; obj : string }
 (* Scalar functions compiled natively by {!Exec.compile_function}; everything
    else must be registered on the database. *)
 let builtin_functions =
-  [ "COALESCE"; "NULLIF"; "ABS"; "LENGTH"; "UPPER"; "LOWER"; "NEXTVAL" ]
+  [
+    "COALESCE"; "NULLIF"; "ABS"; "LENGTH"; "UPPER"; "LOWER"; "NEXTVAL";
+    "CONSTRAINT_ERROR";
+  ]
 
 let aggregate_functions = Exec.aggregate_names
 

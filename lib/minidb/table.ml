@@ -13,6 +13,9 @@ type t = {
   rows : (int, Value.t array) Hashtbl.t;
   mutable next_rowid : int;
   indexes : (string, index) Hashtbl.t;  (** lowercase column name -> index *)
+  mutable epoch : int;
+      (** monotonic write counter; cached view results carry the epochs of
+          their base tables and are valid only while all of them still match *)
 }
 
 exception Constraint_violation of string
@@ -28,6 +31,7 @@ let create ~name ~schema ~pk =
       rows = Hashtbl.create 64;
       next_rowid = 0;
       indexes = Hashtbl.create 4;
+      epoch = 0;
     }
   in
   (match pk with
@@ -71,11 +75,15 @@ let add_index t column =
 let indexed_column t column =
   Hashtbl.find_opt t.indexes (String.lowercase_ascii column)
 
-(** Rowids whose indexed column equals [v]. *)
+(** Rowids whose indexed column equals [v], in ascending rowid order (plain
+    [Hashtbl.fold] order would leak into index-probe plans and make result
+    order depend on hashing). *)
 let index_lookup idx v =
   match Hashtbl.find_opt idx.entries v with
   | None -> []
-  | Some b -> Hashtbl.fold (fun rowid () acc -> rowid :: acc) b []
+  | Some b ->
+    Hashtbl.fold (fun rowid () acc -> rowid :: acc) b []
+    |> List.sort compare
 
 let pk_conflict t row =
   match t.pk with
@@ -103,6 +111,7 @@ let insert t row =
   t.next_rowid <- rowid + 1;
   Hashtbl.replace t.rows rowid row;
   Hashtbl.iter (fun _ idx -> index_add idx row.(idx.idx_column) rowid) t.indexes;
+  t.epoch <- t.epoch + 1;
   rowid
 
 let delete t rowid =
@@ -113,6 +122,7 @@ let delete t rowid =
     Hashtbl.iter
       (fun _ idx -> index_remove idx row.(idx.idx_column) rowid)
       t.indexes;
+    t.epoch <- t.epoch + 1;
     Some row
 
 let update t rowid new_row =
@@ -135,13 +145,15 @@ let update t rowid new_row =
           index_add idx new_row.(idx.idx_column) rowid
         end)
       t.indexes;
+    t.epoch <- t.epoch + 1;
     Some old_row
 
 (** Re-insert a row under a known rowid (transaction rollback only). *)
 let restore t rowid row =
   Hashtbl.replace t.rows rowid row;
   if rowid >= t.next_rowid then t.next_rowid <- rowid + 1;
-  Hashtbl.iter (fun _ idx -> index_add idx row.(idx.idx_column) rowid) t.indexes
+  Hashtbl.iter (fun _ idx -> index_add idx row.(idx.idx_column) rowid) t.indexes;
+  t.epoch <- t.epoch + 1
 
 let iter t f = Hashtbl.iter f t.rows
 
@@ -151,4 +163,5 @@ let find t rowid = Hashtbl.find_opt t.rows rowid
 
 let clear t =
   Hashtbl.reset t.rows;
-  Hashtbl.iter (fun _ idx -> Hashtbl.reset idx.entries) t.indexes
+  Hashtbl.iter (fun _ idx -> Hashtbl.reset idx.entries) t.indexes;
+  t.epoch <- t.epoch + 1

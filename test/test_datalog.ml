@@ -96,6 +96,39 @@ let test_eval_rejects_recursion () =
   | exception Eval.Eval_error _ -> ()
   | _ -> Alcotest.fail "recursion must be rejected"
 
+let test_eval_self_read_rejected () =
+  (* regression for the stratifier's self-dependency filter: a head reading
+     its own predicate is recursion even when the EDB supplies tuples under
+     that name — derived relations replace extensional ones, so the rule
+     would feed on its own output *)
+  let rules =
+    [ atom "out" [ v "x" ] <-- [ D.Pos (atom "out" [ v "x" ]); cond (lt "x" 5) ] ]
+  in
+  (match Eval.eval rules [ ("out", [ [| i 1 |] ]) ] with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "self-read must be rejected");
+  (* an indirect cycle must be rejected by the visit, not just the direct
+     self-dependency pre-check *)
+  let cyclic =
+    [
+      atom "a" [ v "x" ] <-- [ D.Pos (atom "b" [ v "x" ]) ];
+      atom "b" [ v "x" ] <-- [ D.Pos (atom "a" [ v "x" ]) ];
+    ]
+  in
+  (match Eval.eval cyclic [] with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "indirect cycle must be rejected");
+  (* whereas a head merely *shadowing* an EDB relation of the same name is
+     fine: the derived tuples replace the extensional ones *)
+  let shadow = [ atom "out2" [ v "x" ] <-- [ D.Pos (atom "src" [ v "x" ]) ] ] in
+  let out =
+    Eval.eval_pred shadow
+      [ ("src", [ [| i 1 |] ]); ("out2", [ [| i 9 |] ]) ]
+      "out2"
+  in
+  Alcotest.(check bool) "derived replaces edb" true
+    (Eval.same_tuples out [ [| i 1 |] ])
+
 let test_safety_check () =
   (* unbound head variable *)
   let bad = [ atom "out" [ v "x" ] <-- [ D.Neg (atom "r" [ v "x" ]) ] ] in
@@ -275,6 +308,7 @@ let () =
           tc "condition + assign" test_eval_condition_and_assign;
           tc "stratified" test_eval_stratified;
           tc "rejects recursion" test_eval_rejects_recursion;
+          tc "self-read regression" test_eval_self_read_rejected;
           tc "safety" test_safety_check;
         ] );
       ( "lemmas",

@@ -206,6 +206,92 @@ let test_all_materializations_table2 () =
       check_all_versions t)
     mats
 
+let test_duplicate_key_rejected () =
+  let t = setup_full () in
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (p, author, task, prio) VALUES (500, 'Zoe', 'explicit key', 1)");
+  (* a second insert with the same explicit key must raise, not silently
+     upsert over Zoe's row *)
+  (match
+     I.exec_sql t
+       "INSERT INTO TasKy.Task (p, author, task, prio) VALUES (500, 'Sam', 'stolen key', 2)"
+   with
+  | exception Minidb.Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate key through a version view must be rejected");
+  Alcotest.(check int)
+    "exactly one row under key 500" 1
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task WHERE p = 500");
+  check_rows "payload untouched (atomic rollback)"
+    [ [ "Zoe"; "explicit key"; "1" ] ]
+    (I.query_rows t
+       "SELECT author, task, prio FROM TasKy.Task WHERE p = 500");
+  (* the key is global across versions: Zoe's prio-1 row lives in the Do!
+     partition too, so reusing its key there must also be rejected *)
+  (match
+     I.exec_sql t
+       "INSERT INTO Do!.Todo (p, author, task) VALUES (500, 'Moe', 'dup via Do')"
+   with
+  | exception Minidb.Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate key via a sibling version must be rejected");
+  (* inserts without an explicit key still draw fresh identifiers *)
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Kim', 'fresh key', 2)");
+  Alcotest.(check int)
+    "fresh-key insert lands" 1
+    (I.query_int t "SELECT COUNT(*) FROM TasKy.Task WHERE author = 'Kim'")
+
+let test_cache_agreement_all_materializations () =
+  (* the cross-statement view cache must be semantically invisible: for every
+     valid materialization schema of the TasKy genealogy, a cached and an
+     uncached instance fed identical writes serve byte-identical results
+     (compared *unsorted*, so even row order must agree) *)
+  let t_on = setup_full () in
+  let t_off = setup_full () in
+  I.set_cache t_off false;
+  let probes =
+    [
+      "SELECT * FROM TasKy.Task";
+      "SELECT * FROM Do!.Todo";
+      "SELECT * FROM TasKy2.Task";
+      "SELECT * FROM TasKy2.Author";
+      "SELECT COUNT(*) FROM TasKy.Task WHERE prio = 1";
+    ]
+  in
+  let agree msg =
+    List.iter
+      (fun q ->
+        (* prime the cache so the comparison read is served from it *)
+        ignore (I.query_rows t_on q);
+        Alcotest.(check (list (list string)))
+          (msg ^ ": " ^ q)
+          (List.map (List.map Value.to_string) (I.query_rows t_off q))
+          (List.map (List.map Value.to_string) (I.query_rows t_on q)))
+      probes
+  in
+  let both sql =
+    ignore (I.exec_sql t_on sql);
+    ignore (I.exec_sql t_off sql)
+  in
+  let mats = Inverda.Genealogy.enumerate_materializations (I.genealogy t_on) in
+  Alcotest.(check int) "five materializations" 5 (List.length mats);
+  List.iteri
+    (fun i mat ->
+      I.set_materialization t_on mat;
+      I.set_materialization t_off mat;
+      agree (Fmt.str "mat %d" i);
+      both
+        (Fmt.str
+           "INSERT INTO Do!.Todo (author, task) VALUES ('Gil', 'todo %d')" i);
+      both
+        (Fmt.str
+           "UPDATE TasKy.Task SET prio = 2 WHERE task = 'todo %d'" i);
+      agree (Fmt.str "mat %d after writes" i))
+    mats;
+  let hits, _ = I.cache_stats t_on in
+  Alcotest.(check bool) "cache actually served hits" true (hits > 0)
+
 let test_update_through_tasky2 () =
   let t = setup_full () in
   (* renaming an author in TasKy2 renames it for all tasks in TasKy *)
@@ -438,6 +524,7 @@ let () =
         [
           tc "through TasKy" test_write_propagation_tasky;
           tc "through TasKy2" test_write_propagation_tasky2;
+          tc "duplicate key rejected" test_duplicate_key_rejected;
           tc "update through TasKy2" test_update_through_tasky2;
           tc "delete through Do!" test_delete_through_do;
         ] );
@@ -447,6 +534,8 @@ let () =
           tc "materialize Do!" test_materialize_do;
           tc "round trip" test_materialize_round_trip;
           tc "all 5 materializations (Table 2)" test_all_materializations_table2;
+          tc "cache agreement across materializations"
+            test_cache_agreement_all_materializations;
         ] );
       ( "catalog",
         [

@@ -556,6 +556,88 @@ let test_rollback_restores_sequences () =
   Alcotest.(check int) "sequence rolled back" 1
     (Engine.query_int db "SELECT NEXTVAL('s')")
 
+(* --- cross-statement view cache ------------------------------------------------ *)
+
+let test_index_lookup_order () =
+  let db = Engine.create () in
+  ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY, a TEXT)");
+  ignore (Engine.exec db "CREATE INDEX t_a ON t (a)");
+  for i = 1 to 40 do
+    ignore (Engine.execf db "INSERT INTO t (p, a) VALUES (%d, 'dup')" i)
+  done;
+  let tbl = Database.find_table db "t" in
+  let idx = Option.get (Table.indexed_column tbl "a") in
+  let rowids = Table.index_lookup idx (Value.Text "dup") in
+  Alcotest.(check (list int))
+    "ascending rowids" (List.sort compare rowids) rowids;
+  (* and the order survives an indexed probe plan: compare *unsorted* *)
+  Alcotest.(check (list (list value)))
+    "probe in insertion order"
+    (List.init 40 (fun i -> [ Value.Int (i + 1) ]))
+    (Engine.query_rows db "SELECT p FROM t WHERE a = 'dup'")
+
+let test_view_cache_epochs () =
+  let db = fresh_tasky () in
+  ignore
+    (Engine.exec db
+       "CREATE VIEW urgent AS SELECT author, task FROM task WHERE prio = 1");
+  let q = "SELECT author FROM urgent ORDER BY author" in
+  let r1 = Engine.query_rows db q in
+  let r2 = Engine.query_rows db q in
+  Alcotest.(check (list (list value))) "repeat read stable" r1 r2;
+  let hits, misses = Database.cache_stats db in
+  Alcotest.(check bool) "second read was a hit" true (hits >= 1 && misses >= 1);
+  ignore
+    (Engine.exec db
+       "INSERT INTO task (p, author, task, prio) VALUES (9, 'Eve', 'New', 1)");
+  Alcotest.(check int)
+    "write invalidates the cached view" 3
+    (Engine.query_int db "SELECT COUNT(*) FROM urgent");
+  (* a failing statement rolls back but still bumps epochs: no stale serve *)
+  (match
+     Engine.exec db
+       "INSERT INTO task (p, author, task, prio) VALUES (9, 'Dup', 'x', 1)"
+   with
+  | exception Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "expected pk violation");
+  Alcotest.(check int)
+    "rolled-back write leaves view consistent" 3
+    (Engine.query_int db "SELECT COUNT(*) FROM urgent");
+  (* disabling the cache drops entries and stops serving *)
+  Database.set_view_cache db false;
+  let h0, _ = Database.cache_stats db in
+  ignore (Engine.query_rows db q);
+  ignore (Engine.query_rows db q);
+  let h1, _ = Database.cache_stats db in
+  Alcotest.(check int) "no hits while disabled" h0 h1
+
+let test_view_cache_impure_function () =
+  let db = Engine.create () in
+  ignore (Engine.exec db "CREATE TABLE t (p INTEGER PRIMARY KEY)");
+  ignore (Engine.exec db "INSERT INTO t (p) VALUES (1)");
+  ignore
+    (Engine.exec db
+       "CREATE VIEW ticking AS SELECT NEXTVAL('s') AS n FROM t");
+  (* NEXTVAL is impure: the view must re-evaluate on every statement even
+     though no base table changed *)
+  let v1 = Engine.query_int db "SELECT n FROM ticking" in
+  let v2 = Engine.query_int db "SELECT n FROM ticking" in
+  Alcotest.(check bool) "impure view re-evaluates" true (v2 > v1)
+
+let test_constraint_error_function () =
+  let db = fresh_tasky () in
+  (match
+     Engine.query db "SELECT CONSTRAINT_ERROR('boom ' || p) FROM task WHERE p = 1"
+   with
+  | exception Table.Constraint_violation msg ->
+    Alcotest.(check string) "message" "boom 1" msg
+  | _ -> Alcotest.fail "expected constraint violation");
+  (* unevaluated branch of a CASE must not fire *)
+  Alcotest.(check int) "guarded case" 4
+    (Engine.query_int db
+       "SELECT COUNT(CASE WHEN p < 0 THEN CONSTRAINT_ERROR('no') ELSE p END) \
+        FROM task")
+
 (* --- qcheck properties -------------------------------------------------------- *)
 
 let qsuite =
@@ -686,6 +768,13 @@ let () =
           tc "sequences" test_sequences;
           tc "registered function" test_registered_function;
           tc "drop cleans triggers" test_drop_table_drops_triggers;
+        ] );
+      ( "view cache",
+        [
+          tc "index lookup order" test_index_lookup_order;
+          tc "epoch invalidation" test_view_cache_epochs;
+          tc "impure functions bypass" test_view_cache_impure_function;
+          tc "CONSTRAINT_ERROR builtin" test_constraint_error_function;
         ] );
       ("properties", qsuite);
     ]

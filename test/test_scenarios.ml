@@ -113,6 +113,96 @@ let test_adoption_curve () =
   Alcotest.(check bool) "midpoint" true (abs_float (f50 -. 0.5) < 0.05);
   Alcotest.(check bool) "ends high" true (f100 > 0.95)
 
+(* --- view-cache coherence ------------------------------------------------------ *)
+
+let unsorted_rows t sql =
+  List.map (List.map Value.to_string) (I.query_rows t sql)
+
+let test_cache_coherence_randomized () =
+  (* a cached and an uncached instance driven by the same seeded random
+     workload — reads, inserts, updates and deletes interleaved across all
+     three versions, with migrations in between — must stay byte-identical
+     (unsorted: even row order must agree) *)
+  let module W = Scenarios.Workload in
+  let mk cache =
+    let t = Scenarios.Tasky.setup_full ~tasks:40 () in
+    I.set_cache t cache;
+    let r = W.make_runner ~rng:(Scenarios.Rng.create ~seed:99 ()) (I.database t) in
+    (t, r)
+  in
+  let t_on, r_on = mk true in
+  let t_off, r_off = mk false in
+  let probes =
+    [
+      "SELECT * FROM TasKy.Task";
+      "SELECT * FROM Do!.Todo";
+      "SELECT * FROM TasKy2.Task";
+      "SELECT * FROM TasKy2.Author";
+    ]
+  in
+  let agree msg =
+    List.iter
+      (fun q ->
+        (* prime the cache so the comparison read is a cache hit *)
+        ignore (I.query_rows t_on q);
+        Alcotest.(check (list (list string)))
+          (msg ^ ": " ^ q) (unsorted_rows t_off q) (unsorted_rows t_on q))
+      probes
+  in
+  let phase version =
+    ignore (W.run_mix r_on ~version ~mix:W.paper_mix ~ops:25);
+    ignore (W.run_mix r_off ~version ~mix:W.paper_mix ~ops:25)
+  in
+  phase W.V_tasky;
+  agree "after TasKy mix";
+  phase W.V_do;
+  agree "after Do! mix";
+  I.materialize t_on [ "TasKy2" ];
+  I.materialize t_off [ "TasKy2" ];
+  agree "after MATERIALIZE TasKy2";
+  phase W.V_tasky2;
+  agree "after TasKy2 mix";
+  I.materialize t_on [ "TasKy" ];
+  I.materialize t_off [ "TasKy" ];
+  phase W.V_tasky;
+  agree "after migrating back + TasKy mix";
+  let hits, misses = I.cache_stats t_on in
+  Alcotest.(check bool) "cache exercised" true (hits > 0 && misses > 0)
+
+let test_wikimedia_cache_coherence () =
+  (* same invariant on the deeper Wikimedia genealogy: reads at version
+     distance 4+ agree with the cache on and off, before and after a
+     migration *)
+  let mk cache =
+    let api, names = Scenarios.Wikimedia.build ~versions:8 () in
+    I.set_cache api cache;
+    Scenarios.Wikimedia.load api ~version:names.(3) ~pages:40 ~links:120;
+    (api, names)
+  in
+  let on, names = mk true in
+  let off, _ = mk false in
+  let probes =
+    [
+      Scenarios.Wikimedia.query_page_by_title ~version:names.(7) ~i:5;
+      Scenarios.Wikimedia.query_link_count ~version:names.(7);
+      Scenarios.Wikimedia.query_link_count ~version:names.(0);
+    ]
+  in
+  let agree msg =
+    List.iter
+      (fun q ->
+        ignore (I.query_rows on q);
+        Alcotest.(check (list (list string)))
+          (msg ^ ": " ^ q) (unsorted_rows off q) (unsorted_rows on q))
+      probes
+  in
+  agree "virtualized";
+  I.materialize on [ names.(6) ];
+  I.materialize off [ names.(6) ];
+  agree "after MATERIALIZE";
+  let hits, _ = I.cache_stats on in
+  Alcotest.(check bool) "cache served hits" true (hits > 0)
+
 (* --- Wikimedia ---------------------------------------------------------------- *)
 
 let test_wikimedia_small () =
@@ -314,6 +404,11 @@ let () =
         ] );
       ( "workload",
         [ tc "mix runs" test_workload_runs; tc "adoption curve" test_adoption_curve ] );
+      ( "view cache",
+        [
+          tc "randomized workload coherence" test_cache_coherence_randomized;
+          tc "wikimedia coherence" test_wikimedia_cache_coherence;
+        ] );
       ( "wikimedia",
         [
           tc "small build + load" test_wikimedia_small;
