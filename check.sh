@@ -9,4 +9,6 @@ dune runtest
 dune build @lint
 # bench smoke: the harness itself must run end to end at tiny scale
 dune exec bench/main.exe -- --only table2 --smoke
+# migration atomicity: strided fault-injection sweep at small scale
+dune exec bin/inverda_cli.exe -- faults --smoke
 echo "check.sh: all green"

@@ -112,6 +112,17 @@ let check_instance_rules t (si : G.smo_instance) =
   if t.strict then
     Analysis.Diagnostic.reject_errors (instance_rule_diagnostics si)
 
+(* Migrations manage their own internal engine transaction; letting one run
+   inside an open user transaction would interleave the migration's undo
+   entries with the user's log, so a later user ROLLBACK would tear half a
+   migration out of the catalog. Refuse before any mutation. *)
+let check_no_open_txn t =
+  if Db.in_transaction t.db then
+    raise
+      (Inverda_error
+         "MATERIALIZE is not allowed inside an open transaction; COMMIT or \
+          ROLLBACK first")
+
 (* --- the Database Evolution Operation -------------------------------------- *)
 
 let run_backfill t (si : G.smo_instance) =
@@ -156,6 +167,7 @@ let exec_bidel t (stmt : Bidel.Ast.statement) =
     G.drop_schema_version t.gen name;
     Codegen.regenerate ~validate:(validate_delta t) t.db t.gen
   | Bidel.Ast.Materialize targets ->
+    check_no_open_txn t;
     Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
 
 (** Execute a BiDEL script given as text. *)
@@ -164,10 +176,20 @@ let evolve t script =
 
 (** One-line migration command, e.g. [materialize t ["TasKy2"]]. *)
 let materialize t targets =
+  check_no_open_txn t;
   Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
 
 let set_materialization t mat =
+  check_no_open_txn t;
   Migration.set_materialization ~validate:(validate_delta t) t.db t.gen mat
+
+(** The flip plan of [MATERIALIZE targets] — SMO ids to virtualize and to
+    materialize, in execution order — without touching any data. *)
+let migration_plan t targets = Migration.materialize_plan t.gen targets
+
+(** Deterministic dump of the full engine state (tables with rows and
+    indexes, views, triggers, sequences) for equality checks. *)
+let dump t = Db.dump t.db
 
 (* --- data access ------------------------------------------------------------ *)
 

@@ -67,12 +67,28 @@ val materialize : t -> string list -> unit
 (** [materialize t targets] — the paper's one-line migration command. Each
     target is a schema version name (materialize all its table versions) or
     ["version.table"]. Moves the data stepwise along the genealogy and
-    regenerates all delta code; no version becomes unavailable. *)
+    regenerates all delta code; no version becomes unavailable.
+
+    Atomic: on any failure the database — rows, tables, views, triggers,
+    materialization flags — is rolled back to its pre-command state and a
+    {!Migration.Migration_error} carrying the original failure is raised.
+    Raises {!Inverda_error} without touching anything if called inside an
+    open user transaction. *)
 
 val set_materialization : t -> int list -> unit
 (** Low-level variant: materialize exactly the given SMO instances. Raises
     {!Migration.Migration_error} if the set violates the validity conditions
-    (55)/(56) of the paper. *)
+    (55)/(56) of the paper. Atomic, as {!materialize}. *)
+
+val migration_plan : t -> string list -> int list * int list
+(** The flip plan of [MATERIALIZE targets] — [(to_virtualize,
+    to_materialize)] SMO ids in execution order — without touching any
+    data. *)
+
+val dump : t -> string
+(** Deterministic dump of the full engine state (tables with sorted rows and
+    indexes, views, triggers, sequences), for byte-equality checks in tests
+    and the fault-injection harness. *)
 
 (** {1 Data access} *)
 

@@ -191,7 +191,7 @@ let ensure_aux_indexes db (gen : G.t) =
           match Minidb.Database.find_table_opt db r.S.rel_name with
           | Some tbl ->
             List.iter
-              (fun c -> Minidb.Table.add_index tbl c)
+              (fun c -> Minidb.Database.logged_add_index db tbl c)
               (List.tl r.S.rel_cols)
           | None -> ())
         (physical_aux si))

@@ -252,6 +252,14 @@ let current_materialization t =
     (fun s -> if s.si_materialized then Some s.si_id else None)
     (all_smos t)
 
+type mat_snapshot = (int * bool) list
+
+let snapshot_materialization t =
+  List.map (fun s -> (s.si_id, s.si_materialized)) (all_smos t)
+
+let restore_materialization t snap =
+  List.iter (fun (id, m) -> (smo t id).si_materialized <- m) snap
+
 (** Materialization schema that puts the data exactly at the given table
     versions: all SMOs on the paths from the roots to those versions. *)
 let materialization_for_tables t tv_ids =

@@ -108,6 +108,17 @@ val valid_materialization : t -> int list -> bool
 
 val current_materialization : t -> int list
 
+type mat_snapshot
+(** Opaque snapshot of every SMO instance's materialization flag. *)
+
+val snapshot_materialization : t -> mat_snapshot
+(** Cheap copy of the mutable [si_materialized] flags, for migration
+    rollback. *)
+
+val restore_materialization : t -> mat_snapshot -> unit
+(** Write the snapshotted flags back. Only valid on the genealogy the
+    snapshot was taken from (the set of SMO ids must be unchanged). *)
+
 val materialization_for_tables : t -> int list -> int list
 (** The materialization schema that puts the data exactly at the given table
     versions: all SMOs on the paths from the roots to them. *)

@@ -2,7 +2,16 @@
     schema with a single command. Data is moved stepwise along the genealogy
     — one SMO instance at a time — by evaluating the mapping rules through
     the very views the delta-code generator maintains, then regenerating all
-    delta code. No schema version ever becomes unavailable. *)
+    delta code. No schema version ever becomes unavailable.
+
+    Every public entry point is atomic: the whole migration runs inside an
+    internal engine transaction whose undo log covers DDL (dropped tables
+    come back with their rows), and the genealogy's materialization flags are
+    snapshotted up front. On any failure the object graph is rolled back,
+    the flags restored, the view cache flushed and the delta code
+    regenerated from the restored state before a {!Migration_error} carrying
+    the original failure is raised — the database is left exactly as it was
+    before the command. *)
 
 module G = Genealogy
 module S = Bidel.Smo_semantics
@@ -35,7 +44,7 @@ let drop_table db name = Db.drop_table db ~name ~if_exists:true
    views in the current state; snapshot them into fresh physical tables, flip
    the state, regenerate the delta code, then drop the now-derived physical
    storage of the old side. *)
-let flip ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
+let flip_raw ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
   if si.G.si_materialized = to_materialized then ()
   else begin
     let i = si.G.si_inst in
@@ -120,8 +129,52 @@ let flip ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
     Codegen.regenerate ?validate db gen
   end
 
-(** Move to the materialization schema [mat] (a set of SMO ids). *)
-let set_materialization ?validate db (gen : G.t) mat =
+(* --- atomicity ----------------------------------------------------------- *)
+
+let failure_text = function
+  | Migration_error s
+  | Db.Engine_error s
+  | Minidb.Exec.Exec_error s
+  | Minidb.Table.Constraint_violation s
+  | Triggers.Trigger_error s
+  | G.Catalog_error s -> s
+  | Db.Injected_fault n -> Fmt.str "injected fault at statement %d" n
+  | Analysis.Diagnostic.Rejected ds ->
+    String.concat "; " (List.map Analysis.Diagnostic.to_string ds)
+  | exn -> Printexc.to_string exn
+
+(* Run [f] as an all-or-nothing migration. The engine transaction records
+   every row change and every DDL action; the genealogy snapshot covers the
+   mutable materialization flags. On failure everything is undone and the
+   delta code is regenerated from the restored state (without re-validation:
+   that state was installed and valid before), so every version view answers
+   queries exactly as before the attempt. *)
+let atomically db (gen : G.t) f =
+  if Db.in_transaction db then
+    error
+      "MATERIALIZE is not allowed inside an open transaction; COMMIT or \
+       ROLLBACK first";
+  let snap = G.snapshot_materialization gen in
+  Db.begin_internal_txn db;
+  match f () with
+  | () -> Db.commit_internal_txn db
+  | exception exn ->
+    (* disarm any still-pending failpoint so recovery runs unimpeded *)
+    Db.clear_failpoint db;
+    Db.abort_internal_txn db;
+    G.restore_materialization gen snap;
+    Db.flush_view_cache db;
+    Codegen.regenerate db gen;
+    raise
+      (Migration_error
+         (Fmt.str "migration failed and was rolled back: %s" (failure_text exn)))
+
+(* --- planning ------------------------------------------------------------ *)
+
+(** The flip sequence that moves the database to materialization schema
+    [mat]: SMO ids to virtualize (outside-in, descending) and to materialize
+    (inside-out, ascending). Pure — touches no data. *)
+let plan (gen : G.t) mat =
   if not (G.valid_materialization gen mat) then
     error "invalid materialization schema {%s}"
       (String.concat "," (List.map string_of_int mat));
@@ -133,30 +186,67 @@ let set_materialization ?validate db (gen : G.t) mat =
   let to_materialize =
     List.filter (fun id -> not (List.mem id current)) mat |> List.sort compare
   in
+  (to_virtualize, to_materialize)
+
+(** Resolve MATERIALIZE targets to a materialization schema. A target is a
+    schema version name or ["version.table"]; version names themselves may
+    contain dots, so a whole-string version match wins and the fallback
+    splits at the {e last} dot. Duplicate or overlapping targets are
+    deduplicated. *)
+let targets_materialization (gen : G.t) targets =
+  let tv_ids =
+    List.concat_map
+      (fun target ->
+        match G.find_version gen target with
+        | Some sv -> List.map snd sv.G.sv_tables
+        | None -> (
+          match String.rindex_opt target '.' with
+          | None -> error "MATERIALIZE target %S: no such schema version" target
+          | Some i -> (
+            let version = String.sub target 0 i in
+            let table =
+              String.sub target (i + 1) (String.length target - i - 1)
+            in
+            match G.find_version gen version with
+            | None ->
+              error "MATERIALIZE target %S: no such schema version %s" target
+                version
+            | Some sv -> (
+              match List.assoc_opt table sv.G.sv_tables with
+              | Some tvid -> [ tvid ]
+              | None ->
+                error "MATERIALIZE target %S: schema version %s has no table %s"
+                  target version table))))
+      targets
+    |> List.sort_uniq compare
+  in
+  G.materialization_for_tables gen tv_ids
+
+(* --- the public, atomic entry points ------------------------------------- *)
+
+let run_plan ?validate db gen (to_virtualize, to_materialize) =
   List.iter
-    (fun id -> flip ?validate db gen (G.smo gen id) ~to_materialized:false)
+    (fun id -> flip_raw ?validate db gen (G.smo gen id) ~to_materialized:false)
     to_virtualize;
   List.iter
-    (fun id -> flip ?validate db gen (G.smo gen id) ~to_materialized:true)
+    (fun id -> flip_raw ?validate db gen (G.smo gen id) ~to_materialized:true)
     to_materialize
+
+let flip ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
+  atomically db gen (fun () -> flip_raw ?validate db gen si ~to_materialized)
+
+(** Move to the materialization schema [mat] (a set of SMO ids). *)
+let set_materialization ?validate db (gen : G.t) mat =
+  let p = plan gen mat in
+  atomically db gen (fun () -> run_plan ?validate db gen p)
 
 (** The MATERIALIZE command: arguments are schema version names or
     ["version.table"] table versions. *)
 let materialize ?validate db (gen : G.t) targets =
-  let tv_ids =
-    List.concat_map
-      (fun target ->
-        match String.index_opt target '.' with
-        | Some i ->
-          let version = String.sub target 0 i in
-          let table = String.sub target (i + 1) (String.length target - i - 1) in
-          let sv = G.version gen version in
-          (match List.assoc_opt table sv.G.sv_tables with
-          | Some tvid -> [ tvid ]
-          | None -> error "schema version %s has no table %s" version table)
-        | None ->
-          let sv = G.version gen target in
-          List.map snd sv.G.sv_tables)
-      targets
-  in
-  set_materialization ?validate db gen (G.materialization_for_tables gen tv_ids)
+  let p = plan gen (targets_materialization gen targets) in
+  atomically db gen (fun () -> run_plan ?validate db gen p)
+
+(** The flip plan of [MATERIALIZE targets] without touching any data:
+    [(to_virtualize, to_materialize)] in execution order. *)
+let materialize_plan (gen : G.t) targets =
+  plan gen (targets_materialization gen targets)

@@ -2,7 +2,16 @@
     schema with a single command. Data moves stepwise along the genealogy —
     one SMO instance at a time — by reading the very views the delta-code
     generator maintains; all delta code is then regenerated. No schema
-    version ever becomes unavailable. *)
+    version ever becomes unavailable.
+
+    All entry points are {e atomic}: they run inside an internal engine
+    transaction whose undo log also covers DDL, with the genealogy's
+    materialization flags snapshotted up front. On any failure the object
+    graph is rolled back, the flags restored, the view cache flushed and the
+    delta code regenerated from the restored state, then a
+    {!Migration_error} carrying the original failure is raised — the
+    database is left exactly as before the command. Calling them inside an
+    open user transaction is refused up front. *)
 
 exception Migration_error of string
 
@@ -14,7 +23,8 @@ val flip :
     current views into fresh physical tables, switch the state, drop the old
     side's storage and regenerate. No-op if already in the requested state.
     [validate] is passed to {!Codegen.regenerate}: it sees the regenerated
-    delta code before installation and may raise to abort. *)
+    delta code before installation and may raise to abort (the flip is then
+    rolled back). *)
 
 val set_materialization :
   ?validate:(Minidb.Sql_ast.statement list -> unit) ->
@@ -27,4 +37,19 @@ val materialize :
   ?validate:(Minidb.Sql_ast.statement list -> unit) ->
   Minidb.Database.t -> Genealogy.t -> string list -> unit
 (** The [MATERIALIZE] command: targets are schema version names or
-    ["version.table"] table versions. *)
+    ["version.table"] table versions (split at the last dot; a whole-string
+    version-name match wins). Duplicate or overlapping targets are
+    deduplicated; unknown targets are reported with the full target
+    string. *)
+
+val plan : Genealogy.t -> int list -> int list * int list
+(** [plan gen mat] is the flip sequence reaching materialization schema
+    [mat]: [(to_virtualize, to_materialize)], each in execution order. Pure;
+    raises {!Migration_error} if [mat] is invalid. *)
+
+val targets_materialization : Genealogy.t -> string list -> int list
+(** Resolve [MATERIALIZE] targets to the materialization schema they
+    denote. *)
+
+val materialize_plan : Genealogy.t -> string list -> int list * int list
+(** The flip plan of [MATERIALIZE targets] without touching any data. *)

@@ -103,20 +103,18 @@ let delete_where rel where = Sql.Delete { table = rel; where = Some where }
 
 let key_eq key = Sql.Binop (Sql.Eq, col0 "p", key)
 
-(** EXISTS (SELECT * FROM rel WHERE p = key AND extra). *)
-let exists_key ?extra rel key =
+(** The SELECT behind [EXISTS (SELECT * FROM rel WHERE p = key AND extra)]. *)
+let exists_key_query ?extra rel key =
   let where =
     match extra with None -> key_eq key | Some e -> sql_and (key_eq key) e
   in
-  Sql.Exists
-    ( Sql.select_query
-        (Sql.simple_select ~from:(Sql.From_table (rel, None)) ~where [ Sql.Star ]),
-      false )
+  Sql.select_query
+    (Sql.simple_select ~from:(Sql.From_table (rel, None)) ~where [ Sql.Star ])
+
+let exists_key ?extra rel key = Sql.Exists (exists_key_query ?extra rel key, false)
 
 let not_exists_key ?extra rel key =
-  match exists_key ?extra rel key with
-  | Sql.Exists (q, false) -> Sql.Exists (q, true)
-  | _ -> assert false
+  Sql.Exists (exists_key_query ?extra rel key, true)
 
 (** Scalar subquery [SELECT col FROM rel WHERE p = key LIMIT 1]. *)
 let lookup_col rel col key =
@@ -1413,7 +1411,11 @@ let remote_id_maintenance (inst : S.instance) op =
       match linkage with
       | A.On_fk _ -> [ part_id "id" lay.dc_rcols ]
       | A.On_cond _ -> [ part_id "ids" lay.dc_lcols; part_id "idt" lay.dc_rcols ]
-      | _ -> assert false
+      | _ ->
+        error
+          "remote id maintenance for %s: unsupported linkage (expected FK or \
+           condition decompose)"
+          combined
     in
     match op with
     | Del -> [ delete_key id.S.rel_name (od "p") ]

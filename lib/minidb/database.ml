@@ -26,11 +26,25 @@ type trigger = {
 
 type obj = Obj_table of Table.t | Obj_view of view
 
+(** The statement/transaction undo log covers DML {e and} DDL: every catalog
+    mutation (object, trigger, index and sequence creation or removal) is
+    logged alongside row-level changes, so {!rollback_to} restores dropped
+    tables with their rows and indexes, recreated views, and triggers. This
+    is what makes a failing statement — or an aborted migration — leave the
+    database exactly as it was. *)
 type undo_entry =
   | U_insert of Table.t * int
   | U_delete of Table.t * int * Value.t array
   | U_update of Table.t * int * Value.t array
   | U_sequence of int ref * int
+  | U_create_obj of string  (** undo: remove the object again *)
+  | U_drop_obj of string * obj
+      (** undo: put the object back (a dropped table keeps its rows and
+          indexes inside the [Table.t] value, so this restores data too) *)
+  | U_create_trigger of string  (** undo: remove the trigger again *)
+  | U_drop_trigger of trigger  (** undo: re-install the trigger *)
+  | U_create_index of Table.t * string  (** undo: drop the secondary index *)
+  | U_create_seq of string  (** undo: remove the on-demand sequence *)
 
 type t = {
   objects : (string, obj) Hashtbl.t;  (** lowercase name -> object *)
@@ -58,9 +72,17 @@ type t = {
   mutable view_cache_enabled : bool;
   mutable view_cache_hits : int;
   mutable view_cache_misses : int;
+  mutable failpoint : int option;
+      (** fault injection: [Some k] makes the k-th subsequently executed
+          statement raise {!Injected_fault} before doing anything *)
 }
 
 exception Engine_error of string
+
+exception Injected_fault of int
+(** Raised by an armed failpoint; carries the lifetime statement number at
+    which the fault fired. Deliberately not an {!Engine_error} so harnesses
+    can tell injected faults from genuine failures. *)
 
 let error fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
 
@@ -84,7 +106,27 @@ let create () =
     view_cache_enabled = true;
     view_cache_hits = 0;
     view_cache_misses = 0;
+    failpoint = None;
   }
+
+(* --- fault injection ----------------------------------------------------- *)
+
+(** Arm the failpoint: the [k]-th statement executed from now on (counting
+    every statement, including trigger cascades) fails with
+    {!Injected_fault} before taking effect. The failpoint disarms itself
+    when it fires, so recovery code runs unimpeded. *)
+let set_failpoint t k = t.failpoint <- if k <= 0 then None else Some k
+
+let clear_failpoint t = t.failpoint <- None
+
+(** Called by the executor once per statement. *)
+let tick_failpoint t =
+  match t.failpoint with
+  | None -> ()
+  | Some k when k <= 1 ->
+    t.failpoint <- None;
+    raise (Injected_fault t.statements_executed)
+  | Some k -> t.failpoint <- Some (k - 1)
 
 (* --- the cross-statement view-result cache ------------------------------ *)
 
@@ -152,6 +194,11 @@ let find_view_opt t name =
 
 let object_exists t name = Hashtbl.mem t.objects (key name)
 
+(* DDL goes through the undo log like DML does (the log is discarded at the
+   end of every successful top-level statement outside a transaction, so
+   this costs nothing on the common path). *)
+let log_ddl t entry = t.undo <- entry :: t.undo
+
 let create_table t ~name ~schema ~pk ~if_not_exists =
   if object_exists t name then begin
     if not if_not_exists then error "object %s already exists" name
@@ -159,7 +206,8 @@ let create_table t ~name ~schema ~pk ~if_not_exists =
   else begin
     flush_view_metadata t;
     Hashtbl.replace t.objects (key name)
-      (Obj_table (Table.create ~name ~schema ~pk))
+      (Obj_table (Table.create ~name ~schema ~pk));
+    log_ddl t (U_create_obj (key name))
   end
 
 let drop_triggers_of_target t target_key =
@@ -172,32 +220,41 @@ let drop_triggers_of_target t target_key =
     (fun name ->
       let trig = Hashtbl.find t.triggers name in
       Hashtbl.remove t.triggers name;
-      Hashtbl.remove t.by_target (trig.target, trig.event))
+      Hashtbl.remove t.by_target (trig.target, trig.event);
+      log_ddl t (U_drop_trigger trig))
     stale
 
 let drop_table t ~name ~if_exists =
   match find_object t name with
-  | Some (Obj_table _) ->
+  | Some (Obj_table _ as obj) ->
     flush_view_metadata t;
     Hashtbl.remove t.objects (key name);
+    log_ddl t (U_drop_obj (key name, obj));
     drop_triggers_of_target t (key name)
   | Some (Obj_view _) -> error "%s is a view; use DROP VIEW" name
   | None -> if not if_exists then error "no such table %s" name
 
 let create_view t ~name ~query ~cols ~or_replace =
-  (match find_object t name with
-  | Some (Obj_table _) -> error "object %s already exists as a table" name
-  | Some (Obj_view _) when not or_replace -> error "view %s already exists" name
-  | _ -> ());
+  let replaced =
+    match find_object t name with
+    | Some (Obj_table _) -> error "object %s already exists as a table" name
+    | Some (Obj_view _) when not or_replace ->
+      error "view %s already exists" name
+    | replaced -> replaced
+  in
   flush_view_metadata t;
   Hashtbl.replace t.objects (key name)
-    (Obj_view { view_name = name; query; view_cols = cols })
+    (Obj_view { view_name = name; query; view_cols = cols });
+  (match replaced with
+  | Some old -> log_ddl t (U_drop_obj (key name, old))
+  | None -> log_ddl t (U_create_obj (key name)))
 
 let drop_view t ~name ~if_exists =
   match find_object t name with
-  | Some (Obj_view _) ->
+  | Some (Obj_view _ as obj) ->
     flush_view_metadata t;
     Hashtbl.remove t.objects (key name);
+    log_ddl t (U_drop_obj (key name, obj));
     drop_triggers_of_target t (key name)
   | Some (Obj_table _) -> error "%s is a table; use DROP TABLE" name
   | None -> if not if_exists then error "no such view %s" name
@@ -212,14 +269,26 @@ let create_trigger t ~name ~event ~target ~instead_of ~body =
   if Hashtbl.mem t.by_target (key target, event) then
     error "object %s already has a trigger for this event" target;
   Hashtbl.replace t.triggers (key name) trig;
-  Hashtbl.replace t.by_target (key target, event) trig
+  Hashtbl.replace t.by_target (key target, event) trig;
+  log_ddl t (U_create_trigger (key name))
 
 let drop_trigger t ~name ~if_exists =
   match Hashtbl.find_opt t.triggers (key name) with
   | Some trig ->
     Hashtbl.remove t.triggers (key name);
-    Hashtbl.remove t.by_target (trig.target, trig.event)
+    Hashtbl.remove t.by_target (trig.target, trig.event);
+    log_ddl t (U_drop_trigger trig)
   | None -> if not if_exists then error "no such trigger %s" name
+
+(** Index creation through the undo log (only actual creations are logged,
+    so rollback never removes a pre-existing — in particular a primary-key —
+    index). *)
+let logged_add_index t tbl column =
+  let k = String.lowercase_ascii column in
+  if not (Hashtbl.mem tbl.Table.indexes k) then begin
+    Table.add_index tbl column;
+    log_ddl t (U_create_index (tbl, k))
+  end
 
 let trigger_for t ~target ~event = Hashtbl.find_opt t.by_target (key target, event)
 
@@ -238,6 +307,7 @@ let sequence t name =
   | None ->
     let r = ref 0 in
     Hashtbl.replace t.sequences (key name) r;
+    log_ddl t (U_create_seq (key name));
     r
 
 let nextval t name =
@@ -270,6 +340,9 @@ let logged_update t tbl rowid new_row =
   | None -> false
 
 let rollback_to t mark =
+  (* whether any catalog-shaped entry was unwound: views may then mean
+     something else, so cached results and base closures must go *)
+  let catalog_changed = ref false in
   let rec go entries =
     if entries != mark then
       match entries with
@@ -280,11 +353,52 @@ let rollback_to t mark =
         | U_delete (tbl, rowid, row) -> Table.restore tbl rowid row
         | U_update (tbl, rowid, old_row) ->
           ignore (Table.update tbl rowid old_row)
-        | U_sequence (r, v) -> r := v);
+        | U_sequence (r, v) -> r := v
+        | U_create_obj name ->
+          catalog_changed := true;
+          Hashtbl.remove t.objects name
+        | U_drop_obj (name, obj) ->
+          catalog_changed := true;
+          Hashtbl.replace t.objects name obj
+        | U_create_trigger name -> (
+          match Hashtbl.find_opt t.triggers name with
+          | Some trig ->
+            Hashtbl.remove t.triggers name;
+            Hashtbl.remove t.by_target (trig.target, trig.event)
+          | None -> ())
+        | U_drop_trigger trig ->
+          Hashtbl.replace t.triggers (key trig.trig_name) trig;
+          Hashtbl.replace t.by_target (trig.target, trig.event) trig
+        | U_create_index (tbl, col) -> Table.remove_index tbl col
+        | U_create_seq name -> Hashtbl.remove t.sequences name);
         go rest
   in
   go t.undo;
-  t.undo <- mark
+  t.undo <- mark;
+  if !catalog_changed then flush_view_metadata t
+
+(* --- internal transactions ---------------------------------------------- *)
+
+(** Is a transaction (user-issued BEGIN or an internal one) open? *)
+let in_transaction t = t.in_txn
+
+(** Open a transaction from host code (the migration engine) rather than via
+    a BEGIN statement; pairs with {!commit_internal_txn} /
+    {!abort_internal_txn}. *)
+let begin_internal_txn t =
+  if t.in_txn then error "already inside a transaction";
+  t.in_txn <- true;
+  t.undo <- []
+
+let commit_internal_txn t =
+  t.in_txn <- false;
+  t.undo <- []
+
+(** Undo everything since {!begin_internal_txn} — rows, tables, views,
+    triggers, indexes and sequences — and close the transaction. *)
+let abort_internal_txn t =
+  rollback_to t [];
+  t.in_txn <- false
 
 let list_objects t =
   Hashtbl.fold (fun _ obj acc -> obj :: acc) t.objects []
@@ -294,3 +408,66 @@ let list_objects t =
            | Obj_view v -> v.view_name
          in
          compare (name a) (name b))
+
+(* --- deterministic dump --------------------------------------------------- *)
+
+(** Canonical textual dump of the whole database — every table with its
+    schema, indexes and rows (sorted), every view body, every trigger and
+    every sequence — independent of hash-table iteration order and internal
+    rowids. Two databases holding the same logical state dump to the same
+    bytes; the fault-injection harness compares dumps before a migration and
+    after its rollback. *)
+let dump t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  List.iter
+    (fun obj ->
+      match obj with
+      | Obj_table tbl ->
+        add "TABLE %s (%s)%s\n" tbl.Table.name
+          (String.concat ", " (Schema.names tbl.Table.schema))
+          (match tbl.Table.pk with
+          | Some i -> Fmt.str " PK=%d" i
+          | None -> "");
+        let idxs =
+          Hashtbl.fold (fun c _ acc -> c :: acc) tbl.Table.indexes []
+          |> List.sort compare
+        in
+        if idxs <> [] then add "  INDEX %s\n" (String.concat ", " idxs);
+        let rows =
+          Hashtbl.fold
+            (fun _ row acc -> Array.to_list row :: acc)
+            tbl.Table.rows []
+          |> List.sort compare
+        in
+        List.iter
+          (fun row ->
+            add "  ROW %s\n"
+              (String.concat " | " (List.map Value.to_literal row)))
+          rows
+      | Obj_view v ->
+        add "VIEW %s (%s) AS %s\n" v.view_name
+          (String.concat ", " v.view_cols)
+          (Sql_printer.query_to_string v.query))
+    (list_objects t);
+  let triggers =
+    Hashtbl.fold (fun k trig acc -> (k, trig) :: acc) t.triggers []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (_, trig) ->
+      add "TRIGGER %s%s %s ON %s: %s\n" trig.trig_name
+        (if trig.instead_of then " INSTEAD OF" else "")
+        (match trig.event with
+        | Sql_ast.On_insert -> "INSERT"
+        | Sql_ast.On_update -> "UPDATE"
+        | Sql_ast.On_delete -> "DELETE")
+        trig.target
+        (String.concat "; " (List.map Sql_printer.statement_to_string trig.body)))
+    triggers;
+  let seqs =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.sequences []
+    |> List.sort compare
+  in
+  List.iter (fun (name, v) -> add "SEQUENCE %s = %d\n" name v) seqs;
+  Buffer.contents buf

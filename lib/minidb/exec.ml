@@ -1260,7 +1260,9 @@ and compile_aggregate ctx scopes sel cols produce filter =
           List.fold_left
             (fun acc v -> if Value.compare_exn v acc > 0 then v else acc)
             v0 rest
-        | _ -> assert false)
+        | _ ->
+          error "aggregate %s: unsupported arguments in %s" name
+            (Sql_printer.expr_to_string e))
       | Binop (op, a, b) -> (
         match op with
         | And | Or ->
@@ -1270,7 +1272,8 @@ and compile_aggregate ctx scopes sel cols produce filter =
         | Eq | Neq | Lt | Le | Gt | Ge -> comparison_binop op (eval a) (eval b))
       | Unop (Neg, a) -> numeric_binop Sub (Value.Int 0) (eval a)
       | _ when has_aggregate e ->
-        error "unsupported aggregate expression shape"
+        error "unsupported aggregate expression shape in %s"
+          (Sql_printer.expr_to_string e)
       | _ -> (compile_expr ctx scopes e) rep_env
     in
     eval e
@@ -1398,6 +1401,7 @@ let rec exec_statement db ?(params = no_params) stmt : result =
   let top_level = db.Db.trigger_depth = 0 in
   let mark = db.Db.undo in
   db.Db.statements_executed <- db.Db.statements_executed + 1;
+  Db.tick_failpoint db;
   let run () =
     match stmt with
     | Query q -> Rows (relation_of_query db params q)
@@ -1428,7 +1432,7 @@ let rec exec_statement db ?(params = no_params) stmt : result =
       Db.drop_view db ~name ~if_exists;
       Done
     | Create_index { name = _; table; column } ->
-      Table.add_index (Db.find_table db table) column;
+      Db.logged_add_index db (Db.find_table db table) column;
       Done
     | Create_trigger { name; event; table; instead_of; body } ->
       Db.create_trigger db ~name ~event ~target:table ~instead_of ~body;

@@ -72,6 +72,11 @@ let add_index t column =
     Hashtbl.replace t.indexes key idx
   end
 
+(** Remove a secondary index again (transaction rollback of an index
+    creation; the primary-key index is never removed this way because index
+    creations are only logged when the index did not exist). *)
+let remove_index t column = Hashtbl.remove t.indexes (String.lowercase_ascii column)
+
 let indexed_column t column =
   Hashtbl.find_opt t.indexes (String.lowercase_ascii column)
 

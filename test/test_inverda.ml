@@ -44,6 +44,11 @@ let setup_full () =
 
 let sorted rows = List.sort compare rows
 
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let check_rows msg expected actual =
   Alcotest.(check (list (list string)))
     msg (sorted expected)
@@ -378,7 +383,9 @@ let test_invalid_materialization_rejected () =
 let test_unknown_version_errors () =
   let t = setup_full () in
   (match I.materialize t [ "NoSuch" ] with
-  | exception Inverda.Genealogy.Catalog_error _ -> ()
+  | exception Inverda.Migration.Migration_error msg ->
+    (* the full target string must appear in the report *)
+    Alcotest.(check bool) "target named" true (contains msg "NoSuch")
   | () -> Alcotest.fail "unknown version accepted");
   match I.evolve t "CREATE SCHEMA VERSION X FROM NoSuch WITH CREATE TABLE t(a);" with
   | exception Inverda.Genealogy.Catalog_error _ -> ()

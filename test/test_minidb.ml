@@ -317,6 +317,62 @@ let test_transactions () =
   Alcotest.(check int) "committed" 3
     (Engine.query_int db "SELECT COUNT(*) FROM task")
 
+let test_ddl_rollback () =
+  (* the undo log covers DDL: a rolled-back transaction restores dropped
+     tables with their rows, removes created objects, and the dump is
+     byte-identical *)
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "CREATE VIEW urgent AS SELECT p, author FROM task WHERE prio = 1");
+  let pre = Database.dump db in
+  ignore (Engine.exec db "BEGIN");
+  ignore (Engine.exec db "CREATE TABLE extra (a INTEGER PRIMARY KEY, b TEXT)");
+  ignore (Engine.exec db "INSERT INTO extra (a, b) VALUES (1, 'x')");
+  ignore (Engine.exec db "CREATE INDEX i_prio ON task (prio)");
+  ignore (Engine.exec db "DELETE FROM task WHERE p = 2");
+  ignore (Engine.exec db "DROP VIEW urgent");
+  ignore (Engine.exec db "DROP TABLE task");
+  Alcotest.(check bool) "task gone inside txn" true
+    (match Engine.query_int db "SELECT COUNT(*) FROM task" with
+    | exception _ -> true
+    | _ -> false);
+  ignore (Engine.exec db "ROLLBACK");
+  Alcotest.(check string) "dump restored" pre (Database.dump db);
+  Alcotest.(check int) "rows restored" 4
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+let test_ddl_rollback_triggers () =
+  let db = fresh_tasky () in
+  ignore (Engine.exec db "CREATE VIEW urgent AS SELECT p, author, task FROM task WHERE prio = 1");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER urgent_ins INSTEAD OF INSERT ON urgent FOR EACH ROW BEGIN \
+        INSERT INTO task (p, author, task, prio) VALUES (NEW.p, NEW.author, NEW.task, 1); END");
+  let pre = Database.dump db in
+  ignore (Engine.exec db "BEGIN");
+  ignore (Engine.exec db "DROP TRIGGER urgent_ins");
+  ignore
+    (Engine.exec db
+       "CREATE TRIGGER urgent_del INSTEAD OF DELETE ON urgent FOR EACH ROW BEGIN \
+        DELETE FROM task WHERE p = OLD.p; END");
+  ignore (Engine.exec db "ROLLBACK");
+  Alcotest.(check string) "trigger catalog restored" pre (Database.dump db);
+  (* the restored INSTEAD OF trigger is live again *)
+  ignore (Engine.exec db "INSERT INTO urgent (p, author, task) VALUES (9, 'Zoe', 'New')");
+  Alcotest.(check int) "restored trigger fired" 5
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
+let test_failpoint () =
+  let db = fresh_tasky () in
+  Database.set_failpoint db 2;
+  ignore (Engine.exec db "DELETE FROM task WHERE p = 1");
+  (match Engine.exec db "DELETE FROM task WHERE p = 2" with
+  | exception Database.Injected_fault _ -> ()
+  | _ -> Alcotest.fail "expected injected fault");
+  (* the failpoint disarms itself when it fires *)
+  ignore (Engine.exec db "DELETE FROM task WHERE p = 3");
+  Alcotest.(check int) "only the faulted statement was lost" 2
+    (Engine.query_int db "SELECT COUNT(*) FROM task")
+
 (* --- views and triggers ------------------------------------------------------ *)
 
 let test_view_read () =
@@ -745,6 +801,9 @@ let () =
           tc "pk violation" test_pk_violation;
           tc "statement atomicity" test_multi_row_insert_atomicity;
           tc "transactions" test_transactions;
+          tc "ddl rollback" test_ddl_rollback;
+          tc "ddl rollback triggers" test_ddl_rollback_triggers;
+          tc "failpoint" test_failpoint;
         ] );
       ( "planner",
         [
