@@ -33,7 +33,7 @@ let run only full bechamel smoke json =
     else if smoke then Experiments.smoke_scale
     else Experiments.default_scale
   in
-  if json then Experiments.json_baseline scale "BENCH_PR2.json"
+  if json then Experiments.json_baseline scale "BENCH_PR4.json"
   else
   let selected =
     match only with
@@ -75,10 +75,10 @@ let smoke =
 
 let json =
   let doc =
-    "Write the machine-readable per-experiment baseline to BENCH_PR2.json \
-     (repeated reads at version distance 0 and >= 2 with the view cache on \
-     and off, write and migration costs) instead of running the figure \
-     harness."
+    "Write the machine-readable per-experiment baseline to BENCH_PR4.json \
+     (repeated reads at version distance 0 and >= 2 across the \
+     flatten-on/off and cache-on/off quadrants, write and migration costs) \
+     instead of running the figure harness."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 

@@ -117,9 +117,10 @@ let repl t =
     let rest = String.trim (Buffer.contents buf) in
     if rest <> "" then execute t rest
 
-let run demo no_cache =
+let run demo no_cache no_flatten =
   let t = I.create () in
   if no_cache then I.set_cache t false;
+  if no_flatten then I.set_flatten t false;
   if demo then begin
     I.evolve t Scenarios.Tasky.bidel_initial;
     Scenarios.Tasky.load_tasks t 20;
@@ -138,12 +139,21 @@ let read_script path =
   else In_channel.with_open_text path In_channel.input_all
 
 (* Replay the script on a scratch instance and collect the deeper layers'
-   diagnostics: rule-set safety for every instantiated SMO, plus the
-   typechecked delta code of the final state. *)
+   diagnostics: rule-set safety for every instantiated SMO, the typechecked
+   delta code of the final state, and a warning for every relation whose
+   flattening fell back to the layered view stack. *)
 let deep_diagnostics src =
   let t = I.create ~strict:false () in
   match I.evolve t src with
-  | () -> I.rule_diagnostics t @ I.delta_diagnostics t
+  | () ->
+    let fallbacks =
+      List.map
+        (fun (rel, why) ->
+          Analysis.Diagnostic.warning "IVD011"
+            "delta code for %s not flattened (layered fallback): %s" rel why)
+        (I.flatten_fallbacks t)
+    in
+    I.rule_diagnostics t @ I.delta_diagnostics t @ fallbacks
   | exception e ->
     [
       Analysis.Diagnostic.error "IVD000" "script replay failed: %s"
@@ -264,6 +274,32 @@ let faults_run smoke stride =
     Fmt.epr "FAULT SWEEP FAILED: %s@." msg;
     1
 
+(* --- the flatten-coherence command ------------------------------------------- *)
+
+let flatten_run smoke =
+  let module FC = Scenarios.Flatten_check in
+  let started = Unix.gettimeofday () in
+  let pr scenario (r : FC.report) =
+    Fmt.pr
+      "%s: %d materializations, %d views each — flattened and layered agree \
+       (%d flat relations, %d fallbacks)@."
+      scenario r.FC.checkpoints r.FC.views r.FC.flat_views r.FC.fallbacks
+  in
+  try
+    pr "TasKy" (FC.check_tasky ~tasks:(if smoke then 25 else 120) ());
+    pr "Wikimedia"
+      (FC.check_wikimedia
+         ~versions:(if smoke then 6 else 12)
+         ~pages:(if smoke then 8 else 30)
+         ~links:(if smoke then 12 else 60)
+         ());
+    Fmt.pr "flatten coherence passed in %.1fs@."
+      (Unix.gettimeofday () -. started);
+    0
+  with FC.Coherence_failure msg ->
+    Fmt.epr "FLATTEN COHERENCE FAILED: %s@." msg;
+    1
+
 open Cmdliner
 
 let demo =
@@ -277,7 +313,14 @@ let no_cache =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-let shell_term = Term.(const run $ demo $ no_cache)
+let no_flatten =
+  let doc =
+    "Disable the delta-code flattening pass (every derived view is the \
+     layered one-hop stack regardless of genealogy distance)."
+  in
+  Arg.(value & flag & info [ "no-flatten" ] ~doc)
+
+let shell_term = Term.(const run $ demo $ no_cache $ no_flatten)
 
 let shell_cmd =
   let doc = "Interactive shell (the default command)" in
@@ -383,9 +426,33 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc ~man) Term.(const faults_run $ smoke $ stride)
 
+let flatten_coherence_cmd =
+  let smoke =
+    let doc = "Smaller genealogies and data sets, for CI smoke checks." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc = "Check flattened against layered delta code" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Builds the TasKy genealogy (swept through all five valid \
+         materializations) and a Wikimedia-style genealogy (migrated to a \
+         middle and the newest version) and, at every checkpoint, toggles \
+         the flattening pass: every version view must answer identically \
+         with flattened (path-composed, single-hop) and layered (one view \
+         per SMO) delta code, and the engine state outside the view \
+         definitions must be byte-identical. Exits non-zero on the first \
+         divergence.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "flatten-coherence" ~doc ~man)
+    Term.(const flatten_run $ smoke)
+
 let cmd =
   let doc = "Co-existing schema versions: shell and static analyzer" in
   Cmd.group ~default:shell_term (Cmd.info "inverda" ~doc)
-    [ shell_cmd; lint_cmd; materialize_cmd; faults_cmd ]
+    [ shell_cmd; lint_cmd; materialize_cmd; faults_cmd; flatten_coherence_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -11,4 +11,6 @@ dune build @lint
 dune exec bench/main.exe -- --only table2 --smoke
 # migration atomicity: strided fault-injection sweep at small scale
 dune exec bin/inverda_cli.exe -- faults --smoke
+# flattened vs layered delta code must answer identically everywhere
+dune exec bin/inverda_cli.exe -- flatten-coherence --smoke
 echo "check.sh: all green"

@@ -75,6 +75,40 @@ let freshen_rule r =
   in
   subst_rule s r
 
+(** Rename every variable of each rule to ["$0"], ["$1"], ... in order of
+    first occurrence (head, then body). Unfolding freshens variables off a
+    global counter, so a recomposed rule set would otherwise differ textually
+    between regenerations; canonical names make the emitted SQL — and hence
+    {!Minidb.Database.dump} — deterministic. ["$"] never occurs in source
+    column names or freshened variants thereof, so the renaming is injective
+    per rule. *)
+let canonicalize_rule r =
+  (* [subst_rule] chases bindings transitively, so a source variable that is
+     itself a ["$i"] name (an already-canonical rule) could capture; escape
+     such names out of the way first *)
+  let escaped v = String.length v > 0 && v.[0] = '$' in
+  let r =
+    match List.filter escaped (rule_vars r) with
+    | [] -> r
+    | vs -> subst_rule (List.map (fun v -> (v, Var ("`" ^ v))) vs) r
+  in
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  List.iter note (atom_vars r.head);
+  List.iter (fun l -> List.iter note (literal_vars l)) r.body;
+  let s =
+    List.rev !order |> List.mapi (fun i v -> (v, Var (Fmt.str "$%d" i)))
+  in
+  subst_rule s r
+
+let canonicalize_rules rules = List.map canonicalize_rule rules
+
 (* --- condition normalization -------------------------------------------------- *)
 
 (* the closed-world negation wrapper used by the SMO templates *)
@@ -688,11 +722,16 @@ let simplify ?(empty = []) rules =
 
 (** Full composition: unfold [outer]'s positive and negative references to
     [inner]'s head predicates, then simplify. [empty] lists predicates known
-    to hold no tuples. *)
-let compose ?(empty = []) ~inner outer =
+    to hold no tuples. [derived] overrides which predicates the inner rule
+    set is responsible for: a predicate listed there but derived by no rule
+    (an auxiliary with no surviving definition, say) unfolds as empty instead
+    of surviving as a dangling reference. *)
+let compose ?(empty = []) ?derived ~inner outer =
   (* a predicate the inner rule set is responsible for but (after removing
      rules over empty relations) no longer derives is itself empty *)
-  let derived = head_preds inner in
+  let derived =
+    match derived with Some ds -> ds | None -> head_preds inner
+  in
   let inner = apply_empty ~empty inner |> List.filter_map simplify_rule in
   outer
   |> unfold_positive ~derived ~defs:inner

@@ -12,6 +12,13 @@ val subst_rule : subst -> Ast.rule -> Ast.rule
 val freshen_rule : Ast.rule -> Ast.rule
 (** Rename every variable to a globally fresh one. *)
 
+val canonicalize_rules : Ast.rule list -> Ast.rule list
+(** Rename every variable of each rule to ["$0"], ["$1"], ... in order of
+    first occurrence (head, then body). Composition freshens variables off a
+    global counter; canonical names make a recomposed rule set — and hence
+    the SQL emitted from it — deterministic across regenerations.
+    Idempotent. *)
+
 val neg_cond : Minidb.Sql_ast.expr -> Minidb.Sql_ast.expr
 (** Closed-world negation of a condition; involutive on the wrapper form. *)
 
@@ -49,10 +56,18 @@ val simplify : ?empty:string list -> Ast.rule list -> Ast.rule list
     Lemma 3), subsumption and deduplication. *)
 
 val compose :
-  ?empty:string list -> inner:Ast.rule list -> Ast.rule list -> Ast.rule list
+  ?empty:string list ->
+  ?derived:string list ->
+  inner:Ast.rule list ->
+  Ast.rule list ->
+  Ast.rule list
 (** Unfold the outer rule set's references to the inner rule set's head
     predicates (Lemma 1 in both polarities), then {!simplify} — the
-    [gamma . gamma] composition of the paper's proofs. *)
+    [gamma . gamma] composition of the paper's proofs. [derived] overrides
+    the set of predicates the inner rules are responsible for: a listed
+    predicate with no deriving rule unfolds as empty rather than remaining a
+    dangling reference (auxiliary relations whose definitions simplified
+    away). *)
 
 (** {1 Identity checks} *)
 

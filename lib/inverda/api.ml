@@ -36,6 +36,20 @@ let set_cache t b = Db.set_view_cache t.db b
 (** (hits, misses) of the view-result cache since creation. *)
 let cache_stats t = Db.cache_stats t.db
 
+(** Toggle the delta-code flattening pass (enabled by default) and
+    regenerate: with it off, every derived view is the layered one-hop stack
+    regardless of genealogy distance. *)
+let set_flatten t b =
+  if t.gen.G.flatten_enabled <> b then begin
+    t.gen.G.flatten_enabled <- b;
+    Codegen.regenerate t.db t.gen
+  end
+
+(** [(relation, reason)] for every path whose composed rule set failed the
+    flattening gates (the layered fallback fired); empty when everything at
+    distance >= 2 flattened. *)
+let flatten_fallbacks t = Flatten.fallbacks t.gen
+
 let database t = t.db
 
 let genealogy t = t.gen

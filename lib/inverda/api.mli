@@ -39,6 +39,17 @@ val set_cache : t -> bool -> unit
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the view-result cache since creation. *)
 
+val set_flatten : t -> bool -> unit
+(** Toggle the delta-code flattening pass ({!Flatten}, enabled by default)
+    and regenerate the delta code: with it off, every derived view is the
+    layered one-hop stack regardless of genealogy distance. *)
+
+val flatten_fallbacks : t -> (string * string) list
+(** [(relation, reason)] for every genealogy path whose composed rule set
+    failed a flattening gate — impure function, blow-up, safety error — so
+    the layered fallback fired. Empty when everything at distance >= 2
+    flattened. *)
+
 val database : t -> Minidb.Database.t
 (** The underlying relational engine (for direct SQL access). *)
 

@@ -423,7 +423,24 @@ let adjacent_smos v =
 
 
 
-let generate_tv emit (gen : G.t) lookup rename v =
+(* The read-side view for a derived relation: the flattened (path-composed)
+   single-hop rules when the flattening pass succeeded for [name], the
+   layered one-hop [rules] otherwise. Flattened branches lose the write
+   path's mutual-exclusivity invariant, so they combine with deduplicating
+   UNION unless the flattener proved the branches pairwise disjoint. *)
+let emit_rules_view emit lookup rename ~flat ~name rules =
+  let query =
+    match flat name with
+    | G.F_flat (composed, disjoint) ->
+      Rule_sql.query_of_rules ~union_all:disjoint lookup ~pred:name composed
+    | G.F_physical | G.F_single | G.F_fallback _ ->
+      Rule_sql.query_of_rules lookup ~pred:name rules
+  in
+  emit
+    (Sql.Create_view
+       { name; or_replace = true; query = rewrite_query rename query })
+
+let generate_tv emit (gen : G.t) lookup rename flat v =
   let name = G.tv_name v in
   (* the read side *)
   (match G.access_case gen v with
@@ -431,26 +448,10 @@ let generate_tv emit (gen : G.t) lookup rename v =
     star_view emit name (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table)
   | G.Forwards o ->
     let si = G.smo gen o in
-    emit
-      (Sql.Create_view
-         {
-           name;
-           or_replace = true;
-           query =
-             rewrite_query rename
-               (Rule_sql.query_of_rules lookup ~pred:name si.G.si_inst.S.gamma_src);
-         })
+    emit_rules_view emit lookup rename ~flat ~name si.G.si_inst.S.gamma_src
   | G.Backwards i ->
     let si = G.smo gen i in
-    emit
-      (Sql.Create_view
-         {
-           name;
-           or_replace = true;
-           query =
-             rewrite_query rename
-               (Rule_sql.query_of_rules lookup ~pred:name si.G.si_inst.S.gamma_tgt);
-         }));
+    emit_rules_view emit lookup rename ~flat ~name si.G.si_inst.S.gamma_tgt);
   (* the write side *)
   let body ?arrived_via op =
     List.map (rewrite_statement_reads rename) (tv_trigger_body gen v ?arrived_via op)
@@ -478,7 +479,7 @@ let generate_tv emit (gen : G.t) lookup rename v =
     (adjacent_smos v)
 
 (** Derived views for the auxiliaries that are not physical right now. *)
-let generate_aux_views emit (gen : G.t) lookup rename =
+let generate_aux_views emit (gen : G.t) lookup rename flat =
   List.iter
     (fun (si : G.smo_instance) ->
       let i = si.G.si_inst in
@@ -488,15 +489,7 @@ let generate_aux_views emit (gen : G.t) lookup rename =
       in
       List.iter
         (fun (r : S.rel) ->
-          emit
-            (Sql.Create_view
-               {
-                 name = r.S.rel_name;
-                 or_replace = true;
-                 query =
-                   rewrite_query rename
-                     (Rule_sql.query_of_rules lookup ~pred:r.S.rel_name rules);
-               }))
+          emit_rules_view emit lookup rename ~flat ~name:r.S.rel_name rules)
         derived)
     (G.all_smos gen)
 
@@ -553,8 +546,14 @@ let delta_statements (gen : G.t) : Sql.statement list =
   List.iter emit (physical_statements gen);
   let lookup = schema_lookup gen in
   let rename = physical_rename gen in
-  generate_aux_views emit gen lookup rename;
-  List.iter (generate_tv emit gen lookup rename) (G.all_table_versions gen);
+  let flat =
+    if gen.G.flatten_enabled then Flatten.plan gen
+    else fun (_ : string) -> G.F_physical
+  in
+  generate_aux_views emit gen lookup rename flat;
+  List.iter
+    (generate_tv emit gen lookup rename flat)
+    (G.all_table_versions gen);
   generate_version_views emit gen;
   List.rev !acc
 

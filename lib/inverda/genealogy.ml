@@ -33,11 +33,37 @@ type schema_version = {
   mutable sv_tables : (string * int) list;  (** logical name -> tv id *)
 }
 
+(** Outcome of the delta-code flattening pass for one generated relation,
+    cached here per (path, materialization) — see {!Flatten}. *)
+type flatten_outcome =
+  | F_physical  (** a data table backs it; nothing to flatten *)
+  | F_single  (** already single-hop: the layered body reads physical tables *)
+  | F_flat of Datalog.Ast.rule list * bool
+      (** path-composed, simplified, canonical single-hop rules; the flag is
+          true when the rules are provably pairwise disjoint, so the emitted
+          view may use UNION ALL instead of deduplicating UNION *)
+  | F_fallback of string  (** why the layered stack is kept (for lint) *)
+
+type flatten_entry = {
+  fe_smos : (int * bool) list;
+      (** materialization flags of every SMO the composition traversed, as
+          seen at compute time *)
+  fe_tvs : (int * int option * int list) list;
+      (** adjacency ([tv_in], [tv_out]) of every table version traversed —
+          guards against DDL growing the genealogy under a cached path *)
+  fe_outcome : flatten_outcome;
+}
+
 type t = {
   mutable next_id : int;
   table_versions : (int, table_version) Hashtbl.t;
   smos : (int, smo_instance) Hashtbl.t;
   mutable versions : schema_version list;  (** in creation order *)
+  mutable flatten_enabled : bool;
+      (** emit flattened views where the pass succeeds (default true) *)
+  flatten_cache : (string, flatten_entry) Hashtbl.t;
+      (** relation name -> cached flattening; entries self-invalidate when
+          their recorded dependencies no longer match the catalog *)
 }
 
 exception Catalog_error of string
@@ -50,6 +76,8 @@ let create () =
     table_versions = Hashtbl.create 32;
     smos = Hashtbl.create 32;
     versions = [];
+    flatten_enabled = true;
+    flatten_cache = Hashtbl.create 32;
   }
 
 let fresh_id t =
@@ -109,6 +137,39 @@ let access_case t v =
     match v.tv_in with
     | None -> Local
     | Some i -> if (smo t i).si_materialized then Local else Backwards i)
+
+(* --- the flatten cache ------------------------------------------------------ *)
+
+(* An entry stays valid while every SMO its composition traversed still has
+   the recorded materialization flag and every traversed table version still
+   has the recorded adjacency. MATERIALIZE and DDL therefore only force the
+   affected paths to recompose; after a rolled-back migration restores the
+   flags, the pre-migration entries validate again and regeneration emits
+   byte-identical view SQL. *)
+let flatten_entry_valid t e =
+  List.for_all
+    (fun (id, m) ->
+      match Hashtbl.find_opt t.smos id with
+      | Some s -> s.si_materialized = m
+      | None -> false)
+    e.fe_smos
+  && List.for_all
+       (fun (id, tin, tout) ->
+         match Hashtbl.find_opt t.table_versions id with
+         | Some v -> v.tv_in = tin && v.tv_out = tout
+         | None -> false)
+       e.fe_tvs
+
+let flatten_cache_find t name =
+  match Hashtbl.find_opt t.flatten_cache name with
+  | Some e when flatten_entry_valid t e -> Some e
+  | Some _ ->
+    Hashtbl.remove t.flatten_cache name;
+    None
+  | None -> None
+
+let flatten_cache_store t name entry =
+  Hashtbl.replace t.flatten_cache name entry
 
 (* --- evolution ------------------------------------------------------------- *)
 

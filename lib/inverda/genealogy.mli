@@ -31,11 +31,34 @@ type schema_version = {
   mutable sv_tables : (string * int) list;  (** logical name -> tv id *)
 }
 
+(** Outcome of the delta-code flattening pass ({!Flatten}) for one generated
+    relation, cached here per (path, materialization). *)
+type flatten_outcome =
+  | F_physical  (** a data table backs it; nothing to flatten *)
+  | F_single  (** already single-hop: the layered body reads physical tables *)
+  | F_flat of Datalog.Ast.rule list * bool
+      (** path-composed, simplified, canonical single-hop rules; the flag is
+          true when the rules are provably pairwise disjoint, so the emitted
+          view may use UNION ALL instead of deduplicating UNION *)
+  | F_fallback of string  (** why the layered stack is kept (for lint) *)
+
+type flatten_entry = {
+  fe_smos : (int * bool) list;
+      (** materialization flags of every SMO the composition traversed *)
+  fe_tvs : (int * int option * int list) list;
+      (** adjacency of every table version traversed *)
+  fe_outcome : flatten_outcome;
+}
+
 type t = {
   mutable next_id : int;
   table_versions : (int, table_version) Hashtbl.t;
   smos : (int, smo_instance) Hashtbl.t;
   mutable versions : schema_version list;  (** in creation order *)
+  mutable flatten_enabled : bool;
+      (** emit flattened views where the pass succeeds (default true) *)
+  flatten_cache : (string, flatten_entry) Hashtbl.t;
+      (** relation name -> cached flattening *)
 }
 
 exception Catalog_error of string
@@ -129,3 +152,13 @@ val enumerate_materializations : t -> int list list
 
 val physical_tables_for : t -> int list -> table_version list
 (** The physical table schema a materialization implies. *)
+
+(** {1 The flatten cache} *)
+
+val flatten_cache_find : t -> string -> flatten_entry option
+(** Cached flattening entry for a relation name, provided every SMO flag
+    and every table-version adjacency its composition traversed is
+    unchanged; stale entries are dropped. MATERIALIZE and DDL therefore only
+    force the affected paths to recompose. *)
+
+val flatten_cache_store : t -> string -> flatten_entry -> unit

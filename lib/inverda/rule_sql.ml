@@ -180,7 +180,8 @@ let select_of_rule (lookup : schema_lookup) ~head_cols (r : D.rule) : Sql.select
 (** A query computing the head predicate [pred] from its rules: the UNION of
     the per-rule selects (set semantics), or an empty-relation select when no
     rule derives it. *)
-let query_of_rules (lookup : schema_lookup) ~pred (rules : D.t) : Sql.query =
+let query_of_rules ?(union_all = true) (lookup : schema_lookup) ~pred
+    (rules : D.t) : Sql.query =
   let head_cols = lookup pred in
   let mine = List.filter (fun r -> r.D.head.D.pred = pred) rules in
   match mine with
@@ -198,14 +199,18 @@ let query_of_rules (lookup : schema_lookup) ~pred (rules : D.t) : Sql.query =
         having = None;
       }
   | first :: rest ->
-    (* the write-path maintenance keeps the per-head rule bodies mutually
-       exclusive (e.g. R* is cleared whenever cR holds again), so branches
-       combine with UNION ALL; branches that may self-duplicate carry their
-       own DISTINCT from select_of_rule *)
+    (* the write-path maintenance keeps the per-head rule bodies of a single
+       SMO mutually exclusive (e.g. R* is cleared whenever cR holds again),
+       so by default branches combine with UNION ALL; branches that may
+       self-duplicate carry their own DISTINCT from select_of_rule.
+       Path-composed (flattened) rule sets lose that invariant — negative
+       unfolding produces alternatives that can overlap — so flattened views
+       pass [~union_all:false] for set semantics across branches. *)
     let body =
       List.fold_left
         (fun acc r ->
-          Sql.Union (acc, Sql.Select (select_of_rule lookup ~head_cols r), true))
+          Sql.Union
+            (acc, Sql.Select (select_of_rule lookup ~head_cols r), union_all))
         (Sql.Select (select_of_rule lookup ~head_cols first))
         rest
     in

@@ -24,6 +24,13 @@ val select_of_rule :
   Minidb.Sql_ast.select
 
 val query_of_rules :
-  schema_lookup -> pred:string -> Datalog.Ast.t -> Minidb.Sql_ast.query
+  ?union_all:bool ->
+  schema_lookup ->
+  pred:string ->
+  Datalog.Ast.t ->
+  Minidb.Sql_ast.query
 (** The query computing [pred] from its rules; an empty-relation select when
-    no rule derives it. *)
+    no rule derives it. [union_all] (default [true]) relies on the write
+    path keeping the per-head branches mutually exclusive; flattened
+    (path-composed) rule sets pass [false], since composition does not
+    preserve that invariant. *)

@@ -16,6 +16,16 @@ type cached_view = {
   cv_deps : (Table.t * int) list;  (** base table, epoch when computed *)
 }
 
+(** A view's physical-base closure. The table handles are resolved from the
+    names once, on first use, so the per-evaluation cache bookkeeping is a
+    few integer reads instead of catalog lookups; any catalog change resets
+    the whole registry ({!flush_view_metadata}), so a resolved handle can
+    never go stale. *)
+type base_closure = {
+  bc_names : string list;  (** lowercase physical base names *)
+  mutable bc_tables : Table.t list option;  (** lazily resolved handles *)
+}
+
 type trigger = {
   trig_name : string;
   event : Sql_ast.trigger_event;
@@ -62,10 +72,10 @@ type t = {
           benchmarks only *)
   view_cache : (string, cached_view) Hashtbl.t;
       (** cross-statement view results, keyed by lowercase view name *)
-  view_bases : (string, string list option) Hashtbl.t;
-      (** physical-base closure per view (lowercase names); [None] marks a
-          view as uncacheable (e.g. an impure function in its body).
-          Registered by the delta-code generator or memoized on demand. *)
+  view_bases : (string, base_closure option) Hashtbl.t;
+      (** physical-base closure per view; [None] marks a view as uncacheable
+          (e.g. an impure function in its body). Registered by the
+          delta-code generator or memoized on demand. *)
   pure_functions : (string, unit) Hashtbl.t;
       (** registered functions that are safe to re-evaluate from a cache
           (deterministic, no observable side effects) *)
@@ -148,12 +158,16 @@ let set_view_cache t enabled =
 (** Declare the stored tables a view's result depends on (transitively).
     A registration overrides the generic query-walk memoization. *)
 let register_view_bases t name bases =
-  Hashtbl.replace t.view_bases (key name) (Some (List.map key bases))
+  Hashtbl.replace t.view_bases (key name)
+    (Some { bc_names = List.map key bases; bc_tables = None })
 
 (** Declare a view never safe to serve from the cache. *)
 let mark_view_uncacheable t name = Hashtbl.replace t.view_bases (key name) None
 
-let view_bases_opt t name = Hashtbl.find_opt t.view_bases (key name)
+let view_bases_opt t name =
+  Option.map
+    (Option.map (fun bc -> bc.bc_names))
+    (Hashtbl.find_opt t.view_bases (key name))
 
 (** Cached result for [name], provided every base table is unchanged. *)
 let cache_lookup t name =
@@ -191,6 +205,36 @@ let find_table_opt t name =
 
 let find_view_opt t name =
   match find_object t name with Some (Obj_view v) -> Some v | _ -> None
+
+(** Epoch-pinned dependencies of a registered view: [None] = no closure
+    registered yet, [Some None] = uncacheable, [Some (Some deps)] = every
+    base table with its current epoch. Table handles are resolved once per
+    registration and reused, so the steady-state cost per evaluation is one
+    integer read per base. *)
+let view_deps t name =
+  match Hashtbl.find_opt t.view_bases (key name) with
+  | None -> None
+  | Some None -> Some None
+  | Some (Some bc) ->
+    let tables =
+      match bc.bc_tables with
+      | Some tbls -> Some tbls
+      | None ->
+        let rec resolve acc = function
+          | [] -> Some (List.rev acc)
+          | n :: rest -> (
+            match find_table_opt t n with
+            | Some tbl -> resolve (tbl :: acc) rest
+            | None -> None)
+        in
+        let r = resolve [] bc.bc_names in
+        (match r with Some _ -> bc.bc_tables <- r | None -> ());
+        r
+    in
+    (match tables with
+    | None -> Some None  (* dangling base: treat as uncacheable this time *)
+    | Some tbls ->
+      Some (Some (List.map (fun tbl -> (tbl, tbl.Table.epoch)) tbls)))
 
 let object_exists t name = Hashtbl.mem t.objects (key name)
 

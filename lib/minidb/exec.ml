@@ -264,6 +264,152 @@ let rec conjuncts = function
   | Binop (And, a, b) -> conjuncts a @ conjuncts b
   | e -> [ e ]
 
+let rec subquery_free = function
+  | Col _ | Const _ | Param _ -> true
+  | Unop (_, a) | Is_null (a, _) -> subquery_free a
+  | Binop (_, a, b) -> subquery_free a && subquery_free b
+  | Fun (_, args) -> List.for_all subquery_free args
+  | Case (arms, d) ->
+    List.for_all (fun (c, v) -> subquery_free c && subquery_free v) arms
+    && (match d with Some x -> subquery_free x | None -> true)
+  | In_list (a, items, _) ->
+    subquery_free a && List.for_all subquery_free items
+  | Exists _ | In_query _ | Scalar _ -> false
+
+(* Row-direct mirror of {!compile_expr} for subquery-free expressions: the
+   outer [env -> _] stage resolves everything row-independent (parameters,
+   outer-scope columns) once per evaluation, and the inner stage reads the
+   candidate row directly — no per-row environment allocation in filter and
+   residual loops. Shares the value helpers with [compile_expr], so the
+   three-valued semantics are identical. [None] when the expression needs
+   per-row environments (subqueries, scalar functions). *)
+let rec compile_row_expr scopes e : (env -> Value.t array -> Value.t) option =
+  let open Option in
+  match e with
+  | Const v -> Some (fun _ _ -> v)
+  | Col (q, n) -> (
+    match resolve_column scopes q n with
+    | 0, pos -> Some (fun _ row -> row.(pos))
+    | depth, pos ->
+      Some
+        (fun env ->
+          let outer = (List.nth env.rows (depth - 1)).(pos) in
+          fun _ -> outer)
+    | exception Exec_error _ -> None)
+  | Param p ->
+    Some
+      (fun env ->
+        match Hashtbl.find_opt env.params p with
+        | Some v -> fun _ -> v
+        | None -> error "unbound trigger parameter %s" p)
+  | Unop (Not, a) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        Some
+          (fun env ->
+            let fa = fa env in
+            fun row -> of_bool3 (Option.map not (bool3 (fa row)))))
+  | Unop (Neg, a) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        Some
+          (fun env ->
+            let fa = fa env in
+            fun row ->
+              match fa row with
+              | Value.Null -> Value.Null
+              | Value.Int i -> Value.Int (-i)
+              | Value.Real f -> Value.Real (-.f)
+              | v -> error "cannot negate %s" (Value.describe v)))
+  | Is_null (a, negated) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        Some
+          (fun env ->
+            let fa = fa env in
+            fun row ->
+              let isnull = Value.is_null (fa row) in
+              Value.Bool (if negated then not isnull else isnull)))
+  | Binop (And, a, b) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        bind (compile_row_expr scopes b) (fun fb ->
+            Some
+              (fun env ->
+                let fa = fa env and fb = fb env in
+                fun row ->
+                  match bool3 (fa row) with
+                  | Some false -> Value.Bool false
+                  | Some true -> of_bool3 (bool3 (fb row))
+                  | None -> (
+                    match bool3 (fb row) with
+                    | Some false -> Value.Bool false
+                    | _ -> Value.Null))))
+  | Binop (Or, a, b) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        bind (compile_row_expr scopes b) (fun fb ->
+            Some
+              (fun env ->
+                let fa = fa env and fb = fb env in
+                fun row ->
+                  match bool3 (fa row) with
+                  | Some true -> Value.Bool true
+                  | Some false -> of_bool3 (bool3 (fb row))
+                  | None -> (
+                    match bool3 (fb row) with
+                    | Some true -> Value.Bool true
+                    | _ -> Value.Null))))
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        bind (compile_row_expr scopes b) (fun fb ->
+            Some
+              (fun env ->
+                let fa = fa env and fb = fb env in
+                fun row -> numeric_binop op (fa row) (fb row))))
+  | Binop (Concat, a, b) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        bind (compile_row_expr scopes b) (fun fb ->
+            Some
+              (fun env ->
+                let fa = fa env and fb = fb env in
+                fun row -> concat_values (fa row) (fb row))))
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        bind (compile_row_expr scopes b) (fun fb ->
+            Some
+              (fun env ->
+                let fa = fa env and fb = fb env in
+                fun row -> comparison_binop op (fa row) (fb row))))
+  | In_list (a, items, negated) ->
+    bind (compile_row_expr scopes a) (fun fa ->
+        let fitems = List.filter_map (compile_row_expr scopes) items in
+        if List.length fitems <> List.length items then None
+        else
+          Some
+            (fun env ->
+              let fa = fa env in
+              let fitems = List.map (fun f -> f env) fitems in
+              fun row ->
+                let v = fa row in
+                if Value.is_null v then Value.Null
+                else
+                  let found = ref false and saw_null = ref false in
+                  List.iter
+                    (fun f ->
+                      let w = f row in
+                      if Value.is_null w then saw_null := true
+                      else if Value.equal v w then found := true)
+                    fitems;
+                  if !found then Value.Bool (not negated)
+                  else if !saw_null then Value.Null
+                  else Value.Bool negated))
+  | Fun _ | Case _ | Exists _ | In_query _ | Scalar _ -> None
+
+(** Compile [e] as a row predicate when possible: a per-evaluation stage
+    returning a direct [row -> keep?] test. *)
+let compile_row_pred scopes e : (env -> Value.t array -> bool) option =
+  Option.map
+    (fun f env ->
+      let f = f env in
+      fun row -> bool3 (f row) = Some true)
+    (compile_row_expr scopes e)
+
 let rec compile_expr ctx scopes e : env -> Value.t =
   match e with
   | Const v -> fun _ -> v
@@ -527,18 +673,18 @@ and decorrelate ctx scopes q =
           | Some (tbl, idx) ->
             Some
               (fun env ->
-                let outer_ok =
-                  List.for_all (fun f -> bool3 (f env) = Some true) fouter
-                in
-                if not outer_ok then []
+                if Table.cardinality tbl = 0 then []
                 else
-                  match fkeys_outer with
-                  | [ f ] ->
-                    let v = f env in
-                    if Value.is_null v then []
-                    else
-                      List.filter_map (Table.find tbl) (Table.index_lookup idx v)
-                  | _ -> [])
+                  let outer_ok =
+                    List.for_all (fun f -> bool3 (f env) = Some true) fouter
+                  in
+                  if not outer_ok then []
+                  else
+                    match fkeys_outer with
+                    | [ f ] ->
+                      let v = f env in
+                      if Value.is_null v then [] else Table.index_probe tbl idx v
+                    | _ -> [])
           | None ->
           (* The memo is built lazily, once per statement (ctx). *)
           let memo :
@@ -633,27 +779,20 @@ and view_relation ctx k (v : Db.view) : relation =
     match Db.cache_lookup ctx.db k with
     | Some rel -> rel
     | None ->
-      let bases =
-        match Db.view_bases_opt ctx.db k with
-        | Some b -> b
+      (* epochs are pinned before evaluation; view bodies cannot write. The
+         registry resolves base-table handles once per registration, so the
+         steady-state bookkeeping here is one integer read per base — write
+         cascades that re-read neighbour views no longer pay catalog lookups
+         per statement. *)
+      let deps =
+        match Db.view_deps ctx.db k with
+        | Some d -> d
         | None ->
-          let b = query_bases ctx.db v.Db.query in
-          (match b with
+          (* unregistered: memoize the closure from the query body *)
+          (match query_bases ctx.db v.Db.query with
           | Some l -> Db.register_view_bases ctx.db k l
           | None -> Db.mark_view_uncacheable ctx.db k);
-          b
-      in
-      (* epochs are pinned before evaluation; view bodies cannot write *)
-      let deps =
-        match bases with
-        | None -> None
-        | Some names ->
-          List.fold_left
-            (fun acc n ->
-              match acc, Db.find_table_opt ctx.db n with
-              | Some l, Some tbl -> Some ((tbl, tbl.Table.epoch) :: l)
-              | _ -> None)
-            (Some []) names
+          (match Db.view_deps ctx.db k with Some d -> d | None -> None)
       in
       let rel = compute () in
       (match deps with
@@ -716,7 +855,14 @@ and compile_from ctx outer_scopes from :
           | e -> Right e)
         conj
     in
-    let fresidual = List.map (compile_expr ctx scopes) residual in
+    let fresidual =
+      List.map
+        (fun e ->
+          match compile_row_pred scopes e with
+          | Some p -> Either.Left p
+          | None -> Either.Right (compile_expr ctx scopes e))
+        residual
+    in
     let combine lrow rrow =
       let out = Array.make (Array.length entries) Value.Null in
       Array.blit lrow 0 out 0 nl;
@@ -724,10 +870,20 @@ and compile_from ctx outer_scopes from :
       out
     in
     let null_right = Array.make (Array.length rentries) Value.Null in
-    let residual_ok env row =
-      List.for_all
-        (fun f -> bool3 (f { env with rows = row :: env.rows }) = Some true)
-        fresidual
+    (* instantiated once per evaluation (env), then applied per row *)
+    let residual_pred env =
+      let fs =
+        List.map
+          (function
+            | Either.Left p -> p env
+            | Either.Right f ->
+              fun row -> bool3 (f { env with rows = row :: env.rows }) = Some true)
+          fresidual
+      in
+      match fs with
+      | [] -> fun _ -> true
+      | [ p ] -> p
+      | fs -> fun row -> List.for_all (fun p -> p row) fs
     in
     (* index nested-loop fast path: the right side is a stored table and one
        join key is an indexed plain column of it — probe per left row instead
@@ -756,54 +912,149 @@ and compile_from ctx outer_scopes from :
             keys)
       | From_select _ | From_join _ -> None
     in
+    (* a key expression that is a plain depth-0 column reads by position,
+       with no per-row environment allocation *)
+    let key_reader scopes_side expr : Value.t array -> env -> Value.t =
+      let fallback () =
+        let f = compile_expr ctx scopes_side expr in
+        fun row env -> f { env with rows = row :: env.rows }
+      in
+      match expr with
+      | Col (q, n) -> (
+        match resolve_column scopes_side q n with
+        | 0, p -> fun row _ -> row.(p)
+        | _ -> fallback ()
+        | exception Exec_error _ -> fallback ())
+      | _ -> fallback ()
+    in
+    let no_residual = fresidual = [] in
     (match right_index_probe with
     | Some (tbl, idx, lkey_expr) when keys <> [] ->
-      let flkey = compile_expr ctx lscopes lkey_expr in
-      (* the remaining keys plus residual verified per candidate *)
-      let flkeys = List.map (fun (a, _) -> compile_expr ctx lscopes a) keys in
-      let frkeys = List.map (fun (_, b) -> compile_expr ctx rscopes b) keys in
+      let flkey = key_reader lscopes lkey_expr in
+      (* the index buckets by structural value equality, so with a single
+         join key the probed candidates need no re-verification (matching
+         the other index plans); extra keys are verified per candidate *)
+      let verify =
+        match keys with
+        | [ _ ] -> None
+        | _ ->
+          Some
+            ( List.map (fun (a, _) -> key_reader lscopes a) keys,
+              List.map (fun (_, b) -> key_reader rscopes b) keys )
+      in
       ( entries,
         fun env ->
+          (* accumulator loop instead of [concat_map]: the common case of a
+             unique-key probe yields one candidate per left row, which conses
+             straight onto the accumulator with no per-row closure or
+             singleton list *)
           let lrows = lproduce env in
-          List.concat_map
-            (fun lrow ->
-              let lenv = { env with rows = lrow :: env.rows } in
-              let v = flkey lenv in
-              let candidates =
-                if Value.is_null v then []
-                else List.filter_map (Table.find tbl) (Table.index_lookup idx v)
-              in
-              let lkeyvals = List.map (fun f -> f lenv) flkeys in
-              let combined =
-                List.filter_map
-                  (fun rrow ->
-                    let renv = { env with rows = rrow :: env.rows } in
-                    let rkeyvals = List.map (fun f -> f renv) frkeys in
-                    let keys_ok =
-                      List.for_all2
-                        (fun a b ->
-                          (not (Value.is_null a))
-                          && (not (Value.is_null b))
-                          && Value.equal a b)
-                        lkeyvals rkeyvals
-                    in
-                    if not keys_ok then None
+          let residual_ok = residual_pred env in
+          let acc =
+            List.fold_left
+              (fun acc lrow ->
+                let v = flkey lrow env in
+                let candidates =
+                  if Value.is_null v then [] else Table.index_probe tbl idx v
+                in
+                let candidates =
+                  match verify with
+                  | None -> candidates
+                  | Some (flkeys, frkeys) ->
+                    let lkeyvals = List.map (fun f -> f lrow env) flkeys in
+                    List.filter
+                      (fun rrow ->
+                        let rkeyvals = List.map (fun f -> f rrow env) frkeys in
+                        List.for_all2
+                          (fun a b ->
+                            (not (Value.is_null a))
+                            && (not (Value.is_null b))
+                            && Value.equal a b)
+                          lkeyvals rkeyvals)
+                      candidates
+                in
+                match candidates with
+                | [] -> (
+                  match kind with
+                  | Left_outer -> combine lrow null_right :: acc
+                  | _ -> acc)
+                | [ rrow ] when no_residual -> combine lrow rrow :: acc
+                | _ -> (
+                  let combined =
+                    if no_residual then List.map (combine lrow) candidates
                     else
-                      let row = combine lrow rrow in
-                      if residual_ok env row then Some row else None)
-                  candidates
-              in
-              match kind, combined with
-              | Left_outer, [] -> [ combine lrow null_right ]
-              | _ -> combined)
-            lrows )
+                      List.filter_map
+                        (fun rrow ->
+                          let row = combine lrow rrow in
+                          if residual_ok row then Some row else None)
+                        candidates
+                  in
+                  match kind, combined with
+                  | Left_outer, [] -> combine lrow null_right :: acc
+                  | _ ->
+                    (* [rev_append] then the final [rev] preserves candidate
+                       order within the group *)
+                    List.rev_append combined acc))
+              [] lrows
+          in
+          List.rev acc )
     | _ ->
-    if keys <> [] then begin
+    (match keys with
+    | [ (la, rb) ] ->
+      (* single-key hash join: the hash keys are the values themselves, and
+         plain-column keys read by position *)
+      let flkey = key_reader lscopes la and frkey = key_reader rscopes rb in
+      ( entries,
+        fun env ->
+          let lrows = lproduce env and rrows = rproduce env in
+          let residual_ok = residual_pred env in
+          let h : (Value.t, Value.t array list) Hashtbl.t =
+            Hashtbl.create (List.length rrows)
+          in
+          List.iter
+            (fun rrow ->
+              let key = frkey rrow env in
+              if not (Value.is_null key) then
+                Hashtbl.replace h key
+                  (rrow :: Option.value (Hashtbl.find_opt h key) ~default:[]))
+            rrows;
+          let acc =
+            List.fold_left
+              (fun acc lrow ->
+                let key = flkey lrow env in
+                let matches =
+                  if Value.is_null key then []
+                  else Option.value (Hashtbl.find_opt h key) ~default:[]
+                in
+                match matches with
+                | [] -> (
+                  match kind with
+                  | Left_outer -> combine lrow null_right :: acc
+                  | _ -> acc)
+                | [ rrow ] when no_residual -> combine lrow rrow :: acc
+                | _ -> (
+                  let combined =
+                    if no_residual then List.map (combine lrow) matches
+                    else
+                      List.filter_map
+                        (fun rrow ->
+                          let row = combine lrow rrow in
+                          if residual_ok row then Some row else None)
+                        matches
+                  in
+                  match kind, combined with
+                  | Left_outer, [] -> combine lrow null_right :: acc
+                  | _ -> List.rev_append combined acc))
+              [] lrows
+          in
+          List.rev acc )
+    | _ :: _ ->
       let flkeys = List.map (fun (a, _) -> compile_expr ctx lscopes a) keys in
       let frkeys = List.map (fun (_, b) -> compile_expr ctx rscopes b) keys in
       ( entries,
         fun env ->
           let lrows = lproduce env and rrows = rproduce env in
+          let residual_ok = residual_pred env in
           let h = Hashtbl.create (List.length rrows) in
           List.iter
             (fun rrow ->
@@ -825,31 +1076,31 @@ and compile_from ctx outer_scopes from :
                 List.filter_map
                   (fun rrow ->
                     let row = combine lrow rrow in
-                    if residual_ok env row then Some row else None)
+                    if residual_ok row then Some row else None)
                   matches
               in
               match kind, combined with
               | Left_outer, [] -> [ combine lrow null_right ]
               | _ -> combined)
             lrows )
-    end
-    else
+    | [] ->
       ( entries,
         fun env ->
           let lrows = lproduce env and rrows = rproduce env in
+          let residual_ok = residual_pred env in
           List.concat_map
             (fun lrow ->
               let combined =
                 List.filter_map
                   (fun rrow ->
                     let row = combine lrow rrow in
-                    if residual_ok env row then Some row else None)
+                    if residual_ok row then Some row else None)
                   rrows
               in
               match kind, combined with
               | Left_outer, [] -> [ combine lrow null_right ]
               | _ -> combined)
-            lrows ))
+            lrows )))
 
 (* --- output column naming ------------------------------------------------- *)
 
@@ -944,6 +1195,86 @@ and compile_select ctx outer_scopes sel : env -> relation =
       { sel with from = Some (List.fold_left wrap_one f0 pins) }
     | _ -> sel
   in
+  (* second pre-pass: lift subquery-free equality conjuncts of the WHERE
+     into the ON condition of the join node where their column references
+     split sides. compile_from only hash-joins on ON-condition equalities,
+     so linking equalities written in the WHERE (view-over-view joins, the
+     bodies rule_sql emits for composed rules) would otherwise degrade to
+     nested loops. Inner joins only — ON and WHERE filtering coincide there —
+     and the original WHERE is kept, so this too is purely an
+     evaluation-order rewrite. *)
+  let sel =
+    match sel.from, sel.where with
+    | Some (From_join _ as f0), Some w when ctx.db.Db.optimizations ->
+      let rec all_inner = function
+        | From_join (l, Inner, r, _) -> all_inner l && all_inner r
+        | From_join _ -> false
+        | From_table _ | From_select _ -> true
+      in
+      if not (all_inner f0) then sel
+      else begin
+        (* scope entries of a FROM subtree, mirroring compile_from's leaves *)
+        let rec entries_of f =
+          match f with
+          | From_table (name, alias) ->
+            let cols =
+              match Db.find_object ctx.db name with
+              | Some (Db.Obj_table tbl) -> Schema.names tbl.Table.schema
+              | Some (Db.Obj_view v) -> v.Db.view_cols
+              | None -> error "no such table or view %s" name
+            in
+            let a = match alias with Some a -> Some a | None -> Some name in
+            Array.of_list (List.map (fun c -> (a, c)) cols)
+          | From_select (q, alias) ->
+            Array.of_list
+              (List.map (fun c -> (Some alias, c)) (query_columns ctx q))
+          | From_join (l, _, r, _) ->
+            Array.append (entries_of l) (entries_of r)
+        in
+        (* AND [e] into the deepest join node whose sides it straddles; a
+           conjunct resolving on one side only descends there (name
+           resolution is preserved: the other side has no match, so first-
+           match lookup lands on the same column as in the full scope) *)
+        let place f0 e =
+          let rec go f =
+            match f with
+            | From_table _ | From_select _ -> None
+            | From_join (l, k, r, c) ->
+              let lsc = { entries = entries_of l } :: outer_scopes in
+              let rsc = { entries = entries_of r } :: outer_scopes in
+              let in_l = references_depth lsc 0 e in
+              let in_r = references_depth rsc 0 e in
+              if in_l && in_r then
+                Some
+                  (From_join
+                     ( l,
+                       k,
+                       r,
+                       Some
+                         (match c with
+                         | None -> e
+                         | Some c -> Binop (And, c, e)) ))
+              else if in_l then
+                Option.map (fun l' -> From_join (l', k, r, c)) (go l)
+              else if in_r then
+                Option.map (fun r' -> From_join (l, k, r', c)) (go r)
+              else None
+          in
+          Option.value (go f0) ~default:f0
+        in
+        let liftable =
+          List.filter
+            (function
+              | Binop (Eq, a, b) -> subquery_free a && subquery_free b
+              | _ -> false)
+            (conjuncts w)
+        in
+        match List.fold_left place f0 liftable with
+        | f -> { sel with from = Some f }
+        | exception Exec_error _ -> sel
+      end
+    | _ -> sel
+  in
   let entries, produce =
     match sel.from with
     | None -> ([||], fun _ -> [ [||] ])
@@ -964,16 +1295,135 @@ and compile_select ctx outer_scopes sel : env -> relation =
   let produce =
     match view_pushdown ctx sel with Some p -> p | None -> produce
   in
-  let fwhere = Option.map (compile_expr ctx scopes) sel.where in
+  (* cheap-first WHERE: subquery-free conjuncts run before conjuncts with
+     subqueries, so EXISTS probes only see rows that survive the plain
+     predicates. AND's three-valued truth table is symmetric, so this is a
+     pure evaluation-order rewrite. *)
+  let fwhere =
+    match sel.where with
+    | None -> None
+    | Some w ->
+      let cheap, costly = List.partition subquery_free (conjuncts w) in
+      let w =
+        match cheap @ costly with
+        | [] -> w
+        | e :: rest ->
+          List.fold_left (fun a b -> Binop (And, a, b)) e rest
+      in
+      (match compile_row_pred scopes w with
+      | Some p -> Some (Either.Left p)
+      | None -> Some (Either.Right (compile_expr ctx scopes w)))
+  in
   let filter env rows =
     match fwhere with
     | None -> rows
-    | Some f ->
+    | Some (Either.Left p) ->
+      (* row-direct predicate: no per-row environment *)
+      let p = p env in
+      List.filter p rows
+    | Some (Either.Right f) ->
       List.filter
         (fun row -> bool3 (f { env with rows = row :: env.rows }) = Some true)
         rows
   in
   if not aggregating then begin
+    (* positional projection: every item reads a depth-0 column, so each
+       output row is built by direct indexing with no per-row environment.
+       [None] when any item needs expression evaluation. *)
+    let direct_positions =
+      let pos_item = function
+        | Star -> Some (List.init (Array.length entries) (fun i -> i))
+        | Qualified_star q ->
+          let la = String.lowercase_ascii q in
+          let positions = ref [] in
+          Array.iteri
+            (fun i (alias, _) ->
+              match alias with
+              | Some a when String.lowercase_ascii a = la ->
+                positions := i :: !positions
+              | _ -> ())
+            entries;
+          Some (List.rev !positions)
+        | Sel_expr (Col (q, n), _) -> (
+          match resolve_column scopes q n with
+          | 0, p -> Some [ p ]
+          | _ -> None
+          | exception Exec_error _ -> None)
+        | Sel_expr _ -> None
+      in
+      let rec all = function
+        | [] -> Some []
+        | it :: rest -> (
+          match pos_item it with
+          | None -> None
+          | Some ps -> (
+            match all rest with None -> None | Some tail -> Some (ps @ tail)))
+      in
+      Option.map Array.of_list (all sel.items)
+    in
+    let identity_projection =
+      (* SELECT * re-emits produced rows unchanged: the passthrough layers of
+         the generated delta code (version views, @-alias views) then cost
+         nothing per row. Rows are immutable by convention, so sharing is
+         safe. *)
+      match direct_positions with
+      | Some ps ->
+        Array.length ps = Array.length entries
+        &&
+        let ok = ref true in
+        Array.iteri (fun j p -> if p <> j then ok := false) ps;
+        !ok
+      | None -> false
+    in
+    match direct_positions with
+    | Some _ when identity_projection ->
+      fun env ->
+        let rows = filter env (produce env) in
+        let rows = if sel.distinct then dedupe rows else rows in
+        { rel_cols = cols; rel_rows = rows }
+    | Some positions ->
+      let n = Array.length positions in
+      (* hand-rolled constructors for the common small arities avoid the
+         per-element closure call of [Array.init] in tight projection loops *)
+      let project : Value.t array -> Value.t array =
+        match positions with
+        | [| a |] -> fun row -> [| row.(a) |]
+        | [| a; b |] -> fun row -> [| row.(a); row.(b) |]
+        | [| a; b; c |] -> fun row -> [| row.(a); row.(b); row.(c) |]
+        | [| a; b; c; d |] -> fun row -> [| row.(a); row.(b); row.(c); row.(d) |]
+        | _ -> fun row -> Array.init n (fun j -> row.(positions.(j)))
+      in
+      if sel.distinct then
+        (* fused project-and-dedupe: one pass, no intermediate row list. The
+           seen-set is bucketed by the first output column (cheap to hash —
+           typically the InVerDa key) with full structural comparison inside
+           a bucket, matching what a whole-row hash table would keep. *)
+        fun env ->
+          let rows = filter env (produce env) in
+          let seen : (Value.t, Value.t array list) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          let out =
+            List.filter_map
+              (fun row ->
+                let p = project row in
+                let k = if Array.length p = 0 then Value.Null else p.(0) in
+                let prior =
+                  match Hashtbl.find_opt seen k with Some l -> l | None -> []
+                in
+                if List.exists (fun q -> q = p) prior then None
+                else begin
+                  Hashtbl.replace seen k (p :: prior);
+                  Some p
+                end)
+              rows
+          in
+          { rel_cols = cols; rel_rows = out }
+      else
+        fun env ->
+          let rows = filter env (produce env) in
+          { rel_cols = cols; rel_rows = List.map project rows }
+    | None ->
     let item_fns =
       List.concat_map
         (function
@@ -1015,7 +1465,9 @@ and compile_select ctx outer_scopes sel : env -> relation =
 and dedupe rows =
   (* rows are immutable by convention; the generic hash/equality on arrays is
      structural, so they key directly *)
-  let seen : (Value.t array, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (Value.t array, unit) Hashtbl.t =
+    Hashtbl.create (max 64 (List.length rows))
+  in
   List.filter
     (fun row ->
       if Hashtbl.mem seen row then false
@@ -1057,9 +1509,7 @@ and index_fast_path ctx sel scope scopes produce =
         let fkey = compile_expr ctx (List.tl scopes) key_expr in
         fun env ->
           let v = fkey env in
-          if Value.is_null v then []
-          else
-            List.filter_map (Table.find tbl) (Table.index_lookup idx v)))
+          if Value.is_null v then [] else Table.index_probe tbl idx v))
   | _ -> produce
 
 (* Key-filter pushdown into views: a select over a single *view* whose WHERE

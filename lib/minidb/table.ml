@@ -1,9 +1,19 @@
 (** Mutable stored tables: rows keyed by an internal rowid, with optional
     unique primary key and secondary hash indexes. *)
 
+type bucket = {
+  ids : (int, unit) Hashtbl.t;
+  mutable sorted : int list option;
+      (** memoized ascending rowids — probe loops re-read unchanged buckets
+          once per row, so the sort must not be paid per lookup *)
+  mutable bucket_rows : (Value.t array list * int) option;
+      (** memoized rows (ascending rowid) with the table epoch they were read
+          at; any write bumps the epoch, so staleness is one int compare *)
+}
+
 type index = {
   idx_column : int;  (** column position *)
-  entries : (Value.t, (int, unit) Hashtbl.t) Hashtbl.t;  (** value -> rowids *)
+  entries : (Value.t, bucket) Hashtbl.t;  (** value -> rowids *)
 }
 
 type t = {
@@ -50,18 +60,20 @@ let index_add idx v rowid =
     match Hashtbl.find_opt idx.entries v with
     | Some b -> b
     | None ->
-      let b = Hashtbl.create 2 in
+      let b = { ids = Hashtbl.create 2; sorted = None; bucket_rows = None } in
       Hashtbl.replace idx.entries v b;
       b
   in
-  Hashtbl.replace bucket rowid ()
+  Hashtbl.replace bucket.ids rowid ();
+  bucket.sorted <- None
 
 let index_remove idx v rowid =
   match Hashtbl.find_opt idx.entries v with
   | None -> ()
   | Some b ->
-    Hashtbl.remove b rowid;
-    if Hashtbl.length b = 0 then Hashtbl.remove idx.entries v
+    Hashtbl.remove b.ids rowid;
+    b.sorted <- None;
+    if Hashtbl.length b.ids = 0 then Hashtbl.remove idx.entries v
 
 let add_index t column =
   let pos = Schema.index t.schema column in
@@ -86,9 +98,43 @@ let indexed_column t column =
 let index_lookup idx v =
   match Hashtbl.find_opt idx.entries v with
   | None -> []
-  | Some b ->
-    Hashtbl.fold (fun rowid () acc -> rowid :: acc) b []
-    |> List.sort compare
+  | Some b -> (
+    match b.sorted with
+    | Some l -> l
+    | None ->
+      let l =
+        Hashtbl.fold (fun rowid () acc -> rowid :: acc) b.ids []
+        |> List.sort compare
+      in
+      b.sorted <- Some l;
+      l)
+
+(** Rows whose indexed column equals [v], in ascending rowid order. The row
+    list is memoized on the bucket together with the table epoch it was read
+    at, so steady-state probe joins pay one hash lookup and one int compare
+    per probe; any write to the table bumps the epoch and the next probe of
+    an affected bucket rebuilds its list lazily. *)
+let index_probe t idx v =
+  match Hashtbl.find_opt idx.entries v with
+  | None -> []
+  | Some b -> (
+    match b.bucket_rows with
+    | Some (rows, e) when e = t.epoch -> rows
+    | _ ->
+      let ids =
+        match b.sorted with
+        | Some l -> l
+        | None ->
+          let l =
+            Hashtbl.fold (fun rowid () acc -> rowid :: acc) b.ids []
+            |> List.sort compare
+          in
+          b.sorted <- Some l;
+          l
+      in
+      let rows = List.filter_map (fun rowid -> Hashtbl.find_opt t.rows rowid) ids in
+      b.bucket_rows <- Some (rows, t.epoch);
+      rows)
 
 let pk_conflict t row =
   match t.pk with

@@ -1,0 +1,129 @@
+(** Flatten-coherence sweep: flattened and layered delta code must be
+    observationally equivalent.
+
+    For a given instance the sweep toggles {!Inverda.Api.set_flatten} — which
+    regenerates every derived view either path-composed (flat) or as the
+    one-hop layered stack — and asserts two things under each inspected
+    materialization:
+
+    - every version view answers [SELECT *] with exactly the same (sorted)
+      rows in both modes;
+    - the engine dumps are byte-identical outside the [VIEW] definitions
+      (which differ by design: that is the point of flattening). In
+      particular all data tables, indexes, triggers and sequences agree.
+
+    TasKy is swept under all five valid materializations (Table 2);
+    Wikimedia under the initial materialization and after migrating to a
+    middle and the last version, so multi-hop compositions in both genealogy
+    directions are exercised. *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+
+exception Coherence_failure of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Coherence_failure s)) fmt
+
+(** Every version view's contents, as [(view, sorted rows)] in catalog
+    order (same convention as {!Faults.view_contents}). *)
+let view_answers api =
+  let gen = I.genealogy api in
+  List.concat_map
+    (fun (sv : G.schema_version) ->
+      List.map
+        (fun (table, _) ->
+          let view =
+            Inverda.Naming.version_view ~version:sv.G.sv_name ~table
+          in
+          let rows =
+            I.query_rows api (Fmt.str "SELECT * FROM \"%s\"" view)
+          in
+          (view, List.sort compare rows))
+        sv.G.sv_tables)
+    gen.G.versions
+
+(** The dump with all [VIEW ...] lines removed: tables, rows, indexes,
+    triggers and sequences — everything flattening must not touch. *)
+let data_dump api =
+  I.dump api
+  |> String.split_on_char '\n'
+  |> List.filter (fun line ->
+         not (String.length line >= 5 && String.sub line 0 5 = "VIEW "))
+  |> String.concat "\n"
+
+let count_flat api =
+  let gen = I.genealogy api in
+  Hashtbl.fold
+    (fun _ (e : G.flatten_entry) acc ->
+      match e.G.fe_outcome with G.F_flat _ -> acc + 1 | _ -> acc)
+    gen.G.flatten_cache 0
+
+type report = {
+  checkpoints : int;  (** materializations under which both modes compared *)
+  views : int;  (** version views compared per checkpoint *)
+  flat_views : int;  (** relations emitted flattened (summed) *)
+  fallbacks : int;  (** layered fallbacks reported by the pass (summed) *)
+}
+
+let empty = { checkpoints = 0; views = 0; flat_views = 0; fallbacks = 0 }
+
+(** Compare the two modes under the instance's current materialization and
+    leave flattening enabled. *)
+let check_here ?(label = "") api acc =
+  I.set_flatten api true;
+  let flat_views = view_answers api in
+  let flat_data = data_dump api in
+  let n_flat = count_flat api in
+  let n_fallback = List.length (I.flatten_fallbacks api) in
+  I.set_flatten api false;
+  let layered_views = view_answers api in
+  let layered_data = data_dump api in
+  I.set_flatten api true;
+  if flat_data <> layered_data then
+    fail "%s: flattening changed engine state outside the views" label;
+  List.iter2
+    (fun (v, flat) (v', layered) ->
+      if v <> v' then fail "%s: view lists diverge (%s vs %s)" label v v';
+      if flat <> layered then
+        fail "%s: view %s answers differently flattened (%d rows) vs \
+              layered (%d rows)"
+          label v (List.length flat) (List.length layered))
+    flat_views layered_views;
+  {
+    checkpoints = acc.checkpoints + 1;
+    views = List.length flat_views;
+    flat_views = acc.flat_views + n_flat;
+    fallbacks = acc.fallbacks + n_fallback;
+  }
+
+(** TasKy + Do! + TasKy2 under all five valid materializations. *)
+let check_tasky ?(tasks = 60) () =
+  let api = Tasky.setup_full ~tasks () in
+  let mats = G.enumerate_materializations (I.genealogy api) in
+  List.fold_left
+    (fun acc mat ->
+      I.set_materialization api mat;
+      let label =
+        Fmt.str "tasky mat [%a]" Fmt.(list ~sep:comma int) mat
+      in
+      check_here ~label api acc)
+    empty mats
+
+(** A small Wikimedia-style genealogy: initial materialization, then after
+    migrating to the middle and the newest version. *)
+let check_wikimedia ?(versions = 8) ?(pages = 10) ?(links = 15) () =
+  let api, names = Wikimedia.build ~versions () in
+  Wikimedia.load api ~version:names.(0) ~pages ~links;
+  let stops =
+    [ None; Some names.(Array.length names / 2);
+      Some names.(Array.length names - 1) ]
+  in
+  List.fold_left
+    (fun acc stop ->
+      (match stop with None -> () | Some v -> I.materialize api [ v ]);
+      let label =
+        Fmt.str "wikimedia@%s"
+          (Option.value stop ~default:names.(0))
+      in
+      check_here ~label api acc)
+    empty stops

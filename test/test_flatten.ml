@@ -1,0 +1,128 @@
+(* Flattened delta code: path-composed single-hop views must be
+   observationally equivalent to the layered one-hop stack — same view
+   answers, same engine state outside the view definitions — under every
+   materialization, and the pass must actually fire at genealogy
+   distance >= 2. *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+module FC = Scenarios.Flatten_check
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* --- coherence sweeps (acceptance criterion) ------------------------------- *)
+
+let test_tasky_coherence () =
+  let r = FC.check_tasky ~tasks:40 () in
+  Alcotest.(check int) "all five materializations" 5 r.FC.checkpoints;
+  Alcotest.(check bool) "views compared" true (r.FC.views > 0);
+  Alcotest.(check bool) "flattening fired somewhere" true (r.FC.flat_views > 0);
+  (* one known, correct fallback: with the Do! branch fully materialized the
+     composed rule for the SPLIT's aux!2!lstar leaves [prio] unbound in a
+     condition, so the safety gate keeps the layered stack for it *)
+  Alcotest.(check bool) "at most the known aux fallback" true
+    (r.FC.fallbacks <= 1)
+
+let test_wikimedia_coherence () =
+  let r = FC.check_wikimedia ~versions:8 ~pages:10 ~links:15 () in
+  Alcotest.(check int) "initial + two migrations" 3 r.FC.checkpoints;
+  Alcotest.(check bool) "flattening fired somewhere" true (r.FC.flat_views > 0)
+
+(* --- the pass fires at distance >= 2 --------------------------------------- *)
+
+let flat_outcomes t =
+  let gen = I.genealogy t in
+  Hashtbl.fold
+    (fun name (e : G.flatten_entry) acc ->
+      match e.G.fe_outcome with
+      | G.F_flat (rules, disjoint) -> (name, List.length rules, disjoint) :: acc
+      | _ -> acc)
+    gen.G.flatten_cache []
+  |> List.sort compare
+
+let test_flatten_fires_at_distance_two () =
+  let t = Scenarios.Tasky.setup_full ~tasks:10 () in
+  (* at the initial materialization, Do!.Todo and TasKy2.Author are two SMOs
+     away from the physical Task table: both must compose to flat rules *)
+  let outcomes = flat_outcomes t in
+  Alcotest.(check bool) "some relation flattened" true (outcomes <> []);
+  List.iter
+    (fun (name, n_rules, _) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s has rules" name)
+        true (n_rules > 0))
+    outcomes;
+  Alcotest.(check (list (pair string string))) "no fallbacks" []
+    (I.flatten_fallbacks t)
+
+let test_union_all_on_disjoint_rules () =
+  let t = Scenarios.Tasky.setup_full ~tasks:10 () in
+  (* the flattened Todo view composes the SPLIT partition with the dropped
+     prio column: two rules over disjoint partitions -> UNION ALL *)
+  let disjoint =
+    List.filter (fun (_, n, d) -> n > 1 && d) (flat_outcomes t)
+  in
+  Alcotest.(check bool) "a multi-rule disjoint flattening exists" true
+    (disjoint <> []);
+  Alcotest.(check bool) "dump shows UNION ALL" true
+    (contains (I.dump t) "UNION ALL")
+
+(* --- toggling --------------------------------------------------------------- *)
+
+let test_toggle_regenerates () =
+  let t = Scenarios.Tasky.setup_full ~tasks:10 () in
+  let flat_dump = I.dump t in
+  let flat_data = FC.data_dump t in
+  I.set_flatten t false;
+  let layered_dump = I.dump t in
+  Alcotest.(check bool) "views differ between modes" true
+    (flat_dump <> layered_dump);
+  Alcotest.(check string) "data identical between modes" flat_data
+    (FC.data_dump t);
+  I.set_flatten t true;
+  Alcotest.(check string) "round-trips byte-identically" flat_dump (I.dump t)
+
+let test_writes_agree_between_modes () =
+  (* run the same write workload flattened and layered; final states agree *)
+  let run flatten =
+    let t = Scenarios.Tasky.setup_full ~tasks:15 () in
+    I.set_flatten t flatten;
+    ignore
+      (I.exec_sql t
+         "INSERT INTO \"Do!.Todo\" (author, task) VALUES ('Zoe', 'flat-w')");
+    ignore
+      (I.exec_sql t "DELETE FROM TasKy.Task WHERE author = 'Ann'");
+    ignore
+      (I.exec_sql t
+         "UPDATE TasKy2.Task SET prio = 9 WHERE task = 'task-3'");
+    FC.data_dump t
+  in
+  Alcotest.(check string) "same final data" (run true) (run false)
+
+(* --- suite ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "flatten"
+    [
+      ( "coherence",
+        [
+          tc "tasky all materializations" test_tasky_coherence;
+          tc "wikimedia migrations" test_wikimedia_coherence;
+        ] );
+      ( "pass",
+        [
+          tc "fires at distance two" test_flatten_fires_at_distance_two;
+          tc "union all on disjoint rules" test_union_all_on_disjoint_rules;
+        ] );
+      ( "toggle",
+        [
+          tc "regenerates both ways" test_toggle_regenerates;
+          tc "writes agree between modes" test_writes_agree_between_modes;
+        ] );
+    ]
