@@ -696,3 +696,131 @@ let json_baseline scale out =
     "wrote %s (cold dist-2 reads flattened vs layered: x%.2f TasKy2, x%.2f \
      Do!; cache on top: x%.1f)@."
     out speedup_flatten_cold speedup_flatten_cold_do speedup_cache
+
+(* --- telemetry overhead (BENCH_PR5.json) --------------------------------- *)
+
+let median_of xs =
+  let a = List.sort compare xs in
+  List.nth a (List.length a / 2)
+
+(** Overhead of telemetry collection on the PR4 read suite: the same
+    statements measured with collection enabled vs disabled on one instance
+    (default materialization, cache on), interleaved batch-by-batch so both
+    settings see the same heap and cache state. The counters are the
+    advisor's input, so they have to be cheap enough to leave on — the read
+    statements are gated at a loose x[gate] ratio (inserts are reported but
+    not gated: 50-statement write batches are too noisy for a tight bound).
+    Returns the worst read overhead ratio; [out] writes BENCH_PR5.json. *)
+let telemetry_overhead ?out ?(gate = 1.5) scale =
+  section "Telemetry overhead: collection on vs off (PR4 read suite, cache on)";
+  let tasks = min scale.fig8_tasks 5_000 in
+  let reads = 100 in
+  let runs = 2 * max 5 scale.runs + 1 in
+  let rng = Scenarios.Rng.create ~seed:23 () in
+  let t = Scenarios.Tasky.setup_full ~tasks () in
+  let db = I.database t in
+  (* fixed statements, generated once so on/off measure identical SQL *)
+  let q_local = Scenarios.Tasky.tasky_read rng in
+  let q_dist2 = Scenarios.Tasky.tasky2_read rng in
+  let q_do = Scenarios.Tasky.do_read rng in
+  (* Each round times an off batch and an on batch back to back and keeps
+     the per-round ratio; the reported overhead is the median ratio. Paired
+     rounds cancel the slow drift (heap growth, host jitter) that dwarfs a
+     percent-level effect over a whole run. *)
+  let paired batch =
+    let offs = ref [] and ons = ref [] and ratios = ref [] in
+    for _ = 1 to runs do
+      let off = batch false in
+      let on = batch true in
+      offs := off :: !offs;
+      ons := on :: !ons;
+      ratios := (on /. Float.max 1e-12 off) :: !ratios
+    done;
+    I.set_telemetry t true;
+    (median_of !offs, median_of !ons, median_of !ratios)
+  in
+  let read_round sql =
+    ignore (Minidb.Engine.query db sql);
+    (* warm: compile + cache fill *)
+    let batch tel =
+      I.set_telemetry t tel;
+      W.time_unit (fun () ->
+          for _ = 1 to reads do
+            ignore (Minidb.Engine.query db sql)
+          done)
+    in
+    let off, on, ratio = paired batch in
+    let per x = ns (x /. float_of_int reads) in
+    (per off, per on, ratio)
+  in
+  let insert_round () =
+    let base = ref 840_000 in
+    let batch tel =
+      I.set_telemetry t tel;
+      let b = !base in
+      base := !base + 100;
+      W.time_unit (fun () ->
+          for i = 1 to 50 do
+            ignore (Minidb.Engine.exec db (Scenarios.Tasky.tasky_insert rng (b + i)))
+          done)
+    in
+    let off, on, ratio = paired batch in
+    let per x = ns (x /. 50.0) in
+    (per off, per on, ratio)
+  in
+  (* burn-in: discard one full pass so the first measured pair does not pay
+     initial heap growth *)
+  ignore (read_round q_dist2);
+  let suite =
+    [
+      ("read_local", read_round q_local);
+      ("read_dist2", read_round q_dist2);
+      ("read_do_dist2", read_round q_do);
+      ("insert_tasky", insert_round ());
+    ]
+  in
+  Fmt.pr "%-16s %14s %14s %10s@." "" "telemetry off" "telemetry on" "overhead";
+  List.iter
+    (fun (name, (off, on, ratio)) ->
+      Fmt.pr "%-16s %11.0f ns %11.0f ns %9.3f@." name off on ratio)
+    suite;
+  let read_ratios =
+    List.filter_map
+      (fun (name, (_, _, ratio)) ->
+        if String.length name >= 4 && String.sub name 0 4 = "read" then
+          Some ratio
+        else None)
+      suite
+  in
+  let worst = List.fold_left Float.max 0.0 read_ratios in
+  Fmt.pr "max read overhead: x%.3f (gate: x%.2f)@." worst gate;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 512 in
+    let addf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+    addf "{\n";
+    addf "  \"baseline\": \"PR5\",\n";
+    addf "  \"unit\": \"ns/op\",\n";
+    addf "  \"tasks\": %d,\n" tasks;
+    addf "  \"reads_per_batch\": %d,\n" reads;
+    addf "  \"runs\": %d,\n" runs;
+    addf "  \"max_read_overhead\": %.4f,\n" worst;
+    addf "  \"experiments\": {\n";
+    let n = List.length suite in
+    List.iteri
+      (fun i (name, (off, on, ratio)) ->
+        addf "    \"%s_off\": %.0f,\n" name off;
+        addf "    \"%s_on\": %.0f,\n" name on;
+        addf "    \"%s_overhead\": %.4f%s\n" name ratio
+          (if i = n - 1 then "" else ","))
+      suite;
+    addf "  }\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "wrote %s@." path);
+  if worst > gate then
+    failwith
+      (Fmt.str "telemetry read overhead x%.3f exceeds the x%.2f gate" worst gate);
+  worst

@@ -23,9 +23,10 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("formal", fun _ -> Experiments.formal ());
     ("ablation_pushdown", Experiments.ablation_pushdown);
     ("ablation_chain", Experiments.ablation_chain);
+    ("telemetry", fun scale -> ignore (Experiments.telemetry_overhead scale));
   ]
 
-let run only full bechamel smoke json =
+let run only full bechamel smoke json json5 =
   if bechamel then Micro.run ()
   else
   let scale =
@@ -34,6 +35,8 @@ let run only full bechamel smoke json =
     else Experiments.default_scale
   in
   if json then Experiments.json_baseline scale "BENCH_PR4.json"
+  else if json5 then
+    ignore (Experiments.telemetry_overhead ~out:"BENCH_PR5.json" scale)
   else
   let selected =
     match only with
@@ -82,9 +85,17 @@ let json =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let json5 =
+  let doc =
+    "Write the telemetry-overhead baseline to BENCH_PR5.json (the PR4 read \
+     suite measured with telemetry collection enabled vs disabled) instead \
+     of running the figure harness."
+  in
+  Arg.(value & flag & info [ "json-pr5" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
   Cmd.v (Cmd.info "inverda-bench" ~doc)
-    Term.(const run $ only $ full $ bechamel $ smoke $ json)
+    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5)
 
 let () = exit (Cmd.eval cmd)

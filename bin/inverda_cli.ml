@@ -24,7 +24,8 @@ let help_text =
   DROP SCHEMA VERSION <v>;
   MATERIALIZE '<version>' | '<version>.<table>', ...;
   any SQL: SELECT/INSERT/UPDATE/DELETE ... FROM <version>.<table>
-Meta commands: .help  .catalog  .versions  .smos  .quit|}
+Meta commands: .help  .catalog  .versions  .smos  .stats  .trace [n]
+               .explain <sql>  .quit|}
 
 let is_bidel sql =
   let up = String.uppercase_ascii (String.trim sql) in
@@ -69,9 +70,32 @@ let execute t input =
   | Bidel.Smo_semantics.Semantics_error msg -> Fmt.pr "SMO error: %s@." msg
 
 let meta t line =
-  match String.trim line with
+  let line = String.trim line in
+  let arg_of prefix =
+    if
+      String.length line > String.length prefix
+      && String.sub line 0 (String.length prefix) = prefix
+    then Some (String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix)))
+    else None
+  in
+  match arg_of ".explain" with
+  | Some sql -> (
+    try Fmt.pr "%s%!" (I.explain t sql)
+    with exn -> Fmt.pr "error: %s@." (Printexc.to_string exn))
+  | None ->
+  let print_trace limit =
+    List.iter
+      (fun sp -> print_endline (Inverda.Telemetry.span_json sp))
+      (I.recent_spans ~limit t)
+  in
+  match arg_of ".trace" with
+  | Some n -> print_trace (Option.value ~default:20 (int_of_string_opt n))
+  | None ->
+  match line with
   | ".help" -> Fmt.pr "%s@." help_text
   | ".catalog" -> Fmt.pr "%s@." (I.describe t)
+  | ".stats" -> Fmt.pr "%s%!" (I.stats_text t)
+  | ".trace" -> print_trace 20
   | ".versions" ->
     List.iter
       (fun v ->
@@ -300,6 +324,191 @@ let flatten_run smoke =
     Fmt.epr "FLATTEN COHERENCE FAILED: %s@." msg;
     1
 
+(* --- telemetry commands: stats / trace / explain / advise -------------------- *)
+
+let cli_errors f =
+  try f () with
+  | Inverda.Migration.Migration_error msg
+  | Inverda.Genealogy.Catalog_error msg
+  | Minidb.Database.Engine_error msg
+  | Minidb.Exec.Exec_error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Minidb.Sql_lexer.Cursor.Parse_error msg | Minidb.Sql_lexer.Lex_error (msg, _)
+    ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    2
+
+let build_instance ?(no_cache = false) ?(no_flatten = false) demo script =
+  let t = I.create () in
+  if no_cache then I.set_cache t false;
+  if no_flatten then I.set_flatten t false;
+  if demo then load_demo t;
+  (match script with Some path -> I.evolve t (read_script path) | None -> ());
+  t
+
+(* Demo traffic so stats/trace/advise have something to report: a paper-mix
+   workload skewed toward the newer versions, echoing the adoption shift of
+   Figures 9/10 (TasKy 20 %, TasKy2 50 %, Do! 30 %). *)
+let demo_shares =
+  Scenarios.Workload.[ (V_tasky, 0.2); (V_tasky2, 0.5); (V_do, 0.3) ]
+
+let replay_demo_traffic t ops =
+  if ops > 0 then
+    let r = Scenarios.Workload.make_runner (I.database t) in
+    ignore
+      (Scenarios.Workload.replay_profile r ~shares:demo_shares
+         ~mix:Scenarios.Workload.paper_mix ~ops)
+
+let stats_run demo script ops json no_cache no_flatten =
+  cli_errors @@ fun () ->
+  let t = build_instance ~no_cache ~no_flatten demo script in
+  if demo then replay_demo_traffic t ops;
+  if json then print_endline (I.stats_json t) else print_string (I.stats_text t);
+  0
+
+let trace_run demo script ops limit smoke =
+  cli_errors @@ fun () ->
+  (* the smoke check is about ring wrap-around, so it needs traffic: force
+     the demo workload and enough operations to overrun the buffer *)
+  let demo = demo || (smoke && script = None) in
+  let t = build_instance demo script in
+  let ops = if smoke then max ops (2 * Minidb.Metrics.span_capacity) else ops in
+  if demo then replay_demo_traffic t ops;
+  if smoke then begin
+    (* bounded-ring sanity: the buffer never exceeds its capacity, sequence
+       numbers stay monotone, and the drop count is consistent *)
+    let spans = I.recent_spans t in
+    let held = List.length spans in
+    let cap = Minidb.Metrics.span_capacity in
+    let recorded =
+      Minidb.Metrics.total_spans (I.database t).Minidb.Database.metrics
+    in
+    let monotone =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          a.Minidb.Metrics.sp_seq < b.Minidb.Metrics.sp_seq && go rest
+        | _ -> true
+      in
+      go spans
+    in
+    let ok =
+      held <= cap && monotone
+      && (recorded < cap || held = cap)
+      && recorded >= held
+    in
+    if ok then begin
+      Fmt.pr "trace smoke passed: %d spans recorded, %d held (capacity %d)@."
+        recorded held cap;
+      0
+    end
+    else begin
+      Fmt.epr
+        "TRACE SMOKE FAILED: recorded=%d held=%d capacity=%d monotone=%b@."
+        recorded held cap monotone;
+      1
+    end
+  end
+  else begin
+    List.iter
+      (fun sp -> print_endline (Inverda.Telemetry.span_json sp))
+      (I.recent_spans ?limit t);
+    0
+  end
+
+let explain_run demo script json sql =
+  cli_errors @@ fun () ->
+  let t = build_instance demo script in
+  if json then print_endline (I.explain_json t sql)
+  else print_string (I.explain t sql);
+  0
+
+(* "TasKy=0.2,TasKy2=0.5,Do!=0.3" -> an Advisor.profile *)
+let parse_profile s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun part ->
+         let part = String.trim part in
+         if part = "" then None
+         else
+           match String.index_opt part '=' with
+           | None ->
+             failwith
+               (Fmt.str "bad profile entry %S (expected version=weight)" part)
+           | Some i ->
+             let name = String.trim (String.sub part 0 i) in
+             let w =
+               String.trim
+                 (String.sub part (i + 1) (String.length part - i - 1))
+             in
+             (match float_of_string_opt w with
+             | Some f -> Some (name, f)
+             | None ->
+               failwith (Fmt.str "bad weight %S for version %s" w name)))
+
+let print_recommendation t what (r : Inverda.Advisor.recommendation) =
+  let mat_str mat =
+    "{" ^ String.concat "," (List.map string_of_int mat) ^ "}"
+  in
+  Fmt.pr "recommended materialization (%s): %s, estimated cost %.3f@." what
+    (mat_str r.Inverda.Advisor.materialization)
+    r.Inverda.Advisor.estimated_cost;
+  List.iter
+    (fun id -> Fmt.pr "  materialize %s@." (smo_label t id))
+    r.Inverda.Advisor.materialization;
+  let current = I.current_materialization t in
+  if List.sort compare current = List.sort compare r.Inverda.Advisor.materialization
+  then Fmt.pr "already at the recommended materialization@."
+  else Fmt.pr "current materialization is %s@." (mat_str current);
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  Fmt.pr "alternatives:@.";
+  List.iter
+    (fun (mat, cost) -> Fmt.pr "  %s cost %.3f@." (mat_str mat) cost)
+    (take 5 r.Inverda.Advisor.alternatives)
+
+let advise_run demo script observed ops profile_str =
+  cli_errors @@ fun () ->
+  let t = build_instance demo script in
+  if observed then begin
+    if demo then replay_demo_traffic t ops;
+    match I.advise_observed t with
+    | None ->
+      Fmt.epr
+        "no observed traffic to advise from (run a workload first, or use \
+         --profile)@.";
+      1
+    | Some r ->
+      Fmt.pr "observed profile:@.";
+      List.iter
+        (fun (v, w) -> Fmt.pr "  %-16s %.1f%%@." v (100.0 *. w))
+        (I.observed_profile t);
+      print_recommendation t "observed traffic" r;
+      0
+  end
+  else
+    match profile_str with
+    | None ->
+      Fmt.epr "one of --observed or --profile is required@.";
+      2
+    | Some s -> (
+      match parse_profile s with
+      | exception Failure msg ->
+        Fmt.epr "error: %s@." msg;
+        2
+      | profile -> (
+        match I.advise t profile with
+        | None ->
+          Fmt.epr "no schema versions to advise on@.";
+          1
+        | Some r ->
+          print_recommendation t "given profile" r;
+          0))
+
 open Cmdliner
 
 let demo =
@@ -450,9 +659,130 @@ let flatten_coherence_cmd =
     (Cmd.info "flatten-coherence" ~doc ~man)
     Term.(const flatten_run $ smoke)
 
+(* shared options of the telemetry commands *)
+let script_opt =
+  let doc =
+    "BiDEL evolution script to replay first ($(b,-) reads standard input)."
+  in
+  Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE" ~doc)
+
+let ops_opt =
+  let doc =
+    "With $(b,--demo): run this many workload operations (paper mix, skewed \
+     toward the newer versions) before reporting, so the telemetry has \
+     traffic to show."
+  in
+  Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N" ~doc)
+
+let json_opt =
+  let doc = "Emit JSON instead of the human-readable rendering." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let stats_cmd =
+  let doc = "Unified telemetry counters (cache, flatten fallbacks, traffic)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Prints the engine's workload telemetry: view-cache hits/misses, \
+         flatten fallbacks, per-schema-version and per-table-version access \
+         counters, the observed workload profile and the latency histograms. \
+         $(b,--json) emits one JSON object (the schema checked in CI).";
+    ]
+  in
+  Cmd.v (Cmd.info "stats" ~doc ~man)
+    Term.(
+      const stats_run $ demo $ script_opt $ ops_opt $ json_opt $ no_cache
+      $ no_flatten)
+
+let trace_cmd =
+  let limit =
+    let doc = "Emit at most this many spans (default: all buffered)." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let smoke =
+    let doc =
+      "Bounded-ring-buffer sanity check (for CI): run more operations than \
+       the ring holds and assert occupancy and sequence monotonicity."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc = "Statement spans as JSON lines" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a workload (with $(b,--demo)) and emits the buffered \
+         statement spans — parse/compile/execute nanoseconds, targets, rows, \
+         cache hits, trigger hops, view-expansion depth — one JSON object \
+         per line, oldest first.";
+    ]
+  in
+  Cmd.v (Cmd.info "trace" ~doc ~man)
+    Term.(const trace_run $ demo $ script_opt $ ops_opt $ limit $ smoke)
+
+let explain_cmd =
+  let sql =
+    let doc = "The SQL statement to explain (quote it)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let doc = "The delta-code path a statement traverses" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "For every object the statement names: its role in the genealogy, \
+         the Section 6 access path from its table version to the data, the \
+         flattening decision (single composed hop or layered stack), the \
+         installed view stack, the physical tables touched and — for \
+         INSERT/UPDATE/DELETE — the trigger cascade the write would fire.";
+    ]
+  in
+  Cmd.v (Cmd.info "explain" ~doc ~man)
+    Term.(const explain_run $ demo $ script_opt $ json_opt $ sql)
+
+let advise_cmd =
+  let observed =
+    let doc =
+      "Advise from observed traffic (the telemetry counters) instead of a \
+       hand-written profile."
+    in
+    Arg.(value & flag & info [ "observed" ] ~doc)
+  in
+  let profile =
+    let doc =
+      "Hand-written workload profile, e.g. \
+       $(b,TasKy=0.2,TasKy2=0.5,Do!=0.3)."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"PROFILE" ~doc)
+  in
+  let doc = "Recommend a materialization schema (Section 8.2 advisor)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Scores every valid materialization schema against a workload \
+         profile — given by hand with $(b,--profile), or derived from the \
+         observed per-version traffic with $(b,--observed) — and prints the \
+         cheapest one with its alternatives.";
+    ]
+  in
+  Cmd.v (Cmd.info "advise" ~doc ~man)
+    Term.(const advise_run $ demo $ script_opt $ observed $ ops_opt $ profile)
+
 let cmd =
   let doc = "Co-existing schema versions: shell and static analyzer" in
   Cmd.group ~default:shell_term (Cmd.info "inverda" ~doc)
-    [ shell_cmd; lint_cmd; materialize_cmd; faults_cmd; flatten_coherence_cmd ]
+    [
+      shell_cmd;
+      lint_cmd;
+      materialize_cmd;
+      faults_cmd;
+      flatten_coherence_cmd;
+      stats_cmd;
+      trace_cmd;
+      explain_cmd;
+      advise_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -13,4 +13,16 @@ dune exec bench/main.exe -- --only table2 --smoke
 dune exec bin/inverda_cli.exe -- faults --smoke
 # flattened vs layered delta code must answer identically everywhere
 dune exec bin/inverda_cli.exe -- flatten-coherence --smoke
+# telemetry: the stats --json document must carry every field of its schema
+stats_json=$(dune exec bin/inverda_cli.exe -- stats --demo --json)
+for field in enabled observed_statements engine_statements trigger_hops \
+             cache flatten_fallbacks versions table_versions \
+             observed_profile read_latency_ns write_latency_ns spans; do
+  echo "$stats_json" | grep -q "\"$field\"" \
+    || { echo "check.sh: stats --json is missing \"$field\"" >&2; exit 1; }
+done
+# telemetry: span ring fills, stays bounded, and every span renders as JSON
+dune exec bin/inverda_cli.exe -- trace --smoke
+# telemetry: measured read overhead must stay within the gate at smoke scale
+dune exec bench/main.exe -- --only telemetry --smoke
 echo "check.sh: all green"

@@ -140,6 +140,7 @@ let check_no_open_txn t =
 (* --- the Database Evolution Operation -------------------------------------- *)
 
 let run_backfill t (si : G.smo_instance) =
+  Codegen.untracked t.db @@ fun () ->
   let lookup = Codegen.schema_lookup t.gen in
   let rules = si.G.si_inst.S.backfill in
   List.iter
@@ -221,6 +222,36 @@ let insert_row t ~version ~table values =
     String.concat ", " (List.map Minidb.Value.to_literal values)
   in
   ignore (Minidb.Engine.execf t.db "INSERT INTO \"%s\" VALUES (%s)" view placeholders)
+
+(* --- telemetry --------------------------------------------------------------- *)
+
+(** Toggle workload telemetry (enabled by default; near-zero cost). *)
+let set_telemetry t b = Telemetry.set_enabled t.db b
+
+let telemetry_enabled t = Telemetry.enabled t.db
+
+(** Zero every counter, histogram and the span ring buffer. *)
+let reset_telemetry t = Telemetry.reset t.db
+
+let recent_spans ?limit t = Telemetry.recent_spans ?limit t.db
+
+let observed_profile t = Telemetry.observed_profile t.db t.gen
+
+let stats_json t = Telemetry.stats_json t.db t.gen
+
+let stats_text t = Telemetry.stats_text t.db t.gen
+
+let explain t sql = Telemetry.explain t.db t.gen sql
+
+let explain_json t sql = Telemetry.explain_json t.db t.gen sql
+
+(** Advise a materialization schema from a hand-written profile. *)
+let advise t profile = Advisor.advise t.gen profile
+
+(** Advise from observed traffic: {!Advisor.advise} on {!observed_profile}.
+    [None] when no traffic has been observed (or no version exists). *)
+let advise_observed t =
+  match observed_profile t with [] -> None | p -> Advisor.advise t.gen p
 
 (* --- introspection ----------------------------------------------------------- *)
 

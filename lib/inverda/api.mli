@@ -117,6 +117,47 @@ val insert_row :
   t -> version:string -> table:string -> Minidb.Value.t list -> unit
 (** Positional insert through a version view. *)
 
+(** {1 Telemetry} *)
+
+val set_telemetry : t -> bool -> unit
+(** Toggle workload telemetry (enabled by default). While on, the engine
+    keeps per-object access counters, latency histograms and a bounded ring
+    buffer of statement spans; engine-internal statements (migrations,
+    delta-code installation, backfills) are never counted. *)
+
+val telemetry_enabled : t -> bool
+
+val reset_telemetry : t -> unit
+(** Zero every counter, histogram and the span ring buffer. *)
+
+val recent_spans : ?limit:int -> t -> Minidb.Metrics.span list
+(** The most recent statement spans, oldest first (bounded by the ring
+    capacity). *)
+
+val observed_profile : t -> Advisor.profile
+(** Share of observed statements per schema version; empty when no traffic
+    has been observed. *)
+
+val stats_json : t -> string
+(** Unified stats document (cache, flatten fallbacks, per-version counters,
+    histograms, spans) as one JSON object. *)
+
+val stats_text : t -> string
+
+val explain : t -> string -> string
+(** The delta-code path a statement would traverse: object roles, the
+    Section 6 access path, flattening decision, installed view stack,
+    physical tables touched and (for DML) the trigger cascade. *)
+
+val explain_json : t -> string -> string
+
+val advise : t -> Advisor.profile -> Advisor.recommendation option
+(** Score every valid materialization schema for a hand-written profile. *)
+
+val advise_observed : t -> Advisor.recommendation option
+(** As {!advise}, on the {!observed_profile}; [None] when nothing was
+    observed. *)
+
 (** {1 Static analysis} *)
 
 val lint_env : t -> Analysis.Sql_check.env

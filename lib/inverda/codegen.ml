@@ -197,10 +197,18 @@ let ensure_aux_indexes db (gen : G.t) =
         (physical_aux si))
     (G.all_smos gen)
 
+(* Engine-internal statement brackets: delta-code installation and physical
+   backfills must not show up in the telemetry counters the advisor reads. *)
+let untracked db f =
+  let m = db.Db.metrics in
+  Minidb.Metrics.suspend m;
+  Fun.protect ~finally:(fun () -> Minidb.Metrics.resume m) f
+
 (** Create any missing physical tables for the current state. *)
 let ensure_physical db (gen : G.t) =
-  List.iter (exec db) (physical_statements gen);
-  ensure_aux_indexes db gen
+  untracked db (fun () ->
+      List.iter (exec db) (physical_statements gen);
+      ensure_aux_indexes db gen)
 
 (* --- view + trigger assembly ------------------------------------------------- *)
 
@@ -564,9 +572,10 @@ let regenerate ?(validate = fun (_ : Sql.statement list) -> ()) db (gen : G.t)
     =
   let stmts = delta_statements gen in
   validate stmts;
-  drop_generated db;
-  List.iter (exec db) stmts;
-  ensure_aux_indexes db gen;
+  untracked db (fun () ->
+      drop_generated db;
+      List.iter (exec db) stmts;
+      ensure_aux_indexes db gen);
   (* the DDL above flushed all cached view results and base closures;
      re-register the genealogy-derived closures for the fresh delta code *)
   Viewcache.register db gen

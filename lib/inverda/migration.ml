@@ -155,19 +155,28 @@ let atomically db (gen : G.t) f =
       "MATERIALIZE is not allowed inside an open transaction; COMMIT or \
        ROLLBACK first";
   let snap = G.snapshot_materialization gen in
-  Db.begin_internal_txn db;
-  match f () with
-  | () -> Db.commit_internal_txn db
-  | exception exn ->
-    (* disarm any still-pending failpoint so recovery runs unimpeded *)
-    Db.clear_failpoint db;
-    Db.abort_internal_txn db;
-    G.restore_materialization gen snap;
-    Db.flush_view_cache db;
-    Codegen.regenerate db gen;
-    raise
-      (Migration_error
-         (Fmt.str "migration failed and was rolled back: %s" (failure_text exn)))
+  (* the data movement below is engine-internal: a MATERIALIZE flipping rows
+     between sides must not inflate the per-version access counters the
+     telemetry-driven advisor reads (neither on success nor on rollback) *)
+  let metrics = db.Db.metrics in
+  Minidb.Metrics.suspend metrics;
+  Fun.protect
+    ~finally:(fun () -> Minidb.Metrics.resume metrics)
+    (fun () ->
+      Db.begin_internal_txn db;
+      match f () with
+      | () -> Db.commit_internal_txn db
+      | exception exn ->
+        (* disarm any still-pending failpoint so recovery runs unimpeded *)
+        Db.clear_failpoint db;
+        Db.abort_internal_txn db;
+        G.restore_materialization gen snap;
+        Db.flush_view_cache db;
+        Codegen.regenerate db gen;
+        raise
+          (Migration_error
+             (Fmt.str "migration failed and was rolled back: %s"
+                (failure_text exn))))
 
 (* --- planning ------------------------------------------------------------ *)
 

@@ -1,0 +1,548 @@
+(** Workload telemetry over the genealogy: aggregates the engine's raw
+    per-object counters ({!Minidb.Metrics}) into per-schema-version and
+    per-table-version figures, derives the {!Advisor.profile} the Section 8.2
+    advisor needs from observed traffic, renders unified stats (text and
+    JSON), serializes statement spans as JSON lines, and implements EXPLAIN —
+    the delta-code path a statement would traverse, reconstructed from the
+    genealogy, the flattening pass and the installed catalog. *)
+
+module G = Genealogy
+module Db = Minidb.Database
+module M = Minidb.Metrics
+module Sql = Minidb.Sql_ast
+
+let key = String.lowercase_ascii
+
+(* --- switches ------------------------------------------------------------- *)
+
+let enabled (db : Db.t) = db.Db.metrics.M.enabled
+let set_enabled (db : Db.t) on = M.set_enabled db.Db.metrics on
+let reset (db : Db.t) = M.reset db.Db.metrics
+
+(* --- aggregation ----------------------------------------------------------- *)
+
+type totals = {
+  mutable t_reads : int;
+  mutable t_writes : int;
+  mutable t_rows_returned : int;
+  mutable t_rows_scanned : int;
+  mutable t_trigger_hops : int;
+}
+
+let zero_totals () =
+  {
+    t_reads = 0;
+    t_writes = 0;
+    t_rows_returned = 0;
+    t_rows_scanned = 0;
+    t_trigger_hops = 0;
+  }
+
+let add_stats tot (s : M.object_stats) =
+  tot.t_reads <- tot.t_reads + s.M.reads;
+  tot.t_writes <- tot.t_writes + s.M.writes;
+  tot.t_rows_returned <- tot.t_rows_returned + s.M.rows_returned;
+  tot.t_rows_scanned <- tot.t_rows_scanned + s.M.rows_scanned;
+  tot.t_trigger_hops <- tot.t_trigger_hops + s.M.trigger_hops
+
+let merge_into m tot name =
+  match M.find_stats m (key name) with
+  | Some s -> add_stats tot s
+  | None -> ()
+
+(** Per-schema-version traffic, in catalog order. Reads, writes and rows
+    returned are statement-level (a join over two views of one version
+    counts once, via the engine's per-schema counters); trigger hops are
+    summed over the version's views. *)
+let version_counters (db : Db.t) (gen : G.t) =
+  let m = db.Db.metrics in
+  List.map
+    (fun (sv : G.schema_version) ->
+      let tot = zero_totals () in
+      (match M.find_schema_stats m (key sv.G.sv_name) with
+      | Some s ->
+        tot.t_reads <- s.M.reads;
+        tot.t_writes <- s.M.writes;
+        tot.t_rows_returned <- s.M.rows_returned
+      | None -> ());
+      List.iter
+        (fun (table, _) ->
+          match
+            M.find_stats m (key (Naming.version_view ~version:sv.G.sv_name ~table))
+          with
+          | Some s ->
+            tot.t_trigger_hops <- tot.t_trigger_hops + s.M.trigger_hops;
+            tot.t_rows_scanned <- tot.t_rows_scanned + s.M.rows_scanned
+          | None -> ())
+        sv.G.sv_tables;
+      (sv.G.sv_name, tot))
+    gen.G.versions
+
+(** Per-table-version traffic: counters against the canonical
+    table-version view plus scans of its data table (when physical). *)
+let table_version_counters (db : Db.t) (gen : G.t) =
+  let m = db.Db.metrics in
+  List.map
+    (fun (v : G.table_version) ->
+      let tot = zero_totals () in
+      merge_into m tot (G.tv_name v);
+      merge_into m tot (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table);
+      (v, tot))
+    (G.all_table_versions gen)
+  |> List.sort (fun ((a : G.table_version), _) (b, _) ->
+         compare a.G.tv_id b.G.tv_id)
+
+(** The observed workload profile: each schema version weighted by the share
+    of statements (reads + writes) that addressed its views. Empty when no
+    traffic was observed — callers should treat that as "no recommendation
+    possible", not as a uniform workload. *)
+let observed_profile (db : Db.t) (gen : G.t) : Advisor.profile =
+  let per_version = version_counters db gen in
+  let total =
+    List.fold_left
+      (fun acc (_, t) -> acc + t.t_reads + t.t_writes)
+      0 per_version
+  in
+  if total = 0 then []
+  else
+    List.map
+      (fun (name, t) ->
+        (name, float_of_int (t.t_reads + t.t_writes) /. float_of_int total))
+      per_version
+
+(* --- JSON helpers ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+(* --- spans ------------------------------------------------------------------ *)
+
+(** One span as a single JSON object (one line; no trailing newline). *)
+let span_json (sp : M.span) =
+  Fmt.str
+    "{\"seq\":%d,\"kind\":%s,\"targets\":[%s],\"ns\":%d,\"parse_ns\":%d,\"compile_ns\":%d,\"rows\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"trigger_hops\":%d,\"view_depth\":%d}"
+    sp.M.sp_seq (jstr sp.M.sp_kind)
+    (String.concat "," (List.map jstr sp.M.sp_targets))
+    sp.M.sp_ns sp.M.sp_parse_ns sp.M.sp_compile_ns sp.M.sp_rows
+    sp.M.sp_cache_hits sp.M.sp_cache_misses sp.M.sp_trigger_hops
+    sp.M.sp_view_depth
+
+let recent_spans ?limit (db : Db.t) = M.recent_spans ?limit db.Db.metrics
+
+(* --- unified stats ---------------------------------------------------------- *)
+
+let histogram_json h =
+  "["
+  ^ String.concat ","
+      (List.map (fun (lower, count) -> Fmt.str "[%d,%d]" lower count) h)
+  ^ "]"
+
+(** The unified stats document: telemetry switch, statement counts,
+    view-cache hits/misses, flatten fallbacks, per-version and
+    per-table-version counters, the observed profile and both latency
+    histograms. This is the [inverda_cli stats --json] payload; its field
+    set is checked by [check.sh]. *)
+let stats_json (db : Db.t) (gen : G.t) =
+  let m = db.Db.metrics in
+  let hits, misses = Db.cache_stats db in
+  let fallbacks = Flatten.fallbacks gen in
+  let buf = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  add "{";
+  add "\"enabled\":%b," m.M.enabled;
+  add "\"observed_statements\":%d," m.M.statements;
+  add "\"engine_statements\":%d," db.Db.statements_executed;
+  add "\"trigger_hops\":%d," m.M.trigger_hops_total;
+  add "\"cache\":{\"hits\":%d,\"misses\":%d}," hits misses;
+  add "\"flatten_fallbacks\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun (rel, reason) ->
+            Fmt.str "{\"relation\":%s,\"reason\":%s}" (jstr rel) (jstr reason))
+          fallbacks));
+  add "\"versions\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun (name, t) ->
+            Fmt.str
+              "{\"version\":%s,\"reads\":%d,\"writes\":%d,\"rows_returned\":%d,\"trigger_hops\":%d}"
+              (jstr name) t.t_reads t.t_writes t.t_rows_returned
+              t.t_trigger_hops)
+          (version_counters db gen)));
+  add "\"table_versions\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun ((v : G.table_version), t) ->
+            Fmt.str
+              "{\"tv\":%d,\"table\":%s,\"physical\":%b,\"reads\":%d,\"writes\":%d,\"rows_scanned\":%d,\"trigger_hops\":%d}"
+              v.G.tv_id (jstr v.G.tv_table)
+              (G.is_physical gen v)
+              t.t_reads t.t_writes t.t_rows_scanned t.t_trigger_hops)
+          (table_version_counters db gen)));
+  add "\"observed_profile\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun (name, w) -> Fmt.str "{\"version\":%s,\"weight\":%.4f}" (jstr name) w)
+          (observed_profile db gen)));
+  add "\"read_latency_ns\":%s," (histogram_json (M.read_histogram m));
+  add "\"write_latency_ns\":%s," (histogram_json (M.write_histogram m));
+  add "\"spans\":{\"recorded\":%d,\"held\":%d,\"capacity\":%d}"
+    (M.total_spans m)
+    (List.length (M.recent_spans m))
+    M.span_capacity;
+  add "}";
+  Buffer.contents buf
+
+let pct part total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+(** Human-readable stats summary (the default [inverda_cli stats] output). *)
+let stats_text (db : Db.t) (gen : G.t) =
+  let m = db.Db.metrics in
+  let hits, misses = Db.cache_stats db in
+  let fallbacks = Flatten.fallbacks gen in
+  let buf = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  add "telemetry: %s@." (if m.M.enabled then "enabled" else "disabled");
+  add "statements: %d observed (%d engine-total, incl. cascades/internal)@."
+    m.M.statements db.Db.statements_executed;
+  add "trigger hops: %d@." m.M.trigger_hops_total;
+  add "view cache: %d hits / %d misses (%.1f%% hit rate)@." hits misses
+    (pct hits (hits + misses));
+  (match fallbacks with
+  | [] -> add "flatten fallbacks: none@."
+  | fs ->
+    add "flatten fallbacks: %d@." (List.length fs);
+    List.iter (fun (rel, reason) -> add "  %s: %s@." rel reason) fs);
+  add "per-version traffic:@.";
+  let profile = observed_profile db gen in
+  List.iter
+    (fun (name, t) ->
+      let share =
+        match List.assoc_opt name profile with
+        | Some w -> Fmt.str " (%.1f%%)" (100.0 *. w)
+        | None -> ""
+      in
+      add "  %-16s %6d reads  %6d writes  %8d rows  %5d hops%s@." name
+        t.t_reads t.t_writes t.t_rows_returned t.t_trigger_hops share)
+    (version_counters db gen);
+  add "per-table-version traffic:@.";
+  List.iter
+    (fun ((v : G.table_version), t) ->
+      if t.t_reads + t.t_writes + t.t_rows_scanned + t.t_trigger_hops > 0 then
+        add "  tv%-3d %-12s %s  %5d reads  %5d writes  %8d scanned@."
+          v.G.tv_id v.G.tv_table
+          (if G.is_physical gen v then "physical" else "derived ")
+          t.t_reads t.t_writes t.t_rows_scanned)
+    (table_version_counters db gen);
+  let histo label h =
+    if h <> [] then begin
+      add "%s latency (log2 ns buckets):@." label;
+      List.iter (fun (lower, count) -> add "  >=%9dns  %d@." lower count) h
+    end
+  in
+  histo "read" (M.read_histogram m);
+  histo "write" (M.write_histogram m);
+  add "spans: %d recorded, %d held (capacity %d)@." (M.total_spans m)
+    (List.length (M.recent_spans m))
+    M.span_capacity;
+  Buffer.contents buf
+
+(* --- EXPLAIN ---------------------------------------------------------------- *)
+
+(* Reverse lookups from object names into the genealogy. *)
+let version_view_of (gen : G.t) k =
+  List.find_map
+    (fun (sv : G.schema_version) ->
+      List.find_map
+        (fun (table, tvid) ->
+          if key (Naming.version_view ~version:sv.G.sv_name ~table) = k then
+            Some (sv.G.sv_name, table, tvid)
+          else None)
+        sv.G.sv_tables)
+    gen.G.versions
+
+let canonical_of (gen : G.t) k =
+  List.find_opt (fun v -> key (G.tv_name v) = k) (G.all_table_versions gen)
+
+let data_table_of (gen : G.t) k =
+  List.find_opt
+    (fun (v : G.table_version) ->
+      key (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table) = k)
+    (G.all_table_versions gen)
+
+let smo_label (si : G.smo_instance) =
+  Fmt.str "SMO #%d %s (%s)" si.G.si_id
+    (Bidel.Ast.smo_name si.G.si_smo)
+    (if si.G.si_materialized then "materialized" else "virtualized")
+
+(* The genealogy access path from a table version to the data, following
+   Section 6's case analysis hop by hop. [emit] receives finished lines. *)
+let rec genealogy_path (gen : G.t) visited (v : G.table_version) emit indent =
+  let pad = String.make (2 * indent) ' ' in
+  if List.mem v.G.tv_id visited then
+    emit (Fmt.str "%s... tv%d revisited (shared ancestor)" pad v.G.tv_id)
+  else begin
+    let visited = v.G.tv_id :: visited in
+    match G.access_case gen v with
+    | G.Local ->
+      emit
+        (Fmt.str "%stv%d(%s): local - data table %s" pad v.G.tv_id v.G.tv_table
+           (Naming.data_table ~id:v.G.tv_id ~table:v.G.tv_table))
+    | G.Forwards o ->
+      let si = G.smo gen o in
+      emit
+        (Fmt.str "%stv%d(%s): forwards through %s" pad v.G.tv_id v.G.tv_table
+           (smo_label si));
+      List.iter
+        (fun t -> genealogy_path gen visited (G.tv gen t) emit (indent + 1))
+        si.G.si_target_tvs
+    | G.Backwards i ->
+      let si = G.smo gen i in
+      emit
+        (Fmt.str "%stv%d(%s): backwards through %s" pad v.G.tv_id v.G.tv_table
+           (smo_label si));
+      List.iter
+        (fun s -> genealogy_path gen visited (G.tv gen s) emit (indent + 1))
+        si.G.si_source_tvs
+  end
+
+let flatten_text (outcome : G.flatten_outcome) =
+  match outcome with
+  | G.F_physical -> "physical (data table pass-through; nothing to flatten)"
+  | G.F_single -> "single-hop already (layered body reads physical tables)"
+  | G.F_flat (rules, disjoint) ->
+    Fmt.str "flattened single hop: %d composed rule(s), %s" (List.length rules)
+      (if disjoint then "UNION ALL (provably disjoint)"
+       else "deduplicating UNION")
+  | G.F_fallback reason -> Fmt.str "layered stack kept: %s" reason
+
+(* The installed view stack under a name: what the executor actually expands,
+   view by view, down to stored tables. *)
+let view_stack (db : Db.t) emit name =
+  let visited = Hashtbl.create 16 in
+  let rec go indent name =
+    let k = key name in
+    let pad = String.make (2 * indent) ' ' in
+    if indent > 16 then emit (pad ^ "...")
+    else if Hashtbl.mem visited k then emit (Fmt.str "%s%s (shared)" pad k)
+    else begin
+      Hashtbl.replace visited k ();
+      match Db.find_object db k with
+      | Some (Db.Obj_view v) ->
+        emit (Fmt.str "%sview %s" pad k);
+        List.iter (go (indent + 1)) (Minidb.Exec.query_targets v.Db.query)
+      | Some (Db.Obj_table _) -> emit (Fmt.str "%stable %s" pad k)
+      | None -> emit (Fmt.str "%s%s (missing)" pad k)
+    end
+  in
+  go 1 name
+
+(* Trigger cascade a write on [target] would fire, following the statically
+   known targets of each trigger body. *)
+let trigger_cascade (db : Db.t) emit target event =
+  let visited = Hashtbl.create 16 in
+  let event_name = function
+    | Sql.On_insert -> "INSERT"
+    | Sql.On_update -> "UPDATE"
+    | Sql.On_delete -> "DELETE"
+  in
+  let stmt_write = function
+    | Sql.Insert { table; _ } -> Some (table, Sql.On_insert)
+    | Sql.Update { table; _ } -> Some (table, Sql.On_update)
+    | Sql.Delete { table; _ } -> Some (table, Sql.On_delete)
+    | _ -> None
+  in
+  let rec go indent target event =
+    let pad = String.make (2 * indent) ' ' in
+    let k = (key target, event) in
+    if Hashtbl.mem visited k then
+      emit (Fmt.str "%s%s %s (already shown)" pad (event_name event) (key target))
+    else begin
+      Hashtbl.replace visited k ();
+      match Db.trigger_for db ~target ~event with
+      | None -> (
+        match Db.find_object db target with
+        | Some (Db.Obj_table _) ->
+          emit
+            (Fmt.str "%s%s %s: direct table write" pad (event_name event)
+               (key target))
+        | _ ->
+          emit
+            (Fmt.str "%s%s %s: no trigger (write would fail or be a no-op)" pad
+               (event_name event) (key target)))
+      | Some trig ->
+        emit
+          (Fmt.str "%s%s %s fires %s%s" pad (event_name event) (key target)
+             trig.Db.trig_name
+             (if trig.Db.instead_of then " (INSTEAD OF)" else ""));
+        List.iter
+          (fun stmt ->
+            match stmt_write stmt with
+            | Some (t, e) -> go (indent + 1) t e
+            | None -> ())
+          trig.Db.body
+    end
+  in
+  go 1 target event
+
+(** Physical stored tables whose contents the named object depends on. *)
+let physical_bases (db : Db.t) (gen : G.t) k =
+  let via_genealogy name =
+    let bases = Viewcache.closure gen name in
+    match bases with [ b ] when b = name -> None | l -> Some l
+  in
+  let resolved =
+    match version_view_of gen k with
+    | Some (_, _, tvid) -> via_genealogy (G.tv_name (G.tv gen tvid))
+    | None -> (
+      match canonical_of gen k with
+      | Some v -> via_genealogy (G.tv_name v)
+      | None -> None)
+  in
+  match resolved with
+  | Some l -> l
+  | None -> (
+    match Db.view_bases_opt db k with
+    | Some (Some l) -> l
+    | _ -> (
+      match Db.find_object db k with Some (Db.Obj_table _) -> [ k ] | _ -> []))
+
+(** EXPLAIN one SQL statement: for every object it names, the role of that
+    object in the genealogy, the access path to the data, the flattening
+    decision, the installed view stack, the physical tables touched and —
+    for writes — the trigger cascade. Returns human-readable text. *)
+let explain (db : Db.t) (gen : G.t) sql =
+  let stmt = Minidb.Sql_parser.statement_of_string sql in
+  let buf = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let emit line = Buffer.add_string buf (line ^ "\n") in
+  let flat = if gen.G.versions = [] then fun _ -> G.F_physical else Flatten.plan gen in
+  let explain_object ?write_event name =
+    let k = key name in
+    let tv_info =
+      match version_view_of gen k with
+      | Some (version, table, tvid) ->
+        add "%s: version view (%s of version %s, tv%d)@." k table version tvid;
+        Some (G.tv gen tvid)
+      | None -> (
+        match canonical_of gen k with
+        | Some v ->
+          add "%s: canonical table-version view (tv%d of %s)@." k v.G.tv_id
+            v.G.tv_table;
+          Some v
+        | None -> (
+          match data_table_of gen k with
+          | Some v ->
+            add "%s: physical data table of tv%d(%s)@." k v.G.tv_id v.G.tv_table;
+            Some v
+          | None ->
+            (match Db.find_object db k with
+            | Some (Db.Obj_table _) -> add "%s: plain table (outside the genealogy)@." k
+            | Some (Db.Obj_view _) -> add "%s: plain view (outside the genealogy)@." k
+            | None -> add "%s: unknown object@." k);
+            None))
+    in
+    (match tv_info with
+    | Some v ->
+      add " genealogy access path:@.";
+      genealogy_path gen [] v emit 1;
+      add " flattening: %s@." (flatten_text (flat (G.tv_name v)))
+    | None -> ());
+    (match Db.find_object db k with
+    | Some (Db.Obj_view _) ->
+      add " installed view stack:@.";
+      view_stack db emit k
+    | _ -> ());
+    (match physical_bases db gen k with
+    | [] -> ()
+    | bases -> add " physical tables touched: %s@." (String.concat ", " bases));
+    match write_event with
+    | Some event ->
+      add " trigger cascade:@.";
+      trigger_cascade db emit k event
+    | None -> ()
+  in
+  (match stmt with
+  | Sql.Query q ->
+    add "SELECT reading %s@."
+      (match Minidb.Exec.query_targets q with
+      | [] -> "(no stored objects)"
+      | ts -> String.concat ", " ts);
+    List.iter explain_object (Minidb.Exec.query_targets q)
+  | Sql.Insert { table; _ } ->
+    add "INSERT into %s@." (key table);
+    explain_object ~write_event:Sql.On_insert table
+  | Sql.Update { table; _ } ->
+    add "UPDATE of %s@." (key table);
+    explain_object ~write_event:Sql.On_update table
+  | Sql.Delete { table; _ } ->
+    add "DELETE from %s@." (key table);
+    explain_object ~write_event:Sql.On_delete table
+  | _ -> add "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements@.");
+  Buffer.contents buf
+
+(** EXPLAIN as a JSON object: statement kind, named targets, per-target role
+    / flattening / physical bases, and the rendered text for everything
+    path-shaped. *)
+let explain_json (db : Db.t) (gen : G.t) sql =
+  let stmt = Minidb.Sql_parser.statement_of_string sql in
+  let flat = if gen.G.versions = [] then fun _ -> G.F_physical else Flatten.plan gen in
+  let kind, targets =
+    match stmt with
+    | Sql.Query q -> ("query", Minidb.Exec.query_targets q)
+    | Sql.Insert { table; _ } -> ("insert", [ key table ])
+    | Sql.Update { table; _ } -> ("update", [ key table ])
+    | Sql.Delete { table; _ } -> ("delete", [ key table ])
+    | _ -> ("unsupported", [])
+  in
+  let target_json name =
+    let k = key name in
+    let role, tv =
+      match version_view_of gen k with
+      | Some (version, table, tvid) ->
+        ( Fmt.str "version view %s.%s" version table,
+          Some (G.tv gen tvid) )
+      | None -> (
+        match canonical_of gen k with
+        | Some v -> ("canonical table-version view", Some v)
+        | None -> (
+          match data_table_of gen k with
+          | Some v -> ("physical data table", Some v)
+          | None -> (
+            match Db.find_object db k with
+            | Some (Db.Obj_table _) -> ("plain table", None)
+            | Some (Db.Obj_view _) -> ("plain view", None)
+            | None -> ("unknown", None))))
+    in
+    let flattening =
+      match tv with
+      | Some v -> jstr (flatten_text (flat (G.tv_name v)))
+      | None -> "null"
+    in
+    let tv_id = match tv with Some v -> string_of_int v.G.tv_id | None -> "null" in
+    Fmt.str
+      "{\"object\":%s,\"role\":%s,\"tv\":%s,\"flattening\":%s,\"physical_tables\":[%s]}"
+      (jstr k) (jstr role) tv_id flattening
+      (String.concat "," (List.map jstr (physical_bases db gen k)))
+  in
+  Fmt.str "{\"kind\":%s,\"targets\":[%s],\"objects\":[%s],\"text\":%s}"
+    (jstr kind)
+    (String.concat "," (List.map jstr targets))
+    (String.concat "," (List.map target_json targets))
+    (jstr (explain db gen sql))

@@ -1,0 +1,54 @@
+(** Workload telemetry over the genealogy: aggregates the engine's raw
+    per-object counters into per-version figures, derives the observed
+    {!Advisor.profile}, renders unified stats and statement spans, and
+    implements EXPLAIN for the delta-code path of a statement. *)
+
+val enabled : Minidb.Database.t -> bool
+val set_enabled : Minidb.Database.t -> bool -> unit
+
+val reset : Minidb.Database.t -> unit
+(** Zero all counters, histograms and spans. *)
+
+(** Aggregated counters for a schema version or table version. *)
+type totals = {
+  mutable t_reads : int;
+  mutable t_writes : int;
+  mutable t_rows_returned : int;
+  mutable t_rows_scanned : int;
+  mutable t_trigger_hops : int;
+}
+
+val version_counters :
+  Minidb.Database.t -> Genealogy.t -> (string * totals) list
+(** Traffic per schema version (summed over its ["version.table"] views), in
+    catalog order. *)
+
+val table_version_counters :
+  Minidb.Database.t -> Genealogy.t -> (Genealogy.table_version * totals) list
+(** Traffic per table version (canonical view + data-table scans), by id. *)
+
+val observed_profile : Minidb.Database.t -> Genealogy.t -> Advisor.profile
+(** Share of observed statements (reads + writes) per schema version,
+    normalized to sum 1; empty when nothing was observed. *)
+
+val span_json : Minidb.Metrics.span -> string
+(** One span as a single-line JSON object. *)
+
+val recent_spans :
+  ?limit:int -> Minidb.Database.t -> Minidb.Metrics.span list
+
+val stats_json : Minidb.Database.t -> Genealogy.t -> string
+(** The unified stats document ([inverda_cli stats --json]): switch state,
+    statement counts, cache hits/misses, flatten fallbacks, per-version and
+    per-table-version counters, observed profile, latency histograms, span
+    ring occupancy. *)
+
+val stats_text : Minidb.Database.t -> Genealogy.t -> string
+
+val explain : Minidb.Database.t -> Genealogy.t -> string -> string
+(** [explain db gen sql]: for every object the statement names — its role in
+    the genealogy, the Section 6 access path to the data, the flattening
+    decision, the installed view stack, the physical tables touched, and for
+    DML the trigger cascade. Raises on unparsable SQL. *)
+
+val explain_json : Minidb.Database.t -> Genealogy.t -> string -> string

@@ -6,8 +6,14 @@ type view = { view_name : string; query : Sql_ast.query; view_cols : string list
 
 (** Result of a query: column names and rows. Defined here (rather than in
     {!Exec}) so the catalog can hold cached view results; {!Exec} re-exports
-    it under the same name. *)
-type relation = { rel_cols : string list; rel_rows : Value.t array list }
+    it under the same name. [rel_count] is the row count when the producer
+    could track it without an extra traversal, [-1] otherwise — telemetry
+    falls back to [List.length] only in that case. *)
+type relation = {
+  rel_cols : string list;
+  rel_rows : Value.t array list;
+  rel_count : int;
+}
 
 (** A cached view result is valid as long as every physical base table it
     was computed from is still at the epoch recorded at compute time. *)
@@ -85,6 +91,11 @@ type t = {
   mutable failpoint : int option;
       (** fault injection: [Some k] makes the k-th subsequently executed
           statement raise {!Injected_fault} before doing anything *)
+  metrics : Metrics.t;
+      (** execution telemetry: per-object counters, latency histograms and
+          the statement-span ring buffer. Populated by {!Exec}/{!Engine}
+          when [metrics.enabled] (the default); host code suspends it
+          around internal statements via {!Metrics.suspend}. *)
 }
 
 exception Engine_error of string
@@ -117,6 +128,7 @@ let create () =
     view_cache_hits = 0;
     view_cache_misses = 0;
     failpoint = None;
+    metrics = Metrics.create ();
   }
 
 (* --- fault injection ----------------------------------------------------- *)

@@ -5,8 +5,20 @@ type db = Database.t
 
 let create = Database.create
 
-(** Execute one SQL statement given as text. *)
-let exec db sql = Exec.exec_statement db (Sql_parser.statement_of_string sql)
+(** Execute one SQL statement given as text. When telemetry is collecting,
+    the parse phase is timed separately and folded into the statement's span
+    (pre-built ASTs report a parse time of 0). *)
+let exec db sql =
+  let m = db.Database.metrics in
+  if Metrics.collecting m && db.Database.trigger_depth = 0 then begin
+    let t0 = Metrics.now_ns () in
+    let stmt = Sql_parser.statement_of_string sql in
+    let t1 = Metrics.now_ns () in
+    m.Metrics.pending_parse_ns <- t1 - t0;
+    m.Metrics.pending_t0 <- t1;
+    Exec.exec_statement db stmt
+  end
+  else Exec.exec_statement db (Sql_parser.statement_of_string sql)
 
 let execf db fmt = Fmt.kstr (fun sql -> exec db sql) fmt
 

@@ -14,6 +14,7 @@ module Db = Database
 type relation = Db.relation = {
   rel_cols : string list;
   rel_rows : Value.t array list;
+  rel_count : int;  (** row count, or [-1] when not tracked at build time *)
 }
 
 type result = Rows of relation | Affected of int | Done
@@ -756,7 +757,14 @@ and object_relation ctx name : relation =
         let rows =
           Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
         in
-        { rel_cols = Schema.names tbl.Table.schema; rel_rows = rows }
+        (let m = ctx.db.Db.metrics in
+         if Metrics.collecting m then
+           Metrics.record_scan m k (Hashtbl.length tbl.Table.rows));
+        {
+          rel_cols = Schema.names tbl.Table.schema;
+          rel_rows = rows;
+          rel_count = Hashtbl.length tbl.Table.rows;
+        }
       | Some (Db.Obj_view v) -> view_relation ctx k v
       | None -> error "no such table or view %s" name
     in
@@ -770,8 +778,16 @@ and object_relation ctx name : relation =
    evaluated afresh every statement, as before. *)
 and view_relation ctx k (v : Db.view) : relation =
   let compute () =
+    (* expansion-depth bookkeeping for spans; the statement prologue resets
+       the depth, so an exception unwinding through here cannot skew later
+       statements *)
+    let m = ctx.db.Db.metrics in
+    let d = m.Metrics.cur_view_depth + 1 in
+    m.Metrics.cur_view_depth <- d;
+    if d > m.Metrics.max_view_depth then m.Metrics.max_view_depth <- d;
     let f = compile_query ctx [] v.Db.query in
     let rel = f { ctx; rows = []; params = no_params } in
+    m.Metrics.cur_view_depth <- d - 1;
     { rel with rel_cols = v.Db.view_cols }
   in
   if not ctx.db.Db.view_cache_enabled then compute ()
@@ -1379,8 +1395,10 @@ and compile_select ctx outer_scopes sel : env -> relation =
     | Some _ when identity_projection ->
       fun env ->
         let rows = filter env (produce env) in
-        let rows = if sel.distinct then dedupe rows else rows in
-        { rel_cols = cols; rel_rows = rows }
+        if sel.distinct then
+          let rows, n = dedupe rows in
+          { rel_cols = cols; rel_rows = rows; rel_count = n }
+        else { rel_cols = cols; rel_rows = rows; rel_count = -1 }
     | Some positions ->
       let n = Array.length positions in
       (* hand-rolled constructors for the common small arities avoid the
@@ -1403,6 +1421,7 @@ and compile_select ctx outer_scopes sel : env -> relation =
           let seen : (Value.t, Value.t array list) Hashtbl.t =
             Hashtbl.create 64
           in
+          let n = ref 0 in
           let out =
             List.filter_map
               (fun row ->
@@ -1414,15 +1433,24 @@ and compile_select ctx outer_scopes sel : env -> relation =
                 if List.exists (fun q -> q = p) prior then None
                 else begin
                   Hashtbl.replace seen k (p :: prior);
+                  incr n;
                   Some p
                 end)
               rows
           in
-          { rel_cols = cols; rel_rows = out }
+          { rel_cols = cols; rel_rows = out; rel_count = !n }
       else
         fun env ->
           let rows = filter env (produce env) in
-          { rel_cols = cols; rel_rows = List.map project rows }
+          let n = ref 0 in
+          let out =
+            List.map
+              (fun row ->
+                incr n;
+                project row)
+              rows
+          in
+          { rel_cols = cols; rel_rows = out; rel_count = !n }
     | None ->
     let item_fns =
       List.concat_map
@@ -1450,32 +1478,40 @@ and compile_select ctx outer_scopes sel : env -> relation =
     in
     fun env ->
       let rows = filter env (produce env) in
+      let n = ref 0 in
       let out =
         List.map
           (fun row ->
+            incr n;
             let env' = { env with rows = row :: env.rows } in
             Array.of_list (List.map (fun f -> f env') item_fns))
           rows
       in
-      let out = if sel.distinct then dedupe out else out in
-      { rel_cols = cols; rel_rows = out }
+      if sel.distinct then
+        let out, n = dedupe out in
+        { rel_cols = cols; rel_rows = out; rel_count = n }
+      else { rel_cols = cols; rel_rows = out; rel_count = !n }
   end
   else compile_aggregate ctx scopes sel cols produce filter
 
 and dedupe rows =
   (* rows are immutable by convention; the generic hash/equality on arrays is
-     structural, so they key directly *)
+     structural, so they key directly. Also returns the distinct count (the
+     size of the seen-set), so callers get the row count for free. *)
   let seen : (Value.t array, unit) Hashtbl.t =
     Hashtbl.create (max 64 (List.length rows))
   in
-  List.filter
-    (fun row ->
-      if Hashtbl.mem seen row then false
-      else begin
-        Hashtbl.replace seen row ();
-        true
-      end)
-    rows
+  let out =
+    List.filter
+      (fun row ->
+        if Hashtbl.mem seen row then false
+        else begin
+          Hashtbl.replace seen row ();
+          true
+        end)
+      rows
+  in
+  (out, Hashtbl.length seen)
 
 and index_fast_path ctx sel scope scopes produce =
   if not ctx.db.Db.optimizations then produce
@@ -1755,6 +1791,7 @@ and compile_aggregate ctx scopes sel cols produce filter =
             (row :: Option.value (Hashtbl.find_opt groups key) ~default:[]))
         rows;
     let fhaving = sel.having in
+    let n = ref 0 in
     let out =
       List.rev !order
       |> List.filter_map (fun key ->
@@ -1768,12 +1805,14 @@ and compile_aggregate ctx scopes sel cols produce filter =
                  | _ -> false)
              in
              if not keep then None
-             else
+             else begin
+               incr n;
                Some
                  (Array.of_list
-                    (List.map (eval_aggregate env group_rows) item_exprs)))
+                    (List.map (eval_aggregate env group_rows) item_exprs))
+             end)
     in
-    { rel_cols = cols; rel_rows = out }
+    { rel_cols = cols; rel_rows = out; rel_count = !n }
 
 (* --- queries ---------------------------------------------------------------- *)
 
@@ -1785,8 +1824,16 @@ and compile_query ctx outer_scopes q : env -> relation =
       fun env ->
         let ra = fa env and rb = fb env in
         let rows = ra.rel_rows @ rb.rel_rows in
-        let rows = if all then rows else dedupe rows in
-        { rel_cols = ra.rel_cols; rel_rows = rows }
+        if all then
+          let n =
+            if ra.rel_count >= 0 && rb.rel_count >= 0 then
+              ra.rel_count + rb.rel_count
+            else -1
+          in
+          { rel_cols = ra.rel_cols; rel_rows = rows; rel_count = n }
+        else
+          let rows, n = dedupe rows in
+          { rel_cols = ra.rel_cols; rel_rows = rows; rel_count = n }
   in
   let fbody = of_set_op q.body in
   let cols = query_columns ctx q in
@@ -1822,22 +1869,105 @@ and compile_query ctx outer_scopes q : env -> relation =
         List.stable_sort cmp rel.rel_rows
       end
     in
-    let rows =
-      match q.limit with
-      | None -> rows
-      | Some n ->
-        let rec take k = function
-          | [] -> []
-          | _ when k = 0 -> []
-          | x :: rest -> x :: take (k - 1) rest
-        in
-        take n rows
-    in
-    { rel_cols = rel.rel_cols; rel_rows = rows }
+    match q.limit with
+    | None ->
+      (* sorting preserves the cardinality tracked by the set-op body *)
+      { rel_cols = rel.rel_cols; rel_rows = rows; rel_count = rel.rel_count }
+    | Some n ->
+      let taken = ref 0 in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest ->
+          incr taken;
+          x :: take (k - 1) rest
+      in
+      let rows = take n rows in
+      { rel_cols = rel.rel_cols; rel_rows = rows; rel_count = !taken }
 
 (* --- statements --------------------------------------------------------------- *)
 
 let max_trigger_depth = 128
+
+(* --- telemetry ------------------------------------------------------------ *)
+
+(* Objects named directly in a query's FROM clauses (set-ops and derived
+   tables included), lowercase and deduped. Reads are attributed to what the
+   statement *named* — a version view counts as traffic for that version, not
+   for the physical tables its delta code reaches. *)
+let query_targets q =
+  let acc = ref [] in
+  let add name =
+    let k = Db.key name in
+    if not (List.mem k !acc) then acc := k :: !acc
+  in
+  let rec walk_query (q : query) = walk_set_op q.body
+  and walk_set_op = function
+    | Select s -> Option.iter walk_from s.from
+    | Union (a, b, _) ->
+      walk_set_op a;
+      walk_set_op b
+  and walk_from = function
+    | From_table (name, _) -> add name
+    | From_select (sub, _) -> walk_query sub
+    | From_join (a, _, b, _) ->
+      walk_from a;
+      walk_from b
+  in
+  walk_query q;
+  List.rev !acc
+
+let span_shape stmt =
+  match stmt with
+  | Query q -> ("query", query_targets q)
+  | Insert { table; _ } -> ("insert", [ Db.key table ])
+  | Update { table; _ } -> ("update", [ Db.key table ])
+  | Delete { table; _ } -> ("delete", [ Db.key table ])
+  | Create_table { name; _ }
+  | Drop_table { name; _ }
+  | Create_view { name; _ }
+  | Drop_view { name; _ }
+  | Create_trigger { name; _ }
+  | Drop_trigger { name; _ } ->
+    ("ddl", [ Db.key name ])
+  | Create_index { table; _ } -> ("ddl", [ Db.key table ])
+  | Set_new _ | Begin_txn | Commit | Rollback -> ("txn", [])
+
+(* Close the span for an observed top-level statement: fold the result into
+   the per-object counters and histograms and push the span into the ring.
+   [t0/hits0/misses0/hops0] were sampled before execution. *)
+let finish_span db (m : Metrics.t) stmt result ~t0 ~hits0 ~misses0 ~hops0 =
+  let ns = Metrics.now_ns () - t0 in
+  let kind, targets = span_shape stmt in
+  let rows =
+    match result with
+    | Rows rel ->
+      if rel.rel_count >= 0 then rel.rel_count else List.length rel.rel_rows
+    | Affected n -> n
+    | Done -> 0
+  in
+  let quals =
+    List.filter_map Metrics.schema_of targets |> List.sort_uniq compare
+  in
+  (match kind with
+  | "query" ->
+    List.iter (fun name -> Metrics.record_read m name ~rows) targets;
+    List.iter (fun q -> Metrics.record_schema_read m q ~rows) quals;
+    Metrics.observe_read_ns m ns
+  | "insert" | "update" | "delete" ->
+    List.iter (fun name -> Metrics.record_write m name) targets;
+    List.iter (fun q -> Metrics.record_schema_write m q) quals;
+    Metrics.observe_write_ns m ns
+  | _ -> ());
+  m.Metrics.statements <- m.Metrics.statements + 1;
+  let parse_ns = m.Metrics.pending_parse_ns in
+  m.Metrics.pending_parse_ns <- 0;
+  Metrics.record_span m ~kind ~targets ~ns ~parse_ns
+    ~compile_ns:m.Metrics.last_compile_ns ~rows
+    ~cache_hits:(db.Db.view_cache_hits - hits0)
+    ~cache_misses:(db.Db.view_cache_misses - misses0)
+    ~trigger_hops:(m.Metrics.trigger_hops_total - hops0)
+    ~view_depth:m.Metrics.max_view_depth
 
 let view_columns ctx (q : query) explicit =
   match explicit with Some cols -> cols | None -> query_columns ctx q
@@ -1852,6 +1982,29 @@ let rec exec_statement db ?(params = no_params) stmt : result =
   let mark = db.Db.undo in
   db.Db.statements_executed <- db.Db.statements_executed + 1;
   Db.tick_failpoint db;
+  let m = db.Db.metrics in
+  let observe = top_level && Metrics.collecting m in
+  let t0 =
+    if not observe then begin
+      (* drop any staged timestamp so it cannot leak to a later statement *)
+      if m.Metrics.pending_t0 > 0 then m.Metrics.pending_t0 <- 0;
+      0
+    end
+    else if m.Metrics.pending_t0 > 0 then begin
+      (* {!Engine} already read the clock right after parsing *)
+      let t = m.Metrics.pending_t0 in
+      m.Metrics.pending_t0 <- 0;
+      t
+    end
+    else Metrics.now_ns ()
+  in
+  let hits0 = db.Db.view_cache_hits and misses0 = db.Db.view_cache_misses in
+  let hops0 = m.Metrics.trigger_hops_total in
+  if observe then begin
+    m.Metrics.cur_view_depth <- 0;
+    m.Metrics.max_view_depth <- 0;
+    m.Metrics.last_compile_ns <- 0
+  end;
   let run () =
     match stmt with
     | Query q -> Rows (relation_of_query db params q)
@@ -1915,17 +2068,29 @@ let rec exec_statement db ?(params = no_params) stmt : result =
   match run () with
   | result ->
     if top_level && not db.Db.in_txn then db.Db.undo <- [];
+    if observe then finish_span db m stmt result ~t0 ~hits0 ~misses0 ~hops0;
     result
   | exception exn ->
     if top_level then Db.rollback_to db mark;
+    if observe then m.Metrics.pending_parse_ns <- 0;
     raise exn
 
 and relation_of_query db params q =
   let ctx = fresh_ctx db in
-  let f = compile_query ctx [] q in
-  f { ctx; rows = []; params }
+  let m = db.Db.metrics in
+  if db.Db.trigger_depth = 0 && Metrics.collecting m then begin
+    let c0 = Metrics.now_ns () in
+    let f = compile_query ctx [] q in
+    m.Metrics.last_compile_ns <- Metrics.now_ns () - c0;
+    f { ctx; rows = []; params }
+  end
+  else
+    let f = compile_query ctx [] q in
+    f { ctx; rows = []; params }
 
 and run_trigger db trig ~new_row ~old_row cols =
+  (let m = db.Db.metrics in
+   if Metrics.collecting m then Metrics.record_trigger_hop m trig.Db.target);
   db.Db.trigger_depth <- db.Db.trigger_depth + 1;
   if db.Db.trigger_depth > max_trigger_depth then begin
     db.Db.trigger_depth <- db.Db.trigger_depth - 1;

@@ -1,0 +1,271 @@
+(** Execution telemetry: per-object access counters, log2-bucketed latency
+    histograms and a bounded ring buffer of statement spans.
+
+    The module is engine-agnostic bookkeeping only — {!Exec} and {!Engine}
+    decide *what* to attribute to *which* object; this module just stores
+    it. Everything is designed to cost a few integer operations per event so
+    the executor can leave collection on by default:
+
+    - counters live in mutable records found once per statement via a
+      hashtable keyed by lowercase object name;
+    - latencies go into fixed 64-slot arrays indexed by [log2 ns];
+    - spans overwrite a fixed-capacity array, so memory is bounded no matter
+      how long the process runs.
+
+    [internal_depth] gates collection: the migration engine and the
+    delta-code generator bump it around their internal statements so that a
+    MATERIALIZE (moving every row through INSERT/DELETE statements) does not
+    inflate the per-version traffic counters the advisor later reads. *)
+
+type object_stats = {
+  mutable reads : int;  (** statements that read from the object *)
+  mutable writes : int;  (** DML statements targeting the object *)
+  mutable rows_scanned : int;  (** stored rows materialized while serving it *)
+  mutable rows_returned : int;  (** result rows produced by reads *)
+  mutable trigger_hops : int;  (** trigger invocations fired on the object *)
+}
+
+(** One executed top-level statement, as recorded by the executor. Durations
+    are nanoseconds; [sp_seq] is a monotone sequence number that survives
+    ring-buffer wrap-around (so consumers can detect dropped spans). *)
+type span = {
+  sp_seq : int;
+  sp_kind : string;  (** [query]/[insert]/[update]/[delete]/[ddl]/[txn] *)
+  sp_targets : string list;  (** objects the statement touched, lowercase *)
+  sp_ns : int;  (** wall-clock duration of the execute phase *)
+  sp_parse_ns : int;  (** SQL text -> AST (0 for pre-built ASTs) *)
+  sp_compile_ns : int;  (** query -> relation plan/eval setup *)
+  sp_rows : int;  (** rows returned (queries) or affected (DML) *)
+  sp_cache_hits : int;  (** view-cache hits during this statement *)
+  sp_cache_misses : int;
+  sp_trigger_hops : int;  (** trigger invocations cascaded from it *)
+  sp_view_depth : int;  (** deepest view-expansion nesting reached *)
+}
+
+let buckets = 64
+
+type t = {
+  mutable enabled : bool;
+  mutable internal_depth : int;
+      (** > 0 while executing engine-internal statements (migration data
+          movement, delta-code installation, backfills): collection is off *)
+  objects : (string, object_stats) Hashtbl.t;
+  schemas : (string, object_stats) Hashtbl.t;
+      (** per-qualifier counters: a statement naming several objects of the
+          same schema ("tasky2.task" joined with "tasky2.author") counts
+          once here — the statement-level traffic share a workload profile
+          is built from *)
+  mutable statements : int;  (** observed top-level statements *)
+  mutable trigger_hops_total : int;
+  read_latency : int array;  (** bucket [i] counts reads in [2^i, 2^i+1) ns *)
+  write_latency : int array;
+  mutable pending_parse_ns : int;
+      (** parse time staged by {!Engine} for the statement about to run *)
+  mutable pending_t0 : int;
+      (** timestamp taken by {!Engine} when the parse finished; the executor
+          reuses it as the statement start instead of reading the clock
+          again (0 = none staged) *)
+  mutable last_compile_ns : int;
+  mutable cur_view_depth : int;
+  mutable max_view_depth : int;
+  spans : span option array;
+  mutable span_seq : int;  (** next sequence number == total spans recorded *)
+}
+
+let span_capacity = 256
+
+let create () =
+  {
+    enabled = true;
+    internal_depth = 0;
+    objects = Hashtbl.create 64;
+    schemas = Hashtbl.create 16;
+    statements = 0;
+    trigger_hops_total = 0;
+    read_latency = Array.make buckets 0;
+    write_latency = Array.make buckets 0;
+    pending_parse_ns = 0;
+    pending_t0 = 0;
+    last_compile_ns = 0;
+    cur_view_depth = 0;
+    max_view_depth = 0;
+    spans = Array.make span_capacity None;
+    span_seq = 0;
+  }
+
+let set_enabled t on = t.enabled <- on
+
+(** Is collection live right now? The executor checks this once per
+    statement; the per-event helpers below assume the caller did. *)
+let collecting t = t.enabled && t.internal_depth = 0
+
+(** Bracket engine-internal work: statements executed between [suspend] and
+    [resume] are invisible to every counter and the span buffer. Nests. *)
+let suspend t = t.internal_depth <- t.internal_depth + 1
+
+let resume t = if t.internal_depth > 0 then t.internal_depth <- t.internal_depth - 1
+
+let reset t =
+  Hashtbl.reset t.objects;
+  Hashtbl.reset t.schemas;
+  t.statements <- 0;
+  t.trigger_hops_total <- 0;
+  Array.fill t.read_latency 0 buckets 0;
+  Array.fill t.write_latency 0 buckets 0;
+  t.pending_parse_ns <- 0;
+  t.pending_t0 <- 0;
+  t.last_compile_ns <- 0;
+  t.cur_view_depth <- 0;
+  t.max_view_depth <- 0;
+  Array.fill t.spans 0 span_capacity None;
+  t.span_seq <- 0
+
+(* --- clock --------------------------------------------------------------- *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* --- per-object counters ------------------------------------------------- *)
+
+let stats_for t name =
+  match Hashtbl.find_opt t.objects name with
+  | Some s -> s
+  | None ->
+    let s =
+      { reads = 0; writes = 0; rows_scanned = 0; rows_returned = 0; trigger_hops = 0 }
+    in
+    Hashtbl.replace t.objects name s;
+    s
+
+let record_read t name ~rows =
+  let s = stats_for t name in
+  s.reads <- s.reads + 1;
+  s.rows_returned <- s.rows_returned + rows
+
+let record_write t name =
+  let s = stats_for t name in
+  s.writes <- s.writes + 1
+
+let record_scan t name n =
+  let s = stats_for t name in
+  s.rows_scanned <- s.rows_scanned + n
+
+let record_trigger_hop t name =
+  t.trigger_hops_total <- t.trigger_hops_total + 1;
+  let s = stats_for t name in
+  s.trigger_hops <- s.trigger_hops + 1
+
+(* --- per-schema counters -------------------------------------------------- *)
+
+(** The schema qualifier of an object name ("tasky2.task" -> "tasky2"), by
+    its last dot; [None] for unqualified names. *)
+let schema_of name =
+  match String.rindex_opt name '.' with
+  | Some i when i > 0 -> Some (String.sub name 0 i)
+  | _ -> None
+
+let schema_stats_for t qual =
+  match Hashtbl.find_opt t.schemas qual with
+  | Some s -> s
+  | None ->
+    let s =
+      { reads = 0; writes = 0; rows_scanned = 0; rows_returned = 0; trigger_hops = 0 }
+    in
+    Hashtbl.replace t.schemas qual s;
+    s
+
+let record_schema_read t qual ~rows =
+  let s = schema_stats_for t qual in
+  s.reads <- s.reads + 1;
+  s.rows_returned <- s.rows_returned + rows
+
+let record_schema_write t qual =
+  let s = schema_stats_for t qual in
+  s.writes <- s.writes + 1
+
+let find_schema_stats t qual = Hashtbl.find_opt t.schemas qual
+
+(** All per-object counters, sorted by name for deterministic output. *)
+let object_stats t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.objects []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find_stats t name = Hashtbl.find_opt t.objects name
+
+(* --- latency histograms -------------------------------------------------- *)
+
+(** log2 bucket index of a nanosecond duration: 0ns -> 0, otherwise
+    [floor (log2 ns)], capped at the last bucket. *)
+let bucket_of_ns ns =
+  if ns <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    if !b >= buckets then buckets - 1 else !b
+  end
+
+(** Inclusive lower bound of bucket [i] in nanoseconds. *)
+let bucket_lower_ns i = if i <= 0 then 0 else 1 lsl i
+
+let observe_read_ns t ns =
+  let b = bucket_of_ns ns in
+  t.read_latency.(b) <- t.read_latency.(b) + 1
+
+let observe_write_ns t ns =
+  let b = bucket_of_ns ns in
+  t.write_latency.(b) <- t.write_latency.(b) + 1
+
+(** Non-empty buckets of a histogram as [(bucket_lower_ns, count)] pairs. *)
+let histogram arr =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if arr.(i) > 0 then acc := (bucket_lower_ns i, arr.(i)) :: !acc
+  done;
+  !acc
+
+let read_histogram t = histogram t.read_latency
+let write_histogram t = histogram t.write_latency
+
+(* --- span ring buffer ---------------------------------------------------- *)
+
+(** Record a finished statement span. The buffer holds the most recent
+    {!span_capacity} spans; older ones are overwritten in place. *)
+let record_span t ~kind ~targets ~ns ~parse_ns ~compile_ns ~rows ~cache_hits
+    ~cache_misses ~trigger_hops ~view_depth =
+  let sp =
+    {
+      sp_seq = t.span_seq;
+      sp_kind = kind;
+      sp_targets = targets;
+      sp_ns = ns;
+      sp_parse_ns = parse_ns;
+      sp_compile_ns = compile_ns;
+      sp_rows = rows;
+      sp_cache_hits = cache_hits;
+      sp_cache_misses = cache_misses;
+      sp_trigger_hops = trigger_hops;
+      sp_view_depth = view_depth;
+    }
+  in
+  t.spans.(t.span_seq mod span_capacity) <- Some sp;
+  t.span_seq <- t.span_seq + 1
+
+(** The most recent spans, oldest first, at most [limit] (default: all the
+    buffer holds). Total spans ever recorded is [t.span_seq]; comparing it to
+    [List.length (recent_spans t)] tells a consumer how many were dropped. *)
+let recent_spans ?limit t =
+  let held = min t.span_seq span_capacity in
+  let wanted = match limit with Some l -> min l held | None -> held in
+  let acc = ref [] in
+  for i = 0 to wanted - 1 do
+    (* newest span is at seq-1; walk back [wanted] slots *)
+    let seq = t.span_seq - 1 - i in
+    match t.spans.(seq mod span_capacity) with
+    | Some sp -> acc := sp :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let total_spans t = t.span_seq

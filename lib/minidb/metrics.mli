@@ -1,0 +1,121 @@
+(** Execution telemetry: per-object access counters, log2-bucketed latency
+    histograms and a bounded ring buffer of statement spans. Collection
+    happens in {!Exec}/{!Engine}; this module owns the storage and keeps
+    every event down to a few integer operations. *)
+
+type object_stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rows_scanned : int;
+  mutable rows_returned : int;
+  mutable trigger_hops : int;
+}
+
+type span = {
+  sp_seq : int;  (** monotone; survives ring wrap-around *)
+  sp_kind : string;  (** [query]/[insert]/[update]/[delete]/[ddl]/[txn] *)
+  sp_targets : string list;  (** objects touched, lowercase *)
+  sp_ns : int;
+  sp_parse_ns : int;
+  sp_compile_ns : int;
+  sp_rows : int;
+  sp_cache_hits : int;
+  sp_cache_misses : int;
+  sp_trigger_hops : int;
+  sp_view_depth : int;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable internal_depth : int;
+  objects : (string, object_stats) Hashtbl.t;
+  schemas : (string, object_stats) Hashtbl.t;
+  mutable statements : int;
+  mutable trigger_hops_total : int;
+  read_latency : int array;
+  write_latency : int array;
+  mutable pending_parse_ns : int;
+  mutable pending_t0 : int;
+  mutable last_compile_ns : int;
+  mutable cur_view_depth : int;
+  mutable max_view_depth : int;
+  spans : span option array;
+  mutable span_seq : int;
+}
+
+val span_capacity : int
+(** Fixed size of the span ring buffer. *)
+
+val buckets : int
+(** Number of log2 latency buckets. *)
+
+val create : unit -> t
+
+val set_enabled : t -> bool -> unit
+
+val collecting : t -> bool
+(** [enabled] and not inside a {!suspend}ed internal section. *)
+
+val suspend : t -> unit
+(** Enter an engine-internal section (migration data movement, delta-code
+    installation): nothing is collected until the matching {!resume}. *)
+
+val resume : t -> unit
+
+val reset : t -> unit
+(** Zero every counter, histogram and the span buffer. *)
+
+val now_ns : unit -> int
+(** Wall clock in nanoseconds. *)
+
+val record_read : t -> string -> rows:int -> unit
+val record_write : t -> string -> unit
+val record_scan : t -> string -> int -> unit
+val record_trigger_hop : t -> string -> unit
+
+val object_stats : t -> (string * object_stats) list
+(** Sorted by object name. *)
+
+val find_stats : t -> string -> object_stats option
+
+val schema_of : string -> string option
+(** Schema qualifier of an object name ("tasky2.task" -> "tasky2"); [None]
+    for unqualified names. *)
+
+val record_schema_read : t -> string -> rows:int -> unit
+(** Statement-level counters per schema qualifier: a statement touching
+    several objects of the same schema counts once. *)
+
+val record_schema_write : t -> string -> unit
+
+val find_schema_stats : t -> string -> object_stats option
+
+val bucket_of_ns : int -> int
+val bucket_lower_ns : int -> int
+val observe_read_ns : t -> int -> unit
+val observe_write_ns : t -> int -> unit
+
+val read_histogram : t -> (int * int) list
+(** Non-empty buckets as [(bucket_lower_bound_ns, count)], ascending. *)
+
+val write_histogram : t -> (int * int) list
+
+val record_span :
+  t ->
+  kind:string ->
+  targets:string list ->
+  ns:int ->
+  parse_ns:int ->
+  compile_ns:int ->
+  rows:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  trigger_hops:int ->
+  view_depth:int ->
+  unit
+
+val recent_spans : ?limit:int -> t -> span list
+(** Most recent spans, oldest first; never more than {!span_capacity}. *)
+
+val total_spans : t -> int
+(** Spans ever recorded (including overwritten ones). *)

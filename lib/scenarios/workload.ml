@@ -59,6 +59,9 @@ type runner = {
 }
 
 let make_runner ?(rng = Rng.create ~seed:7 ()) db =
+  (* setup queries are harness bookkeeping, invisible to telemetry *)
+  let m = db.Minidb.Database.metrics in
+  Minidb.Metrics.suspend m;
   let author_ids =
     match
       Minidb.Engine.query_rows db "SELECT p FROM TasKy2.Author"
@@ -70,6 +73,7 @@ let make_runner ?(rng = Rng.create ~seed:7 ()) db =
            rows)
     | exception _ -> [||]
   in
+  Minidb.Metrics.resume m;
   { db; rng; keys = [||]; fresh = 0; author_ids }
 
 let refresh_keys r version = r.keys <- sample_keys r.db version
@@ -141,6 +145,54 @@ let run_mix r ~version ~mix ~ops =
       for _ = 1 to ops do
         run_op r version (pick_kind r mix)
       done)
+
+(* --- profile replay ---------------------------------------------------------- *)
+
+(** Run [ops] operations of [mix], distributing them over the versions
+    according to [shares] (relative weights; they need not sum to 1), and
+    count the statements that actually executed per version — point updates
+    and deletes silently skip when a version's key pool is empty, so the
+    issued-op count would overstate the traffic. The returned counts are the
+    ground truth that an observed telemetry profile is validated against. *)
+let replay_profile r ~shares ~mix ~ops =
+  let shares = List.filter (fun (_, w) -> w > 0.0) shares in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 shares in
+  if total <= 0.0 then []
+  else begin
+    let slots =
+      (* the key sampling is harness bookkeeping, not workload traffic:
+         keep it out of the telemetry counters the replay validates *)
+      let m = r.db.Minidb.Database.metrics in
+      Minidb.Metrics.suspend m;
+      Fun.protect
+        ~finally:(fun () -> Minidb.Metrics.resume m)
+        (fun () ->
+          List.map
+            (fun (v, w) ->
+              refresh_keys r v;
+              (v, w, ref r.keys, ref 0))
+            shares)
+    in
+    let pick x =
+      let rec go acc = function
+        | [ s ] -> s
+        | (_, w, _, _) as s :: rest ->
+          if x < acc +. w then s else go (acc +. w) rest
+        | [] -> assert false
+      in
+      go 0.0 slots
+    in
+    for _ = 1 to ops do
+      let x = float_of_int (Rng.int r.rng 100000) /. 100000.0 *. total in
+      let v, _, keys, count = pick x in
+      r.keys <- !keys;
+      let before = r.db.Minidb.Database.statements_executed in
+      run_op r v (pick_kind r mix);
+      keys := r.keys;
+      if r.db.Minidb.Database.statements_executed > before then incr count
+    done;
+    List.map (fun (v, _, _, count) -> (v, !count)) slots
+  end
 
 (* --- the adoption curve of Figures 9 and 10 ---------------------------------- *)
 

@@ -49,6 +49,17 @@ val pick_kind : runner -> mix -> [ `Read | `Insert | `Update | `Delete ]
 val run_mix : runner -> version:version -> mix:mix -> ops:int -> float
 (** Run a workload slice; returns elapsed seconds. *)
 
+val replay_profile :
+  runner ->
+  shares:(version * float) list ->
+  mix:mix ->
+  ops:int ->
+  (version * int) list
+(** Distribute [ops] operations over versions by relative weight; returns
+    how many statements actually executed per version (ops skipped on an
+    empty key pool are not counted) — the ground truth for validating an
+    observed telemetry profile. *)
+
 (** {1 The adoption curve of Figures 9/10} *)
 
 val adoption_fraction : slice:int -> slices:int -> float

@@ -149,6 +149,52 @@ let test_cache_coherent_after_failed_migration () =
   Alcotest.(check (pair int int)) "no-cache run counts nothing" (hp0, mp0)
     (I.cache_stats plain)
 
+(* --- satellite: telemetry coherence across migrations ------------------------ *)
+
+(* Everything a migration must not disturb: the per-version workload counters
+   and the span sequence. Cache statistics and flatten fallbacks are
+   deliberately excluded — migration data movement legitimately changes
+   those. *)
+let telemetry_snapshot t =
+  let db = I.database t in
+  let counters =
+    Inverda.Telemetry.version_counters db (I.genealogy t)
+    |> List.map (fun (name, (c : Inverda.Telemetry.totals)) ->
+           ( name,
+             ( c.Inverda.Telemetry.t_reads,
+               c.Inverda.Telemetry.t_writes,
+               c.Inverda.Telemetry.t_rows_returned,
+               c.Inverda.Telemetry.t_trigger_hops ) ))
+  in
+  (counters, db.Db.metrics.Minidb.Metrics.span_seq)
+
+let test_counters_unchanged_by_migration () =
+  let t = Scenarios.Tasky.setup_full ~tasks:10 () in
+  I.reset_telemetry t;
+  (* generate some attributed traffic on every version *)
+  ignore (I.query_rows t "SELECT author, task, prio FROM TasKy.Task");
+  ignore (I.query_rows t "SELECT task FROM TasKy2.Task");
+  ignore (I.query_rows t "SELECT author, task FROM Do!.Todo");
+  ignore (I.exec_sql t "INSERT INTO Do!.Todo (author, task) VALUES ('Zed', 'm')");
+  let before = telemetry_snapshot t in
+  Alcotest.(check bool) "snapshot is non-trivial" true
+    (List.exists (fun (_, (r, w, _, _)) -> r + w > 0) (fst before));
+  (* a successful migration moves data through the very views the counters
+     watch — none of that movement may be attributed to the workload *)
+  I.materialize t [ "TasKy2" ];
+  Alcotest.(check bool) "unchanged by successful MATERIALIZE" true
+    (before = telemetry_snapshot t);
+  (* a fault-injected migration rolls back mid-flight; the rollback replay
+     must be just as invisible *)
+  let mat = List.hd (G.enumerate_materializations (I.genealogy t)) in
+  failing_migration t mat ~failpoint:5;
+  Alcotest.(check bool) "unchanged by rolled-back MATERIALIZE" true
+    (before = telemetry_snapshot t);
+  (* and collection still works afterwards *)
+  ignore (I.query_rows t "SELECT task FROM TasKy2.Task");
+  Alcotest.(check bool) "collection live after rollback" true
+    (before <> telemetry_snapshot t)
+
 (* --- satellite: dry-run plan ------------------------------------------------ *)
 
 let test_migration_plan_dry_run () =
@@ -194,6 +240,8 @@ let () =
         ] );
       ( "cache",
         [ tc "coherent after failed migration" test_cache_coherent_after_failed_migration ] );
+      ( "telemetry",
+        [ tc "counters unchanged by migration" test_counters_unchanged_by_migration ] );
       ( "dry-run",
         [ tc "migration plan" test_migration_plan_dry_run ] );
     ]

@@ -1,0 +1,250 @@
+(* Telemetry: the observed workload profile must reproduce the traffic a
+   replayed workload actually generated — under every materialization — and
+   feeding it to the advisor must agree with the hand-built profile the
+   advisor was designed around (Section 8.2). Plus the span ring, stats
+   documents, EXPLAIN output and the on/off switch. *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+module T = Inverda.Telemetry
+module W = Scenarios.Workload
+module M = Minidb.Metrics
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let demo_shares = W.[ (V_tasky, 0.2); (V_tasky2, 0.5); (V_do, 0.3) ]
+
+(* --- observed profile vs. replay ground truth ------------------------------- *)
+
+(* Replay a mixed workload and compare the observed per-version weights with
+   the per-version statement counts the replay itself reports. The two are
+   computed independently (telemetry attributes statements by the schema
+   qualifier they name; the replay counts executed operations per slot), so
+   they must agree exactly. *)
+let check_profile_matches_replay t ~mix ~ops label =
+  I.reset_telemetry t;
+  let r = W.make_runner (I.database t) in
+  let counts = W.replay_profile r ~shares:demo_shares ~mix ~ops in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  Alcotest.(check bool) (label ^ ": some ops executed") true (total > 0);
+  let profile = I.observed_profile t in
+  List.iter
+    (fun (v, c) ->
+      let name = W.version_name v in
+      let weight =
+        match List.assoc_opt name profile with Some w -> w | None -> 0.0
+      in
+      Alcotest.(check (float 1e-9))
+        (Fmt.str "%s: weight of %s" label name)
+        (float_of_int c /. float_of_int total)
+        weight)
+    counts
+
+let test_profile_all_materializations () =
+  let t = Scenarios.Tasky.setup_full ~tasks:30 () in
+  let mats = G.enumerate_materializations (I.genealogy t) in
+  Alcotest.(check int) "five materializations" 5 (List.length mats);
+  List.iter
+    (fun mat ->
+      I.set_materialization t mat;
+      let label =
+        Fmt.str "mat {%s}" (String.concat "," (List.map string_of_int mat))
+      in
+      check_profile_matches_replay t ~mix:W.read_only ~ops:200 label)
+    mats
+
+let test_profile_mixed_workload () =
+  (* writes cascade through triggers; only the top-level statement counts *)
+  let t = Scenarios.Tasky.setup_full ~tasks:30 () in
+  check_profile_matches_replay t ~mix:W.paper_mix ~ops:300 "paper mix"
+
+(* --- advisor agreement ------------------------------------------------------- *)
+
+let mat_of (r : Inverda.Advisor.recommendation) = r.Inverda.Advisor.materialization
+
+let test_advise_observed_agrees_tasky () =
+  let t = Scenarios.Tasky.setup_full ~tasks:30 () in
+  I.reset_telemetry t;
+  let r = W.make_runner (I.database t) in
+  ignore (W.replay_profile r ~shares:demo_shares ~mix:W.paper_mix ~ops:400);
+  let hand = [ ("TasKy", 0.2); ("TasKy2", 0.5); ("Do!", 0.3) ] in
+  match (I.advise t hand, I.advise_observed t) with
+  | Some h, Some o ->
+    Alcotest.(check (list int))
+      "observed traffic reproduces the hand-profile recommendation"
+      (mat_of h) (mat_of o)
+  | _ -> Alcotest.fail "advisor returned no recommendation"
+
+let test_advise_observed_agrees_wikimedia () =
+  let api, names = Scenarios.Wikimedia.build ~versions:6 () in
+  let n = Array.length names in
+  let v_hot = names.(n - 1) and v_cold = names.(0) in
+  Scenarios.Wikimedia.load api ~version:names.(n / 2) ~pages:12 ~links:20;
+  I.reset_telemetry api;
+  let db = I.database api in
+  (* 70 statements on the newest version, 30 on the oldest *)
+  for i = 1 to 35 do
+    ignore
+      (Minidb.Engine.query db
+         (Scenarios.Wikimedia.query_page_by_title ~version:v_hot ~i:(i mod 12)));
+    ignore
+      (Minidb.Engine.query db
+         (Scenarios.Wikimedia.query_link_count ~version:v_hot))
+  done;
+  for i = 1 to 30 do
+    ignore
+      (Minidb.Engine.query db
+         (Scenarios.Wikimedia.query_page_by_title ~version:v_cold ~i:(i mod 12)))
+  done;
+  let profile = I.observed_profile api in
+  Alcotest.(check (float 1e-9)) "hot weight" 0.7 (List.assoc v_hot profile);
+  Alcotest.(check (float 1e-9)) "cold weight" 0.3 (List.assoc v_cold profile);
+  let hand = [ (v_hot, 0.7); (v_cold, 0.3) ] in
+  match (I.advise api hand, I.advise_observed api) with
+  | Some h, Some o ->
+    Alcotest.(check (list int))
+      "observed traffic reproduces the hand-profile recommendation"
+      (mat_of h) (mat_of o)
+  | _ -> Alcotest.fail "advisor returned no recommendation"
+
+(* --- the switch and reset ---------------------------------------------------- *)
+
+let test_disabled_counts_nothing () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  I.set_telemetry t false;
+  Alcotest.(check bool) "reports disabled" false (I.telemetry_enabled t);
+  ignore (I.query_rows t "SELECT * FROM TasKy.Task");
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Zed', 'zz', 1)");
+  Alcotest.(check (list (pair string (float 0.0)))) "empty profile" []
+    (I.observed_profile t);
+  Alcotest.(check int) "no spans" 0 (List.length (I.recent_spans t));
+  I.set_telemetry t true;
+  ignore (I.query_rows t "SELECT * FROM TasKy.Task");
+  Alcotest.(check int) "collection resumes" 1 (List.length (I.recent_spans t));
+  I.reset_telemetry t;
+  Alcotest.(check int) "reset clears spans" 0 (List.length (I.recent_spans t));
+  Alcotest.(check (list (pair string (float 0.0)))) "reset clears profile" []
+    (I.observed_profile t)
+
+(* --- spans -------------------------------------------------------------------- *)
+
+let test_span_ring_bounded_and_monotone () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  let ops = (2 * M.span_capacity) + 7 in
+  for _ = 1 to ops do
+    ignore (I.query_rows t "SELECT task FROM TasKy.Task WHERE prio = 1")
+  done;
+  let spans = I.recent_spans t in
+  Alcotest.(check int) "ring holds exactly its capacity" M.span_capacity
+    (List.length spans);
+  let seqs = List.map (fun sp -> sp.M.sp_seq) spans in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a + 1 = b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "consecutive sequence numbers" true (monotone seqs);
+  (* the newest span is the last statement ever recorded *)
+  Alcotest.(check int) "newest span has seq = total - 1" (ops - 1)
+    (List.nth seqs (List.length seqs - 1));
+  let sp = List.hd (I.recent_spans ~limit:1 t) in
+  Alcotest.(check string) "kind" "query" sp.M.sp_kind;
+  Alcotest.(check (list string)) "targets" [ "tasky.task" ] sp.M.sp_targets;
+  Alcotest.(check bool) "duration recorded" true (sp.M.sp_ns >= 0)
+
+let test_span_records_trigger_cascade () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  ignore
+    (I.exec_sql t
+       "INSERT INTO Do!.Todo (author, task) VALUES ('Zed', 'cascade')");
+  let sp = List.hd (I.recent_spans ~limit:1 t) in
+  Alcotest.(check string) "kind" "insert" sp.M.sp_kind;
+  Alcotest.(check bool) "trigger hops counted" true (sp.M.sp_trigger_hops > 0)
+
+(* --- stats documents ---------------------------------------------------------- *)
+
+let test_stats_documents () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  ignore (I.query_rows t "SELECT task FROM TasKy2.Task");
+  let js = I.stats_json t in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Fmt.str "stats_json has %S" k) true (contains js k))
+    [
+      "enabled"; "observed_statements"; "engine_statements"; "trigger_hops";
+      "cache"; "flatten_fallbacks"; "versions"; "table_versions";
+      "observed_profile"; "read_latency_ns"; "write_latency_ns"; "spans";
+    ];
+  Alcotest.(check bool) "one observed statement" true
+    (contains js "\"observed_statements\":1,");
+  let txt = I.stats_text t in
+  Alcotest.(check bool) "text mentions TasKy2" true (contains txt "TasKy2")
+
+(* --- EXPLAIN ------------------------------------------------------------------- *)
+
+let test_explain_select () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  let out = I.explain t "SELECT task FROM TasKy2.Task" in
+  Alcotest.(check bool) "identifies the version view" true
+    (contains out "version view");
+  Alcotest.(check bool) "names the version" true (contains out "TasKy2");
+  Alcotest.(check bool) "shows a physical table" true (contains out "d!");
+  Alcotest.(check bool) "shows a flattening decision" true
+    (contains out "flattening:");
+  Alcotest.(check bool) "shows the access path" true
+    (contains out "genealogy access path");
+  let js = I.explain_json t "SELECT task FROM TasKy2.Task" in
+  Alcotest.(check bool) "json kind" true (contains js "\"kind\":\"query\"");
+  Alcotest.(check bool) "json targets" true (contains js "tasky2.task")
+
+let test_explain_insert_cascade () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  let out = I.explain t "INSERT INTO Do!.Todo (author, task) VALUES ('a', 'b')" in
+  Alcotest.(check bool) "shows the trigger cascade" true
+    (contains out "trigger cascade");
+  Alcotest.(check bool) "shows a fired trigger" true (contains out "trg!")
+
+(* --- suite ---------------------------------------------------------------------- *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "telemetry"
+    [
+      ( "profile",
+        [
+          tc "matches replay under all materializations"
+            test_profile_all_materializations;
+          tc "matches replay for the paper mix" test_profile_mixed_workload;
+        ] );
+      ( "advisor",
+        [
+          tc "observed agrees with hand profile (TasKy)"
+            test_advise_observed_agrees_tasky;
+          tc "observed agrees with hand profile (Wikimedia)"
+            test_advise_observed_agrees_wikimedia;
+        ] );
+      ( "switch",
+        [ tc "disabled counts nothing; reset clears" test_disabled_counts_nothing ] );
+      ( "spans",
+        [
+          tc "ring bounded and monotone" test_span_ring_bounded_and_monotone;
+          tc "trigger cascade recorded" test_span_records_trigger_cascade;
+        ] );
+      ( "stats",
+        [ tc "json and text documents" test_stats_documents ] );
+      ( "explain",
+        [
+          tc "select path" test_explain_select;
+          tc "insert cascade" test_explain_insert_cascade;
+        ] );
+    ]
