@@ -13,6 +13,17 @@ dune exec bench/main.exe -- --only table2 --smoke
 dune exec bin/inverda_cli.exe -- faults --smoke
 # flattened vs layered delta code must answer identically everywhere
 dune exec bin/inverda_cli.exe -- flatten-coherence --smoke
+# bidirectionality: both lens laws prove for every demo SMO, the mutation
+# harness kills every single-atom mutant, and verify --json carries every
+# field of its schema
+dune exec bin/inverda_cli.exe -- verify --demo --mutate > /dev/null
+verify_json=$(dune exec bin/inverda_cli.exe -- verify --demo --json)
+for field in ok smos id smo getput putget status diagnostics; do
+  echo "$verify_json" | grep -q "\"$field\"" \
+    || { echo "check.sh: verify --json is missing \"$field\"" >&2; exit 1; }
+done
+echo "$verify_json" | grep -q '"ok":true' \
+  || { echo "check.sh: verify --json reports ok=false on the demo" >&2; exit 1; }
 # telemetry: the stats --json document must carry every field of its schema
 stats_json=$(dune exec bin/inverda_cli.exe -- stats --demo --json)
 for field in enabled observed_statements engine_statements trigger_hops \

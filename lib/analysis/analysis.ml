@@ -8,7 +8,11 @@
     - {!Rule_check} ([DLG0xx]) checks Datalog mapping rule sets for range
       restriction, negation safety, stratification and arity consistency;
     - {!Sql_check} ([IVD0xx]) typechecks generated delta code (views,
-      triggers, backfill DML) against a catalog snapshot before installation.
+      triggers, backfill DML) against a catalog snapshot before installation;
+    - {!Verify} ([VRF0xx]) proves (or refutes, with minimized
+      counterexamples) the bidirectionality laws of SMO rule sets and the
+      semantic equivalence questions behind Flatten's gates, on top of the
+      {!Symbolic} chase evaluator.
 
     The library deliberately depends only on the engine, the Datalog core and
     the BiDEL front end — not on the InVerDa runtime — so both the runtime
@@ -18,6 +22,8 @@ module Diagnostic = Diagnostic
 module Script_check = Script_check
 module Rule_check = Rule_check
 module Sql_check = Sql_check
+module Symbolic = Symbolic
+module Verify = Verify
 
 let check_script = Script_check.check_script
 let check_rules = Rule_check.check_rules

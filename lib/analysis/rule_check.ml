@@ -3,14 +3,12 @@
 
     Errors ([DLG001]-[DLG005], [DLG008]) mean evaluation can fail or is
     ill-defined: range restriction violated, unsafe negation or assignment,
-    recursion, inconsistent arities. Warnings ([DLG006], [DLG007]) flag rules
-    that evaluate but are probably not what was meant: singleton variables and
-    references to predicates nothing defines or supplies. *)
+    recursion, inconsistent arities. Warnings ([DLG006], [DLG007], [DLG009])
+    flag rules that evaluate but are probably not what was meant: singleton
+    variables, references to predicates nothing defines or supplies, and
+    derived predicates nothing reads. *)
 
 module D = Datalog.Ast
-
-let diag = Diagnostic.error
-let warn = Diagnostic.warning
 
 let rule_name (r : D.rule) = Printf.sprintf "rule for %s" r.D.head.D.pred
 
@@ -37,7 +35,12 @@ let bound_fixpoint (body : D.literal list) =
   done;
   !bound
 
-let check_rule ?(unused = false) ?context (r : D.rule) : Diagnostic.t list =
+(** Check one rule. [span] attaches a source location (the defining SMO's
+    statement) to every diagnostic; [unused] enables [DLG006]. *)
+let check_rule ?(unused = false) ?span ?context (r : D.rule) :
+    Diagnostic.t list =
+  let diag code = Diagnostic.error code ?span in
+  let warn code = Diagnostic.warning code ?span in
   let out = ref [] in
   let push d = out := d :: !out in
   let ctx =
@@ -95,22 +98,29 @@ let check_rule ?(unused = false) ?context (r : D.rule) : Diagnostic.t list =
       | _ -> ())
     r.D.body;
   (* DLG006: singleton variables — named once, read nowhere else; an
-     anonymous [_] was almost certainly intended. Off by default: the SMO
-     templates instantiate rules over full column lists and project in the
-     head, so their auxiliary rules systematically contain such variables. *)
+     anonymous [_] was almost certainly intended. One warning per rule
+     listing every singleton. Off by default: the SMO templates instantiate
+     rules over full column lists and project in the head, so their
+     auxiliary rules systematically contain such variables. *)
   if unused then begin
     let occurrences =
       D.atom_vars r.D.head @ List.concat_map D.literal_vars r.D.body
     in
-    List.iter
-      (fun x ->
-        if List.length (List.filter (( = ) x) occurrences) = 1 && is_bound x
-        then
-          push
-            (warn "DLG006" ~context:ctx
-               "variable %s occurs only once; use an anonymous variable if the value is irrelevant"
-               x))
-      (List.sort_uniq compare occurrences)
+    let singletons =
+      List.filter
+        (fun x ->
+          List.length (List.filter (( = ) x) occurrences) = 1 && is_bound x)
+        (List.sort_uniq compare occurrences)
+    in
+    match singletons with
+    | [] -> ()
+    | xs ->
+      push
+        (warn "DLG006" ~context:ctx
+           "variable%s %s occur%s only once; use anonymous variables if the values are irrelevant"
+           (if List.length xs = 1 then "" else "s")
+           (String.concat ", " xs)
+           (if List.length xs = 1 then "s" else ""))
   end;
   List.rev !out
 
@@ -119,13 +129,21 @@ let check_rule ?(unused = false) ?context (r : D.rule) : Diagnostic.t list =
     [edb] lists the extensional predicates the caller will supply at
     evaluation time; body predicates that are neither derived by the rule set
     nor listed there are flagged [DLG007]. When [edb] is omitted the check is
-    skipped (any non-head predicate may be extensional). [unused] enables the
-    [DLG006] singleton-variable warning. *)
-let check_rules ?unused ?edb ?context (rules : D.t) : Diagnostic.t list =
+    skipped (any non-head predicate may be extensional). [live] lists the
+    predicates consumed outside the rule set (views to install, data tables);
+    derived predicates that are neither read inside the set nor listed there
+    are flagged [DLG009]. [unused] enables the [DLG006] singleton-variable
+    warning; [span] is attached to every diagnostic. *)
+let check_rules ?unused ?span ?edb ?live ?context (rules : D.t) :
+    Diagnostic.t list =
+  let diag code = Diagnostic.error code ?span in
+  let warn code = Diagnostic.warning code ?span in
   let out = ref [] in
   let push d = out := d :: !out in
   (* per-rule checks *)
-  List.iter (fun r -> List.iter push (check_rule ?unused ?context r)) rules;
+  List.iter
+    (fun r -> List.iter push (check_rule ?unused ?span ?context r))
+    rules;
   let ctx = Option.value context ~default:"rule set" in
   (* DLG008: consistent arities across every use of a predicate *)
   let arities : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -159,6 +177,20 @@ let check_rules ?unused ?edb ?context (rules : D.t) : Diagnostic.t list =
                "predicate %s is read but never derived or supplied; it is always empty"
                p))
       (D.body_preds rules));
+  (* DLG009: derived predicates nothing reads — dead rules unless the caller
+     declared them live (installed as views, queried directly) *)
+  (match live with
+  | None -> ()
+  | Some live ->
+    let reads = D.body_preds rules in
+    List.iter
+      (fun p ->
+        if not (List.mem p reads || List.mem p live) then
+          push
+            (warn "DLG009" ~context:ctx
+               "predicate %s is derived but never read; its rules are dead code"
+               p))
+      (List.sort_uniq compare (D.head_preds rules)));
   (* DLG005: stratification — surface the evaluator's own cycle report *)
   (try ignore (Datalog.Eval.stratify rules)
    with Datalog.Eval.Eval_error msg ->

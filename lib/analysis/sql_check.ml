@@ -14,7 +14,13 @@
       own views): unknown objects [IVD003], unknown columns [IVD004],
       ambiguous references [IVD005], unknown functions [IVD006], arity
       mismatches [IVD007], bad NEW/OLD references [IVD008], cyclic view
-      definitions [IVD009], duplicate columns [IVD010]. *)
+      definitions [IVD009], duplicate columns [IVD010].
+
+    On top of the two gates, [IVD012] (warning) flags an unqualified column
+    reference inside a UNION view that resolves to a {e different} source
+    table in different branches — legal SQL, but a classic copy-paste hazard
+    in hand-edited delta code: the same name silently reads different data
+    per branch. *)
 
 module R = Minidb.Resolve
 
@@ -61,8 +67,113 @@ let roundtrip_check (stmt : Minidb.Sql_ast.statement) : Diagnostic.t list =
         "generated statement does not re-lex: %s" msg;
     ]
 
-(** Typecheck a batch of generated statements against [env]. *)
-let check_delta (env : env) (stmts : Minidb.Sql_ast.statement list) :
+(* --- IVD012: unqualified columns shadowed across UNION branches -------------- *)
+
+module Sql = Minidb.Sql_ast
+
+(* underlying tables of a branch's FROM clause; subselects are their own
+   scope and contribute no shadowing candidates *)
+let rec from_tables = function
+  | Sql.From_table (n, _) -> [ n ]
+  | Sql.From_select _ -> []
+  | Sql.From_join (a, _, b, _) -> from_tables a @ from_tables b
+
+let unqualified_cols (sel : Sql.select) =
+  let out = ref [] in
+  let rec scan (e : Sql.expr) =
+    match e with
+    | Sql.Col (None, c) -> out := c :: !out
+    | Sql.Col (Some _, _) | Sql.Const _ | Sql.Param _ -> ()
+    | Sql.Unop (_, a) | Sql.Is_null (a, _) -> scan a
+    | Sql.Binop (_, a, b) ->
+      scan a;
+      scan b
+    | Sql.Fun (_, args) -> List.iter scan args
+    | Sql.Case (arms, d) ->
+      List.iter
+        (fun (c, v) ->
+          scan c;
+          scan v)
+        arms;
+      Option.iter scan d
+    | Sql.In_list (a, items, _) ->
+      scan a;
+      List.iter scan items
+    (* inner queries resolve in their own scope *)
+    | Sql.Exists _ | Sql.In_query _ | Sql.Scalar _ -> ()
+  in
+  List.iter
+    (function Sql.Sel_expr (e, _) -> scan e | Sql.Star | Sql.Qualified_star _ -> ())
+    sel.Sql.items;
+  Option.iter scan sel.Sql.where;
+  List.iter scan sel.Sql.group_by;
+  Option.iter scan sel.Sql.having;
+  List.sort_uniq compare !out
+
+let rec union_branches = function
+  | Sql.Select s -> [ s ]
+  | Sql.Union (a, b, _) -> union_branches a @ union_branches b
+
+(** [IVD012]: an unqualified column of a UNION query resolving to one source
+    table in one branch and another table in another branch. Columns
+    ambiguous {e within} a branch are [IVD005]'s business and skipped
+    here. *)
+let shadow_check (env : env) ?span ~view (q : Sql.query) : Diagnostic.t list =
+  match union_branches q.Sql.body with
+  | [] | [ _ ] -> []
+  | branches ->
+    (* per branch: unqualified column -> the single table providing it *)
+    let owners_by_branch =
+      List.map
+        (fun (sel : Sql.select) ->
+          let tables =
+            match sel.Sql.from with Some f -> from_tables f | None -> []
+          in
+          List.filter_map
+            (fun c ->
+              match
+                List.filter
+                  (fun t ->
+                    match env.schema t with
+                    | Some cols -> List.mem c cols
+                    | None -> false)
+                  (List.sort_uniq compare tables)
+              with
+              | [ t ] -> Some (c, t)
+              | _ -> None)
+            (unqualified_cols sel))
+        branches
+    in
+    let cols =
+      List.sort_uniq compare (List.concat_map (List.map fst) owners_by_branch)
+    in
+    List.filter_map
+      (fun c ->
+        match
+          List.sort_uniq compare
+            (List.filter_map (List.assoc_opt c) owners_by_branch)
+        with
+        | a :: b :: _ ->
+          Some
+            (Diagnostic.warning "IVD012" ?span ~context:view
+               "unqualified column %s resolves to %s in one UNION branch but to %s in another; qualify it"
+               c a b)
+        | _ -> None)
+      cols
+
+let shadow_checks (env : env) ?span (stmts : Sql.statement list) :
+    Diagnostic.t list =
+  List.concat_map
+    (function
+      | Sql.Create_view { name; query; _ } -> shadow_check env ?span ~view:name query
+      | Sql.Query q -> shadow_check env ?span ~view:"query" q
+      | _ -> [])
+    stmts
+
+(** Typecheck a batch of generated statements against [env]. [span] is
+    attached to the lint diagnostics (the round-trip and resolution gates
+    report per-statement context instead). *)
+let check_delta ?span (env : env) (stmts : Minidb.Sql_ast.statement list) :
     Diagnostic.t list =
   let roundtrip = List.concat_map roundtrip_check stmts in
   let issues =
@@ -74,4 +185,4 @@ let check_delta (env : env) (stmts : Minidb.Sql_ast.statement list) :
         Diagnostic.error (code_of_kind i.R.kind) ~context:i.R.obj "%s" i.R.msg)
       issues
   in
-  roundtrip @ resolved
+  roundtrip @ resolved @ shadow_checks env ?span stmts

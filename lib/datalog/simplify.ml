@@ -122,6 +122,30 @@ let neg_cond (e : Sql.expr) : Sql.expr =
 
 let is_negation_pair a b = neg_cond a = b || neg_cond b = a
 
+(* fold a comparison of two literal constants; [None] when the comparison
+   involves NULL or mixes types (the engine's coercion rules stay in charge
+   there) *)
+let fold_const_cmp op (a : Value.t) (b : Value.t) =
+  let cmp =
+    match a, b with
+    | Value.Int x, Value.Int y -> Some (compare x y)
+    | Value.Real x, Value.Real y -> Some (compare x y)
+    | Value.Text x, Value.Text y -> Some (compare x y)
+    | Value.Bool x, Value.Bool y -> Some (compare x y)
+    | _ -> None
+  in
+  match cmp with
+  | None -> None
+  | Some c ->
+    (match op with
+    | Sql.Eq -> Some (c = 0)
+    | Sql.Neq -> Some (c <> 0)
+    | Sql.Lt -> Some (c < 0)
+    | Sql.Le -> Some (c <= 0)
+    | Sql.Gt -> Some (c > 0)
+    | Sql.Ge -> Some (c >= 0)
+    | _ -> None)
+
 (** Condition that is syntactically never true. *)
 let rec definitely_false (e : Sql.expr) =
   match e with
@@ -130,6 +154,8 @@ let rec definitely_false (e : Sql.expr) =
   | Sql.Is_null (Sql.Const c, false) when c <> Value.Null -> true
   | Sql.Binop (Sql.And, a, b) -> definitely_false a || definitely_false b
   | Sql.Binop (Sql.Or, a, b) -> definitely_false a && definitely_false b
+  | Sql.Binop (op, Sql.Const a, Sql.Const b) ->
+    fold_const_cmp op a b = Some false
   | Sql.Unop (Sql.Not, Sql.Fun ("COALESCE", [ inner; Sql.Const (Value.Bool false) ]))
     ->
     definitely_true inner
@@ -140,6 +166,9 @@ and definitely_true (e : Sql.expr) =
   | Sql.Const (Value.Bool true) -> true
   | Sql.Is_null (Sql.Const Value.Null, false) -> true
   | Sql.Is_null (Sql.Const _, true) -> true
+  | Sql.Binop (op, Sql.Const a, Sql.Const b) when fold_const_cmp op a b = Some true
+    ->
+    true
   (* nullsafe_eq x x always holds (unlike plain x = x under three-valued
      logic) *)
   | Sql.Binop
@@ -321,6 +350,17 @@ let simplify_rule r =
              | _ -> x = y)
            a.args a'.args
     in
+    (* conditions read assigned variables through the assignment: substitute
+       constant assignments in before testing for contradiction, so a
+       composed rule carrying [x := 1] and [NOT (x = 1)] dies here *)
+    let const_assigns =
+      List.filter_map
+        (function Assign (x, Sql.Const c) -> Some (x, Cst c) | _ -> None)
+        body
+    in
+    let through_assigns c =
+      if const_assigns = [] then c else subst_expr_term const_assigns c
+    in
     let contradictory =
       List.exists
         (function
@@ -329,7 +369,7 @@ let simplify_rule r =
               (function Neg a' -> neg_matches a a' | _ -> false)
               body
           | Cond c ->
-            definitely_false c
+            definitely_false (through_assigns c)
             || List.exists
                  (function
                    | Cond c' -> is_negation_pair c c'
@@ -354,8 +394,10 @@ let simplify_rule r =
           (function
             | Cond c when definitely_true c -> false
             | Assign (x, _) ->
-              (* dead assignment: variable never used elsewhere *)
-              List.length (List.filter (( = ) x) used_vars) > 1
+              (* dead assignment: variable never read anywhere ([used_vars]
+                 never counts the assignment target itself, so a single read
+                 elsewhere keeps it) *)
+              List.length (List.filter (( = ) x) used_vars) >= 1
               || List.mem x (atom_vars r.head)
             | _ -> true)
           body

@@ -22,6 +22,10 @@ val canonicalize_rules : Ast.rule list -> Ast.rule list
 val neg_cond : Minidb.Sql_ast.expr -> Minidb.Sql_ast.expr
 (** Closed-world negation of a condition; involutive on the wrapper form. *)
 
+val is_negation_pair : Minidb.Sql_ast.expr -> Minidb.Sql_ast.expr -> bool
+(** Is one condition the {!neg_cond} of the other (either orientation)?
+    Such a pair is total: one of the two holds in every database state. *)
+
 val definitely_false : Minidb.Sql_ast.expr -> bool
 
 val definitely_true : Minidb.Sql_ast.expr -> bool

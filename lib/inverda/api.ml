@@ -98,8 +98,11 @@ let validate_delta t stmts =
 let delta_diagnostics t =
   Analysis.check_delta (lint_env t) (Codegen.delta_statements t.gen)
 
-(* Safety diagnostics for one SMO instance's three mapping rule sets. *)
-let instance_rule_diagnostics (si : G.smo_instance) =
+(* Safety diagnostics for one SMO instance's three mapping rule sets. Every
+   catalog relation of the instance counts as live (its views and triggers
+   read them), so DLG009 only fires on internal derived predicates nothing
+   consumes. *)
+let instance_rule_diagnostics ?unused (si : G.smo_instance) =
   let i = si.G.si_inst in
   let edb =
     List.map
@@ -111,20 +114,30 @@ let instance_rule_diagnostics (si : G.smo_instance) =
       Fmt.str "%s of SMO #%d (%s)" what si.G.si_id
         (Bidel.Ast.smo_name si.G.si_smo)
     in
-    Analysis.check_rules ~edb ~context rules
+    Analysis.check_rules ?unused ~edb ~live:edb ~context rules
   in
   check "gamma_src" i.S.gamma_src
   @ check "gamma_tgt" i.S.gamma_tgt
   @ check "backfill" i.S.backfill
 
-(** Safety diagnostics for every SMO instance in the catalog. *)
-let rule_diagnostics t =
-  List.concat_map instance_rule_diagnostics (G.all_smos t.gen)
+(** Safety diagnostics for every SMO instance in the catalog. [unused]
+    enables the pedantic DLG006 singleton-variable lint. *)
+let rule_diagnostics ?unused t =
+  List.concat_map (instance_rule_diagnostics ?unused) (G.all_smos t.gen)
 
-(* Safety-check the mapping rule sets of freshly instantiated SMOs. *)
+(* Safety-check the mapping rule sets of freshly instantiated SMOs; in
+   strict mode a refuted lens law (VRF001 — the SMO parameters lose
+   information) also rejects the evolution before any delta code is
+   installed. Unknown verdicts are warnings and pass. *)
 let check_instance_rules t (si : G.smo_instance) =
-  if t.strict then
-    Analysis.Diagnostic.reject_errors (instance_rule_diagnostics si)
+  if t.strict then begin
+    Analysis.Diagnostic.reject_errors (instance_rule_diagnostics si);
+    Analysis.Diagnostic.reject_errors
+      (Analysis.Verify.law_diagnostics
+         ~context:
+           (Fmt.str "SMO #%d (%s)" si.G.si_id (Bidel.Ast.smo_name si.G.si_smo))
+         si.G.si_inst)
+  end
 
 (* Migrations manage their own internal engine transaction; letting one run
    inside an open user transaction would interleave the migration's undo
@@ -252,6 +265,170 @@ let advise t profile = Advisor.advise t.gen profile
     [None] when no traffic has been observed (or no version exists). *)
 let advise_observed t =
   match observed_profile t with [] -> None | p -> Advisor.advise t.gen p
+
+(* --- bidirectionality verification -------------------------------------------- *)
+
+(** Law verdicts for one SMO instance of the catalog. *)
+type smo_verification = {
+  vr_id : int;  (** SMO id *)
+  vr_smo : string;  (** printable SMO *)
+  vr_laws : Analysis.Verify.law_report;
+}
+
+(** Prove (or refute, with a minimized counterexample) GetPut and PutGet for
+    every SMO instance in the catalog. Verdicts are memoized inside the
+    verifier, so repeated calls are cheap. *)
+let verify_report t : smo_verification list =
+  List.map
+    (fun (si : G.smo_instance) ->
+      {
+        vr_id = si.G.si_id;
+        vr_smo = Bidel.Ast.smo_name si.G.si_smo;
+        vr_laws = Analysis.Verify.check_instance si.G.si_inst;
+      })
+    (G.all_smos t.gen)
+
+(* extensional relations of a flattened (bottomed-out) rule set, with
+   arities read off the atoms *)
+let rules_schema (rules : Datalog.Ast.rule list) =
+  let module D = Datalog.Ast in
+  let heads = D.head_preds rules in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : D.rule) ->
+      List.iter
+        (function
+          | D.Pos a | D.Neg a ->
+            if not (List.mem a.D.pred heads) then
+              Hashtbl.replace tbl a.D.pred (List.length a.D.args)
+          | D.Cond _ | D.Assign _ -> ())
+        r.D.body)
+    rules;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* VRF002: a flattened view emitted with UNION ALL whose branches the
+   verifier proves overlap — duplicates would surface. The planner only
+   picks UNION ALL on a disjointness witness, so anything here means the
+   syntactic witness (Lemma 5) and the semantic check disagree. *)
+let union_all_diagnostics t =
+  if not t.gen.G.flatten_enabled then []
+  else begin
+    let _lookup = Flatten.plan t.gen in
+    Hashtbl.fold
+      (fun name (e : G.flatten_entry) acc ->
+        match e.G.fe_outcome with
+        | G.F_flat ((_ :: _ :: _ as rules), true, _) -> (
+          match
+            Analysis.Verify.disjoint_branches ~schema:(rules_schema rules)
+              rules
+          with
+          | Analysis.Verify.Overlap cx ->
+            Analysis.Diagnostic.error "VRF002"
+              ~context:(Fmt.str "flattened view %s" name)
+              "UNION ALL branches overlap on %s; duplicate rows would surface"
+              (Analysis.Symbolic.concrete_to_string cx.Analysis.Verify.cx_data)
+            :: acc
+          | Analysis.Verify.Disjoint _ | Analysis.Verify.Undecided _ -> acc)
+        | _ -> acc)
+      t.gen.G.flatten_cache []
+  end
+
+(* physical relations the SMO's write-side triggers update under its current
+   materialization *)
+let write_set (si : G.smo_instance) =
+  let i = si.G.si_inst in
+  let rels =
+    if si.G.si_materialized then i.S.targets @ i.S.aux_tgt @ i.S.aux_both
+    else i.S.sources @ i.S.aux_src @ i.S.aux_both
+  in
+  List.map (fun (r : S.rel) -> r.S.rel_name) rels
+
+(* VRF003: two SMO instances whose trigger cascades write the same physical
+   relation — structurally expected at genealogy branch points (sibling
+   versions converge on the shared parent's tables), but worth surfacing:
+   writes through either sibling's views race on the shared state. *)
+let cascade_diagnostics t =
+  let smos = G.all_smos t.gen in
+  List.concat_map
+    (fun (a : G.smo_instance) ->
+      List.filter_map
+        (fun (b : G.smo_instance) ->
+          if a.G.si_id >= b.G.si_id then None
+          else
+            let wb = write_set b in
+            match List.filter (fun r -> List.mem r wb) (write_set a) with
+            | [] -> None
+            | shared ->
+              Some
+                (Analysis.Diagnostic.warning "VRF003"
+                   ~context:
+                     (Fmt.str "SMO #%d (%s) and SMO #%d (%s)" a.G.si_id
+                        (Bidel.Ast.smo_name a.G.si_smo) b.G.si_id
+                        (Bidel.Ast.smo_name b.G.si_smo))
+                   "trigger cascades overlap on write set %s"
+                   (String.concat ", " shared)))
+        smos)
+    smos
+
+(** Every verification diagnostic for the catalog: VRF001 (law refuted,
+    error) / VRF004 (law unprovable, warning) per SMO, VRF002 (UNION ALL
+    overlap, error) per flattened view, VRF003 (cascade write-set overlap,
+    warning) per SMO pair. *)
+let verify_diagnostics t : Analysis.Diagnostic.t list =
+  List.concat_map
+    (fun (si : G.smo_instance) ->
+      Analysis.Verify.law_diagnostics
+        ~context:
+          (Fmt.str "SMO #%d (%s)" si.G.si_id (Bidel.Ast.smo_name si.G.si_smo))
+        si.G.si_inst)
+    (G.all_smos t.gen)
+  @ union_all_diagnostics t @ cascade_diagnostics t
+
+(** Do both laws prove for every SMO instance? *)
+let verify_ok t =
+  List.for_all
+    (fun v -> Analysis.Verify.report_ok v.vr_laws)
+    (verify_report t)
+
+(** Run the single-atom mutation harness over every SMO instance:
+    [(id, smo, report)]. Expensive (hundreds of law checks); meant for the
+    CLI and CI smoke, not the evolution path. *)
+let verify_mutations t =
+  List.map
+    (fun (si : G.smo_instance) ->
+      ( si.G.si_id,
+        Bidel.Ast.smo_name si.G.si_smo,
+        Analysis.Verify.mutation_test si.G.si_inst ))
+    (G.all_smos t.gen)
+
+let verdict_json (v : Analysis.Verify.verdict) =
+  let jstr s = "\"" ^ Analysis.Diagnostic.json_escape s ^ "\"" in
+  match v with
+  | Analysis.Verify.Proved how ->
+    Fmt.str "{\"status\":\"proved\",\"detail\":%s}" (jstr how)
+  | Analysis.Verify.Refuted cx ->
+    Fmt.str "{\"status\":\"refuted\",\"counterexample\":%s}"
+      (jstr (Analysis.Symbolic.concrete_to_string cx.Analysis.Verify.cx_data))
+  | Analysis.Verify.Unknown why ->
+    Fmt.str "{\"status\":\"unknown\",\"detail\":%s}" (jstr why)
+
+(** The verification report as one JSON document:
+    [{"ok":bool,"smos":[{"id","smo","getput","putget"}...],
+    "diagnostics":[...]}]. *)
+let verify_json t =
+  let jstr s = "\"" ^ Analysis.Diagnostic.json_escape s ^ "\"" in
+  let smos =
+    List.map
+      (fun v ->
+        Fmt.str "{\"id\":%d,\"smo\":%s,\"getput\":%s,\"putget\":%s}" v.vr_id
+          (jstr v.vr_smo)
+          (verdict_json v.vr_laws.Analysis.Verify.lr_getput)
+          (verdict_json v.vr_laws.Analysis.Verify.lr_putget))
+      (verify_report t)
+  in
+  Fmt.str "{\"ok\":%b,\"smos\":[%s],\"diagnostics\":%s}" (verify_ok t)
+    (String.concat "," smos)
+    (Analysis.Diagnostic.list_to_json (verify_diagnostics t))
 
 (* --- introspection ----------------------------------------------------------- *)
 

@@ -173,9 +173,43 @@ val delta_diagnostics : t -> Analysis.Diagnostic.t list
 (** Regenerate (without installing) the complete delta code for the current
     state and typecheck it. *)
 
-val rule_diagnostics : t -> Analysis.Diagnostic.t list
+val rule_diagnostics : ?unused:bool -> t -> Analysis.Diagnostic.t list
 (** Safety diagnostics for the mapping rule sets (γ_src, γ_tgt, backfill) of
-    every SMO instance in the catalog. *)
+    every SMO instance in the catalog, including the DLG009 dead-rule check.
+    [unused] additionally enables the pedantic DLG006 singleton-variable
+    lint. *)
+
+(** {1 Bidirectionality verification} *)
+
+type smo_verification = {
+  vr_id : int;  (** SMO instance id *)
+  vr_smo : string;  (** SMO name, e.g. [SPLIT TABLE] *)
+  vr_laws : Analysis.Verify.law_report;  (** GetPut / PutGet verdicts *)
+}
+
+val verify_report : t -> smo_verification list
+(** Prove GetPut and PutGet for every SMO instance in the catalog with the
+    symbolic chase evaluator ({!Analysis.Verify.check_laws}). Memoized per
+    rule set, so repeated calls are cheap. *)
+
+val verify_diagnostics : t -> Analysis.Diagnostic.t list
+(** All verification diagnostics: [VRF001] (law refuted, error) / [VRF004]
+    (law unprovable, warning) per SMO, [VRF002] (overlapping UNION ALL
+    branches, error) per flattened view, [VRF003] (trigger cascades with
+    overlapping write sets, warning) per SMO pair. *)
+
+val verify_ok : t -> bool
+(** Do both lens laws prove for every SMO instance? *)
+
+val verify_mutations : t -> (int * string * Analysis.Verify.mutation_report) list
+(** Single-atom mutation harness over every SMO instance's rule sets:
+    [(id, smo_name, report)]. Expensive; meant for the CLI and CI smoke,
+    not the evolution path. *)
+
+val verify_json : t -> string
+(** The verification report as one JSON document:
+    [{"ok":bool,"smos":[{"id","smo","getput","putget"}...],
+    "diagnostics":[...]}]. *)
 
 (** {1 Introspection} *)
 

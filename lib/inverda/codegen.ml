@@ -439,7 +439,7 @@ let adjacent_smos v =
 let emit_rules_view emit lookup rename ~flat ~name rules =
   let query =
     match flat name with
-    | G.F_flat (composed, disjoint) ->
+    | G.F_flat (composed, disjoint, _) ->
       Rule_sql.query_of_rules ~union_all:disjoint lookup ~pred:name composed
     | G.F_physical | G.F_single | G.F_fallback _ ->
       Rule_sql.query_of_rules lookup ~pred:name rules

@@ -24,9 +24,21 @@ module D = Datalog.Ast
 module Simplify = Datalog.Simplify
 
 (* Guards against composition blow-up: a flattened view beyond these bounds
-   would be slower to plan and evaluate than the layered stack it replaces. *)
+   would be slower to plan and evaluate than the layered stack it replaces —
+   unless the verifier proves the composition equivalent to the stack, in
+   which case the relaxed ceilings apply (the proof replaces the syntactic
+   heuristic; beyond the hard ceiling even a proved composition stays
+   layered). *)
 let max_rules = 64
 let max_literals = 512
+let max_rules_proved = 4 * max_rules
+let max_literals_proved = 4 * max_literals
+
+(* budget for the equivalence / disjointness sweeps behind the proof-backed
+   gates: flattened views read a handful of physical relations, so their
+   grounded families are small; anything larger stays with the syntactic
+   verdict *)
+let proof_budget = 4_096
 
 (* Functions whose calls may appear inside a flattened (cacheable,
    re-evaluable) view body. Mirrors the executor's pure builtins; skolem
@@ -232,12 +244,90 @@ let rule_set_size (rules : D.rule list) =
 let plan (gen : G.t) : string -> G.flatten_outcome =
   let def_of = definitions gen in
   let memo : (string, G.flatten_entry) Hashtbl.t = Hashtbl.create 64 in
+  (* the layered stack a flattened rule set replaces: the one-hop definition
+     plus, transitively, the one-hop definitions of everything it reads *)
+  let layered_program rules =
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let rec go rs =
+      acc := !acc @ rs;
+      List.iter
+        (fun q ->
+          if not (Hashtbl.mem seen q) then begin
+            Hashtbl.replace seen q ();
+            match def_of q with Derived qrs, _ -> go qrs | _ -> ()
+          end)
+        (body_refs rs)
+    in
+    go rules;
+    !acc
+  in
+  (* arities of the physical relations a program reads, for the verifier's
+     grounded sweep *)
+  let physical_schema prog =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (r : D.rule) ->
+        List.iter
+          (function
+            | D.Pos a | D.Neg a -> (
+              match def_of a.D.pred with
+              | Derived _, _ -> ()
+              | (Physical | Foreign), _ ->
+                Hashtbl.replace tbl a.D.pred (List.length a.D.args))
+            | D.Cond _ | D.Assign _ -> ())
+          r.D.body)
+      prog;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  (* Proof-backed acceptance. The verifier compares the composed rules
+     against the layered stack they replace: a proof certifies the
+     flattening (and lifts the syntactic size bounds), a refutation is a
+     composition bug and keeps the stack, an undecided verdict falls back to
+     the syntactic gates. UNION ALL eligibility likewise upgrades from the
+     syntactic witness to the verifier's semantic disjointness check. *)
+  let accept ~name ~one_hop ~oversize canon =
+    let reference = layered_program one_hop in
+    let schema = physical_schema (reference @ canon) in
+    let verdict =
+      Analysis.Verify.equivalent_on ~max_instances:proof_budget ~schema
+        ~outputs:[ name ] ~reference ~candidate:canon ()
+    in
+    let disjoint () =
+      union_all_safe canon
+      ||
+      match
+        Analysis.Verify.disjoint_branches ~max_instances:proof_budget ~schema
+          canon
+      with
+      | Analysis.Verify.Disjoint _ -> true
+      | Analysis.Verify.Overlap _ | Analysis.Verify.Undecided _ -> false
+    in
+    match verdict with
+    | Analysis.Verify.Refuted cx ->
+      G.F_fallback
+        (Fmt.str "composed rules diverge from the layered stack on %s"
+           (Analysis.Symbolic.concrete_to_string cx.Analysis.Verify.cx_data))
+    | Analysis.Verify.Proved how ->
+      G.F_flat (canon, disjoint (), Fmt.str "equivalence proved (%s)" how)
+    | Analysis.Verify.Unknown why ->
+      if oversize then
+        G.F_fallback
+          (Fmt.str
+             "composed rule set too large (%d rules, %d literals) and equivalence undecided (%s)"
+             (List.length canon) (rule_set_size canon) why)
+      else
+        G.F_flat
+          ( canon,
+            disjoint (),
+            Fmt.str "syntactic gates (equivalence undecided: %s)" why )
+  in
   (* flattened rules usable as an inner definition for composition *)
   let rules_of (outcome : G.flatten_outcome) (one_hop : D.rule list) =
     match outcome with
     | G.F_physical -> None
     | G.F_single -> Some one_hop
-    | G.F_flat (rules, _) -> Some rules
+    | G.F_flat (rules, _, _) -> Some rules
     | G.F_fallback _ -> None
   in
   let rec entry name visiting : G.flatten_entry =
@@ -332,9 +422,13 @@ let plan (gen : G.t) : string -> G.flatten_outcome =
                   fp
                   (body_refs composed)
               in
-              if
+              let oversize =
                 List.length composed > max_rules
                 || rule_set_size composed > max_literals
+              in
+              if
+                List.length composed > max_rules_proved
+                || rule_set_size composed > max_literals_proved
               then
                 finish fp
                   (G.F_fallback
@@ -380,7 +474,7 @@ let plan (gen : G.t) : string -> G.flatten_outcome =
                               (Analysis.Diagnostic.to_string d)))
                     | [] ->
                       let canon = Simplify.canonicalize_rules composed in
-                      finish fp (G.F_flat (canon, union_all_safe canon))))))
+                      finish fp (accept ~name ~one_hop:rules ~oversize canon)))))
   in
   fun name -> (entry name []).G.fe_outcome
 

@@ -38,7 +38,7 @@ type schema_version = {
 type flatten_outcome =
   | F_physical  (** a data table backs it; nothing to flatten *)
   | F_single  (** already single-hop: the layered body reads physical tables *)
-  | F_flat of Datalog.Ast.rule list * bool
+  | F_flat of Datalog.Ast.rule list * bool * string
       (** path-composed, simplified, canonical single-hop rules; the flag is
           true when the rules are provably pairwise disjoint, so the emitted
           view may use UNION ALL instead of deduplicating UNION *)

@@ -36,10 +36,13 @@ type schema_version = {
 type flatten_outcome =
   | F_physical  (** a data table backs it; nothing to flatten *)
   | F_single  (** already single-hop: the layered body reads physical tables *)
-  | F_flat of Datalog.Ast.rule list * bool
+  | F_flat of Datalog.Ast.rule list * bool * string
       (** path-composed, simplified, canonical single-hop rules; the flag is
           true when the rules are provably pairwise disjoint, so the emitted
-          view may use UNION ALL instead of deduplicating UNION *)
+          view may use UNION ALL instead of deduplicating UNION; the string
+          records how the acceptance was justified (equivalence proof from
+          the verifier, or the syntactic gates when the proof was
+          undecided) *)
   | F_fallback of string  (** why the layered stack is kept (for lint) *)
 
 type flatten_entry = {

@@ -326,10 +326,12 @@ let flatten_text (outcome : G.flatten_outcome) =
   match outcome with
   | G.F_physical -> "physical (data table pass-through; nothing to flatten)"
   | G.F_single -> "single-hop already (layered body reads physical tables)"
-  | G.F_flat (rules, disjoint) ->
-    Fmt.str "flattened single hop: %d composed rule(s), %s" (List.length rules)
+  | G.F_flat (rules, disjoint, proof) ->
+    Fmt.str "flattened single hop: %d composed rule(s), %s; accepted by %s"
+      (List.length rules)
       (if disjoint then "UNION ALL (provably disjoint)"
        else "deduplicating UNION")
+      proof
   | G.F_fallback reason -> Fmt.str "layered stack kept: %s" reason
 
 (* The installed view stack under a name: what the executor actually expands,

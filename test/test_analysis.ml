@@ -116,10 +116,38 @@ let test_rule_seeds () =
   check_has "DLG006" "DLG006"
     (Analysis.Rule_check.check_rule ~unused:true
        (D.rule (a "p" [ "X" ]) [ pos "q" [ "X"; "Y" ] ]));
+  (* DLG006 aggregates: one diagnostic per rule, naming every singleton *)
+  (match
+     List.filter
+       (fun d -> d.Diag.code = "DLG006")
+       (Analysis.Rule_check.check_rule ~unused:true
+          (D.rule (a "p" [ "X" ]) [ pos "q" [ "X"; "Y"; "Z" ] ]))
+   with
+  | [ d ] ->
+    let m = Diag.to_string d in
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) ("DLG006 names " ^ v) true
+          (Astring.String.is_infix ~affix:v m))
+      [ "Y"; "Z" ]
+  | ds -> Alcotest.failf "expected one DLG006, got %d: [%s]" (List.length ds) (show ds));
   (* DLG007: body predicate neither derived nor supplied *)
   check_has "DLG007" "DLG007"
     (Analysis.check_rules ~edb:[ "q" ]
-       [ D.rule (a "p" [ "X" ]) [ pos "r" [ "X" ] ] ])
+       [ D.rule (a "p" [ "X" ]) [ pos "r" [ "X" ] ] ]);
+  (* DLG009: a derived predicate nothing reads and nothing declared live *)
+  check_has "DLG009" "DLG009"
+    (Analysis.check_rules ~live:[ "p" ]
+       [
+         D.rule (a "p" [ "X" ]) [ pos "q" [ "X" ] ];
+         D.rule (a "dead" [ "X" ]) [ pos "q" [ "X" ] ];
+       ]);
+  check_clean "live and read heads pass"
+    (Analysis.check_rules ~live:[ "p" ]
+       [
+         D.rule (a "p" [ "X" ]) [ pos "mid" [ "X" ] ];
+         D.rule (a "mid" [ "X" ]) [ pos "q" [ "X" ] ];
+       ])
 
 (* every SMO template's rule sets are safe, for each linkage variant *)
 let template_smos =
@@ -222,6 +250,36 @@ let test_delta_seeds () =
          stmt "CREATE VIEW w2 AS SELECT a FROM t";
        ])
 
+let test_shadow_seeds () =
+  (* IVD012: the unqualified [a] reads t in one UNION branch and u in the
+     other — legal, but silently branch-dependent *)
+  check_has "IVD012" "IVD012"
+    (Analysis.check_delta env
+       [
+         stmt
+           "CREATE VIEW sv AS SELECT a FROM t WHERE b = 1 UNION ALL SELECT a \
+            FROM u WHERE c = 2";
+       ]);
+  (* qualifying the reference silences it *)
+  check_clean "qualified columns pass"
+    (List.filter
+       (fun d -> d.Diag.code = "IVD012")
+       (Analysis.check_delta env
+          [
+            stmt
+              "CREATE VIEW sv AS SELECT t.a FROM t UNION ALL SELECT u.a FROM u";
+          ]));
+  (* same owning table in every branch: nothing is shadowed *)
+  check_clean "same owner passes"
+    (List.filter
+       (fun d -> d.Diag.code = "IVD012")
+       (Analysis.check_delta env
+          [
+            stmt
+              "CREATE VIEW sv AS SELECT a FROM t WHERE b = 1 UNION ALL SELECT \
+               a FROM t WHERE b = 2";
+          ]))
+
 let test_roundtrip_seeds () =
   (* IVD001: a generated name the engine's own grammar cannot read back *)
   check_has "IVD001" "IVD001"
@@ -278,6 +336,7 @@ let () =
       ( "delta",
         [
           Alcotest.test_case "seeded diagnostics" `Quick test_delta_seeds;
+          Alcotest.test_case "shadowed union columns" `Quick test_shadow_seeds;
           Alcotest.test_case "round-trip seeds" `Quick test_roundtrip_seeds;
         ] );
       ( "integration",

@@ -22,11 +22,9 @@ let test_tasky_coherence () =
   Alcotest.(check int) "all five materializations" 5 r.FC.checkpoints;
   Alcotest.(check bool) "views compared" true (r.FC.views > 0);
   Alcotest.(check bool) "flattening fired somewhere" true (r.FC.flat_views > 0);
-  (* one known, correct fallback: with the Do! branch fully materialized the
-     composed rule for the SPLIT's aux!2!lstar leaves [prio] unbound in a
-     condition, so the safety gate keeps the layered stack for it *)
-  Alcotest.(check bool) "at most the known aux fallback" true
-    (r.FC.fallbacks <= 1)
+  (* every composed rule set passes the safety gate and the symbolic
+     equivalence proof under all five materializations *)
+  Alcotest.(check int) "no fallbacks" 0 r.FC.fallbacks
 
 let test_wikimedia_coherence () =
   let r = FC.check_wikimedia ~versions:8 ~pages:10 ~links:15 () in
@@ -40,7 +38,8 @@ let flat_outcomes t =
   Hashtbl.fold
     (fun name (e : G.flatten_entry) acc ->
       match e.G.fe_outcome with
-      | G.F_flat (rules, disjoint) -> (name, List.length rules, disjoint) :: acc
+      | G.F_flat (rules, disjoint, _) ->
+        (name, List.length rules, disjoint) :: acc
       | _ -> acc)
     gen.G.flatten_cache []
   |> List.sort compare
@@ -71,6 +70,25 @@ let test_union_all_on_disjoint_rules () =
     (disjoint <> []);
   Alcotest.(check bool) "dump shows UNION ALL" true
     (contains (I.dump t) "UNION ALL")
+
+(* --- proof-backed acceptance ------------------------------------------------- *)
+
+let test_proof_backed_gating () =
+  (* a deep ADD COLUMN chain composes to 64 rules / ~700 literals — past the
+     syntactic blow-up gate that used to force the layered fallback — and is
+     accepted anyway because the symbolic verifier proves the composed rules
+     equivalent to the layered one-hop stack; the 4x hard ceiling still
+     applies beyond that *)
+  let t, _versions = Scenarios.Wikimedia.build ~versions:12 () in
+  let gen = I.genealogy t in
+  (match (Hashtbl.find gen.G.flatten_cache "tv!18!page").G.fe_outcome with
+  | G.F_flat (rules, _, proof) ->
+    Alcotest.(check int) "deep chain composed" 64 (List.length rules);
+    Alcotest.(check bool) "accepted by proof, not syntactic gates" true
+      (contains proof "equivalence proved")
+  | _ -> Alcotest.fail "tv!18!page fell back to the layered stack");
+  Alcotest.(check bool) "hard ceiling still falls back" true
+    (List.mem_assoc "tv!22!page" (I.flatten_fallbacks t))
 
 (* --- toggling --------------------------------------------------------------- *)
 
@@ -119,6 +137,7 @@ let () =
         [
           tc "fires at distance two" test_flatten_fires_at_distance_two;
           tc "union all on disjoint rules" test_union_all_on_disjoint_rules;
+          tc "proof-backed gating on deep chains" test_proof_backed_gating;
         ] );
       ( "toggle",
         [
