@@ -24,9 +24,10 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("ablation_pushdown", Experiments.ablation_pushdown);
     ("ablation_chain", Experiments.ablation_chain);
     ("telemetry", fun scale -> ignore (Experiments.telemetry_overhead scale));
+    ("comat", fun scale -> ignore (Experiments.comat scale));
   ]
 
-let run only full bechamel smoke json json5 =
+let run only full bechamel smoke json json5 json7 =
   if bechamel then Micro.run ()
   else
   let scale =
@@ -37,6 +38,8 @@ let run only full bechamel smoke json json5 =
   if json then Experiments.json_baseline scale "BENCH_PR4.json"
   else if json5 then
     ignore (Experiments.telemetry_overhead ~out:"BENCH_PR5.json" scale)
+  else if json7 then
+    ignore (Experiments.comat ~out:"BENCH_PR7.json" scale)
   else
   let selected =
     match only with
@@ -93,9 +96,18 @@ let json5 =
   in
   Arg.(value & flag & info [ "json-pr5" ] ~doc)
 
+let json7 =
+  let doc =
+    "Write the co-materialization baseline to BENCH_PR7.json (distance-2 \
+     reads with and without a redundant copy at the read version, plus the \
+     copy-maintenance write amplification) instead of running the figure \
+     harness."
+  in
+  Arg.(value & flag & info [ "json-pr7" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
   Cmd.v (Cmd.info "inverda-bench" ~doc)
-    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5)
+    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7)
 
 let () = exit (Cmd.eval cmd)

@@ -324,6 +324,40 @@ let flatten_run smoke =
     Fmt.epr "FLATTEN COHERENCE FAILED: %s@." msg;
     1
 
+(* --- the comat-coherence command --------------------------------------------- *)
+
+let comat_run smoke =
+  let module CC = Scenarios.Comat_check in
+  let started = Unix.gettimeofday () in
+  let pr scenario (r : CC.report) =
+    Fmt.pr
+      "%s: %d checkpoints — every copy byte-identical to full recomputation \
+       (%d copies live, %d incremental, %d maintenance rows)@."
+      scenario r.CC.checkpoints r.CC.copies r.CC.incremental
+      r.CC.maintenance_rows
+  in
+  try
+    pr "TasKy"
+      (CC.check_tasky
+         ~tasks:(if smoke then 20 else 80)
+         ~ops:(if smoke then 40 else 150)
+         ());
+    pr "Wikimedia"
+      (CC.check_wikimedia
+         ~versions:(if smoke then 6 else 10)
+         ~pages:(if smoke then 8 else 25)
+         ~links:(if smoke then 12 else 50)
+         ());
+    Fmt.pr "comat coherence passed in %.1fs@." (Unix.gettimeofday () -. started);
+    0
+  with
+  | CC.Coherence_failure msg ->
+    Fmt.epr "COMAT COHERENCE FAILED: %s@." msg;
+    1
+  | Inverda.Comat.Comat_error msg ->
+    Fmt.epr "COMAT COHERENCE FAILED: %s@." msg;
+    1
+
 (* --- the verify command ------------------------------------------------------ *)
 
 let verify_run demo script json mutate =
@@ -391,6 +425,7 @@ let cli_errors f =
   try f () with
   | Inverda.Migration.Migration_error msg
   | Inverda.Genealogy.Catalog_error msg
+  | Inverda.Comat.Comat_error msg
   | Minidb.Database.Engine_error msg
   | Minidb.Exec.Exec_error msg ->
     Fmt.epr "error: %s@." msg;
@@ -424,9 +459,19 @@ let replay_demo_traffic t ops =
       (Scenarios.Workload.replay_profile r ~shares:demo_shares
          ~mix:Scenarios.Workload.paper_mix ~ops)
 
-let stats_run demo script ops json no_cache no_flatten =
+(* "--comat TasKy2.Task,Do!.Todo" -> register the copies before the workload *)
+let apply_comat t = function
+  | None -> ()
+  | Some targets ->
+    String.split_on_char ',' targets
+    |> List.iter (fun target ->
+           let target = String.trim target in
+           if target <> "" then I.comat_add t target)
+
+let stats_run demo script comat ops json no_cache no_flatten =
   cli_errors @@ fun () ->
   let t = build_instance ~no_cache ~no_flatten demo script in
+  apply_comat t comat;
   if demo then replay_demo_traffic t ops;
   if json then print_endline (I.stats_json t) else print_string (I.stats_text t);
   0
@@ -480,9 +525,10 @@ let trace_run demo script ops limit smoke =
     0
   end
 
-let explain_run demo script json sql =
+let explain_run demo script comat json sql =
   cli_errors @@ fun () ->
   let t = build_instance demo script in
+  apply_comat t comat;
   if json then print_endline (I.explain_json t sql)
   else print_string (I.explain t sql);
   0
@@ -703,6 +749,28 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc ~man) Term.(const faults_run $ smoke $ stride)
 
+let comat_coherence_cmd =
+  let smoke =
+    let doc = "Smaller genealogies and data sets, for CI smoke checks." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc = "Check incremental copy maintenance against full recomputation" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Builds the TasKy genealogy (swept through all five valid \
+         materializations with every derived table version co-materialized) \
+         and a deep Wikimedia-style genealogy (copies in the middle and at \
+         the far end, then migrated), runs mixed write workloads, and at \
+         every checkpoint asserts that each copy table is byte-identical to \
+         a full recomputation of its definition and that every version view \
+         answers identically with and without the copies. Exits non-zero on \
+         the first divergence.";
+    ]
+  in
+  Cmd.v (Cmd.info "comat-coherence" ~doc ~man) Term.(const comat_run $ smoke)
+
 let flatten_coherence_cmd =
   let smoke =
     let doc = "Smaller genealogies and data sets, for CI smoke checks." in
@@ -746,6 +814,14 @@ let json_opt =
   let doc = "Emit JSON instead of the human-readable rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let comat_opt =
+  let doc =
+    "Co-materialize these table versions first (comma-separated \
+     $(b,Version.Table) targets): each gets a redundant, incrementally \
+     maintained physical copy that serves its reads."
+  in
+  Arg.(value & opt (some string) None & info [ "comat" ] ~docv:"TARGETS" ~doc)
+
 let stats_cmd =
   let doc = "Unified telemetry counters (cache, flatten fallbacks, traffic)" in
   let man =
@@ -760,8 +836,8 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc ~man)
     Term.(
-      const stats_run $ demo $ script_opt $ ops_opt $ json_opt $ no_cache
-      $ no_flatten)
+      const stats_run $ demo $ script_opt $ comat_opt $ ops_opt $ json_opt
+      $ no_cache $ no_flatten)
 
 let trace_cmd =
   let limit =
@@ -807,7 +883,7 @@ let explain_cmd =
     ]
   in
   Cmd.v (Cmd.info "explain" ~doc ~man)
-    Term.(const explain_run $ demo $ script_opt $ json_opt $ sql)
+    Term.(const explain_run $ demo $ script_opt $ comat_opt $ json_opt $ sql)
 
 let advise_cmd =
   let observed =
@@ -875,6 +951,7 @@ let cmd =
       materialize_cmd;
       faults_cmd;
       flatten_coherence_cmd;
+      comat_coherence_cmd;
       verify_cmd;
       stats_cmd;
       trace_cmd;

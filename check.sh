@@ -24,11 +24,15 @@ for field in ok smos id smo getput putget status diagnostics; do
 done
 echo "$verify_json" | grep -q '"ok":true' \
   || { echo "check.sh: verify --json reports ok=false on the demo" >&2; exit 1; }
+# co-materialization: incremental copies must answer byte-identically to a
+# full regeneration across every TasKy materialization and a deep Wikimedia
+# chain
+dune exec bin/inverda_cli.exe -- comat-coherence --smoke
 # telemetry: the stats --json document must carry every field of its schema
 stats_json=$(dune exec bin/inverda_cli.exe -- stats --demo --json)
 for field in enabled observed_statements engine_statements trigger_hops \
              cache flatten_fallbacks versions table_versions \
-             observed_profile read_latency_ns write_latency_ns spans; do
+             observed_profile read_latency_ns write_latency_ns spans comat; do
   echo "$stats_json" | grep -q "\"$field\"" \
     || { echo "check.sh: stats --json is missing \"$field\"" >&2; exit 1; }
 done
@@ -36,4 +40,7 @@ done
 dune exec bin/inverda_cli.exe -- trace --smoke
 # telemetry: measured read overhead must stay within the gate at smoke scale
 dune exec bench/main.exe -- --only telemetry --smoke
+# co-materialization: distance-2 reads at a copied version must stay within
+# the gate of the materialized-there local cost
+dune exec bench/main.exe -- --only comat --smoke
 echo "check.sh: all green"

@@ -1,0 +1,123 @@
+(** Delta-rule derivation for incremental maintenance of derived relations —
+    semi-naive evaluation specialised to single-row base writes.
+
+    Given a single-hop rule set defining a derived relation over stored
+    tables and {e one} changed base row (the engine's write granularity:
+    insert, delete or update of one tuple), {!candidate_rules} builds rules
+    whose evaluation over the {e post-state} database yields every head key
+    whose derivation status may have changed. The caller then rectifies per
+    key: delete the key's rows from the maintained copy and re-insert what
+    {!restrict_rules} recomputes — byte-exact regardless of duplicate
+    derivations or other rules deriving the same key.
+
+    Completeness of the candidate set rests on enumerating every nonempty
+    {e subset} of the changed predicate's occurrences (both polarities), with
+    every assignment of the removed/added tuple to the subset's members: a
+    derivation (pre- or post-state) touching the changed row at several body
+    positions — e.g. deleting [a(2,2)] under [h(k) :- a(k,x), a(x,y)] — is
+    found by the subset binding exactly those positions, while every literal
+    outside the subset matches only rows present in both states, so the
+    residual body evaluates identically over the post-state. *)
+
+open Ast
+
+(** Head predicate of the rules {!candidate_rules} returns; its single
+    column is the affected key. *)
+let candidate_pred = "delta!cand"
+
+(* The substitutions built here bind variables directly to constants, so a
+   single association lookup resolves a term. *)
+let walk s t =
+  match t with
+  | Var x -> ( match List.assoc_opt x s with Some t' -> t' | None -> t)
+  | _ -> t
+
+(* Unify one atom against a concrete stored row (key-first, same layout as
+   the table's columns), extending [s]; [None] on clash or arity mismatch.
+   Tuple identity is structural — NULL unifies only with NULL, which is the
+   right notion for "this derivation used this row". *)
+let unify_atom s (a : atom) (row : Minidb.Value.t array) =
+  if List.length a.args <> Array.length row then None
+  else
+    let rec go s i = function
+      | [] -> Some s
+      | t :: rest -> (
+        let v = row.(i) in
+        match walk s t with
+        | Cst c -> if c = v then go s (i + 1) rest else None
+        | Var x -> go ((x, Cst v) :: s) (i + 1) rest
+        | Anon -> go s (i + 1) rest)
+    in
+    go s 0 a.args
+
+(* All ways to pick a sub-multiset of [occs] and assign each picked
+   occurrence one of [rows] (the empty pick included; callers drop it). *)
+let rec assignments rows = function
+  | [] -> [ [] ]
+  | occ :: rest ->
+    let tails = assignments rows rest in
+    tails
+    @ List.concat_map
+        (fun row -> List.map (fun tl -> ((occ, row) : _ * _) :: tl) tails)
+        rows
+
+(** [candidate_rules ~pred ~old_row ~new_row rules] — rules deriving
+    [candidate_pred(key)] over the post-state for every head key of [rules]
+    whose membership may have changed when [pred] lost [old_row] and/or
+    gained [new_row]. *)
+let candidate_rules ~pred ~old_row ~new_row (rules : rule list) : rule list =
+  let rows = List.filter_map Fun.id [ old_row; new_row ] in
+  if rows = [] then []
+  else
+    List.concat_map
+      (fun (r : rule) ->
+        let occs =
+          List.mapi (fun i l -> (i, l)) r.body
+          |> List.filter_map (fun (i, l) ->
+                 match l with
+                 | (Pos a | Neg a) when a.pred = pred -> Some (i, a)
+                 | _ -> None)
+        in
+        assignments rows occs
+        |> List.filter_map (fun assignment ->
+               if assignment = [] then None
+               else
+                 let subst =
+                   List.fold_left
+                     (fun acc ((_, a), row) ->
+                       match acc with
+                       | None -> None
+                       | Some s -> unify_atom s a row)
+                     (Some []) assignment
+                 in
+                 match subst with
+                 | None -> None
+                 | Some s ->
+                   let removed =
+                     List.map (fun ((i, _), _) -> i) assignment
+                   in
+                   let body =
+                     List.filteri
+                       (fun i _ -> not (List.mem i removed))
+                       r.body
+                   in
+                   let key =
+                     match r.head.args with k :: _ -> k | [] -> Anon
+                   in
+                   Some
+                     (Simplify.subst_rule s
+                        { head = atom candidate_pred [ key ]; body })))
+      rules
+    |> List.sort_uniq compare
+
+(** [restrict_rules ~key rules] — each rule with its head key pinned to
+    [key] (rules whose constant head key differs are dropped): the
+    recomputation side of per-key rectification. *)
+let restrict_rules ~key (rules : rule list) : rule list =
+  List.filter_map
+    (fun (r : rule) ->
+      match r.head.args with
+      | Var x :: _ -> Some (Simplify.subst_rule [ (x, Cst key) ] r)
+      | Cst c :: _ -> if c = key then Some r else None
+      | Anon :: _ | [] -> Some r)
+    rules

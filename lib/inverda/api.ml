@@ -42,7 +42,8 @@ let cache_stats t = Db.cache_stats t.db
 let set_flatten t b =
   if t.gen.G.flatten_enabled <> b then begin
     t.gen.G.flatten_enabled <- b;
-    Codegen.regenerate t.db t.gen
+    Codegen.regenerate t.db t.gen;
+    Comat.rederive_all t.db t.gen
   end
 
 (** [(relation, reason)] for every path whose composed rule set failed the
@@ -190,10 +191,13 @@ let exec_bidel t (stmt : Bidel.Ast.statement) =
     (* identifier backfill for pre-existing source data reads the *current*
        views, which still exist *)
     List.iter (run_backfill t) instances;
-    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen
+    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen;
+    Comat.rederive_all t.db t.gen
   | Bidel.Ast.Drop_schema_version name ->
     G.drop_schema_version t.gen name;
-    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen
+    Comat.prune t.db t.gen;
+    Codegen.regenerate ~validate:(validate_delta t) t.db t.gen;
+    Comat.rederive_all t.db t.gen
   | Bidel.Ast.Materialize targets ->
     check_no_open_txn t;
     Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
@@ -265,6 +269,55 @@ let advise t profile = Advisor.advise t.gen profile
     [None] when no traffic has been observed (or no version exists). *)
 let advise_observed t =
   match observed_profile t with [] -> None | p -> Advisor.advise t.gen p
+
+(* --- co-materialization ------------------------------------------------------ *)
+
+(** Redundantly materialize a table version ("Version.Table"): create and
+    populate a copy table, re-anchor the version's reads at it, and keep it
+    exact on every write through the derived maintenance program. *)
+let comat_add t target =
+  check_no_open_txn t;
+  ignore (Comat.add t.db t.gen target)
+
+(** Drop a redundant copy; the version's reads fall back to its regular
+    delta code. *)
+let comat_drop t target =
+  check_no_open_txn t;
+  Comat.drop t.db t.gen target
+
+(** All live copies, in table-version order. *)
+let comat_list t = G.comats_list t.gen
+
+(** The advisor's space budget in rows across all copies ([<= 0] =
+    unlimited). *)
+let set_comat_budget t n = t.gen.G.comat_budget <- n
+
+let comat_budget t = t.gen.G.comat_budget
+
+(** Verify every copy against its copy-independent source view; raises
+    {!Comat.Comat_error} on divergence. *)
+let comat_check t = Comat.check t.db t.gen
+
+let tv_rows t tvid =
+  let v = G.tv t.gen tvid in
+  query_int t (Fmt.str "SELECT COUNT(*) FROM \"%s\"" (G.tv_name v))
+
+(** Copies worth adding for a profile, greedily packed under the configured
+    row budget. *)
+let advise_comat t profile =
+  Advisor.advise_comat t.gen ~rows:(tv_rows t) ~budget:t.gen.G.comat_budget
+    profile
+
+(** As {!advise_comat}, on the observed traffic profile; empty when nothing
+    was observed. *)
+let advise_comat_observed t = advise_comat t (observed_profile t)
+
+(** Advise from observed traffic and register every recommended copy.
+    Returns the recommendations that were applied. *)
+let comat_auto t =
+  let recs = advise_comat_observed t in
+  List.iter (fun (r : Advisor.comat_recommendation) -> comat_add t r.Advisor.cr_target) recs;
+  recs
 
 (* --- bidirectionality verification -------------------------------------------- *)
 

@@ -158,6 +158,48 @@ val advise_observed : t -> Advisor.recommendation option
 (** As {!advise}, on the {!observed_profile}; [None] when nothing was
     observed. *)
 
+(** {1 Co-materialization}
+
+    A {e co-materialized} table version keeps a redundant physical copy next
+    to the regular delta code: reads at that version hit the copy directly
+    (no propagation hops), while every write anywhere in the genealogy keeps
+    the copy exact — incrementally, through per-SMO delta rules derived from
+    the same γ rule sets the flattener composes, or by full refresh when no
+    safe single-hop program exists. Copies survive MATERIALIZE atomically
+    and roll back with failed migrations. *)
+
+val comat_add : t -> string -> unit
+(** [comat_add t "Version.Table"] — create, populate and maintain a
+    redundant copy of that table version. Raises {!Comat.Comat_error} if the
+    version is already physical or already copied, {!Inverda_error} inside
+    an open transaction. *)
+
+val comat_drop : t -> string -> unit
+(** Drop the copy; reads fall back to the regular delta code. *)
+
+val comat_list : t -> Genealogy.comat_copy list
+(** Live copies with their maintenance mode, watch set and counters. *)
+
+val set_comat_budget : t -> int -> unit
+(** Advisor space budget in rows across all copies ([<= 0] = unlimited). *)
+
+val comat_budget : t -> int
+
+val comat_check : t -> unit
+(** Compare every copy against its copy-independent source view; raises
+    {!Comat.Comat_error} on the first divergent copy. *)
+
+val advise_comat : t -> Advisor.profile -> Advisor.comat_recommendation list
+(** Copies worth adding for a profile, greedily packed under the configured
+    row budget. An all-zero profile yields no recommendations. *)
+
+val advise_comat_observed : t -> Advisor.comat_recommendation list
+(** As {!advise_comat}, on the observed traffic profile. *)
+
+val comat_auto : t -> Advisor.comat_recommendation list
+(** Advise from observed traffic, register every recommended copy, and
+    return what was applied. *)
+
 (** {1 Static analysis} *)
 
 val lint_env : t -> Analysis.Sql_check.env

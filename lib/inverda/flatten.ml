@@ -124,6 +124,11 @@ let definitions (gen : G.t) =
         }
       in
       let d =
+        (* A co-materialized table version is physically backed by its copy
+           table: paths through it re-anchor at the copy instead of composing
+           on towards the original materialization root. *)
+        if G.is_comat gen v.G.tv_id then Physical
+        else
         match G.access_case gen v with
         | G.Local -> Physical
         | G.Forwards o ->
@@ -347,7 +352,12 @@ let plan (gen : G.t) : string -> G.flatten_outcome =
   and compute name visiting : G.flatten_entry =
     let d, fp = def_of name in
     let finish fp outcome =
-      { G.fe_smos = fp.fp_smos; fe_tvs = fp.fp_tvs; fe_outcome = outcome }
+      {
+        G.fe_smos = fp.fp_smos;
+        fe_tvs = fp.fp_tvs;
+        fe_comats = G.comat_ids gen;
+        fe_outcome = outcome;
+      }
     in
     match d with
     | Physical | Foreign -> finish fp G.F_physical

@@ -51,7 +51,37 @@ type flatten_entry = {
   fe_tvs : (int * int option * int list) list;
       (** adjacency ([tv_in], [tv_out]) of every table version traversed —
           guards against DDL growing the genealogy under a cached path *)
+  fe_comats : int list;
+      (** the co-materialized table versions at compute time: a copy appearing
+          or disappearing re-anchors paths, so it invalidates the entry *)
   fe_outcome : flatten_outcome;
+}
+
+(** How a co-materialized copy is kept up to date on writes. *)
+type comat_mode =
+  | Cm_incremental of Datalog.Ast.rule list
+      (** single-hop rules defining the copy over stored tables; per-write
+          delta rules are derived from them ({!Datalog.Delta}) *)
+  | Cm_refresh of string
+      (** no safe single-hop program (the reason is recorded): the copy is
+          fully refreshed from its source view on every relevant base write *)
+
+(** One redundantly materialized (hot) table version. *)
+type comat_copy = {
+  cm_tv : int;  (** the co-materialized table version *)
+  cm_table : string;  (** physical copy table ({!Naming.comat_table}) *)
+  cm_source : string;
+      (** source view carrying the copy-independent definition
+          ({!Naming.comat_source}) *)
+  mutable cm_mode : comat_mode;
+  mutable cm_bases : string list;
+      (** stored tables the definition reads (sorted); writes to these
+          trigger maintenance *)
+  mutable cm_proof : string;  (** how the maintenance program was justified *)
+  mutable cm_epoch : int;  (** bumped on every maintenance application *)
+  mutable cm_writes : int;  (** maintenance statements executed so far *)
+  mutable cm_rows : int;  (** rows written by maintenance so far *)
+  mutable cm_refreshes : int;  (** full refreshes so far *)
 }
 
 type t = {
@@ -64,6 +94,11 @@ type t = {
   flatten_cache : (string, flatten_entry) Hashtbl.t;
       (** relation name -> cached flattening; entries self-invalidate when
           their recorded dependencies no longer match the catalog *)
+  comats : (int, comat_copy) Hashtbl.t;  (** tv id -> live copy *)
+  mutable comat_budget : int;
+      (** advisor space budget in rows across all copies; [<= 0] = unlimited *)
+  mutable comat_suspended : bool;
+      (** incremental maintenance paused (during migration flips) *)
 }
 
 exception Catalog_error of string
@@ -78,6 +113,9 @@ let create () =
     versions = [];
     flatten_enabled = true;
     flatten_cache = Hashtbl.create 32;
+    comats = Hashtbl.create 8;
+    comat_budget = 0;
+    comat_suspended = false;
   }
 
 let fresh_id t =
@@ -138,6 +176,23 @@ let access_case t v =
     | None -> Local
     | Some i -> if (smo t i).si_materialized then Local else Backwards i)
 
+(* --- co-materialized copies -------------------------------------------------- *)
+
+let is_comat t id = Hashtbl.mem t.comats id
+
+let comat t id = Hashtbl.find_opt t.comats id
+
+(** Co-materialized table-version ids, sorted (the canonical order used for
+    cache validity and registration). *)
+let comat_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.comats [] |> List.sort compare
+
+let comats_list t = List.map (fun id -> Hashtbl.find t.comats id) (comat_ids t)
+
+let comat_register t copy = Hashtbl.replace t.comats copy.cm_tv copy
+
+let comat_unregister t id = Hashtbl.remove t.comats id
+
 (* --- the flatten cache ------------------------------------------------------ *)
 
 (* An entry stays valid while every SMO its composition traversed still has
@@ -159,6 +214,7 @@ let flatten_entry_valid t e =
          | Some v -> v.tv_in = tin && v.tv_out = tout
          | None -> false)
        e.fe_tvs
+  && e.fe_comats = comat_ids t
 
 let flatten_cache_find t name =
   match Hashtbl.find_opt t.flatten_cache name with

@@ -50,7 +50,37 @@ type flatten_entry = {
       (** materialization flags of every SMO the composition traversed *)
   fe_tvs : (int * int option * int list) list;
       (** adjacency of every table version traversed *)
+  fe_comats : int list;
+      (** the co-materialized table versions at compute time; a change
+          invalidates the entry (copies re-anchor paths) *)
   fe_outcome : flatten_outcome;
+}
+
+(** How a co-materialized copy is kept up to date on writes. *)
+type comat_mode =
+  | Cm_incremental of Datalog.Ast.rule list
+      (** single-hop rules defining the copy over stored tables; per-write
+          delta rules are derived from them ({!Datalog.Delta}) *)
+  | Cm_refresh of string
+      (** no safe single-hop program (reason recorded): full refresh from the
+          source view on every relevant base write *)
+
+(** One redundantly materialized (hot) table version. *)
+type comat_copy = {
+  cm_tv : int;  (** the co-materialized table version *)
+  cm_table : string;  (** physical copy table ({!Naming.comat_table}) *)
+  cm_source : string;
+      (** source view carrying the copy-independent definition
+          ({!Naming.comat_source}) *)
+  mutable cm_mode : comat_mode;
+  mutable cm_bases : string list;
+      (** stored tables the definition reads (sorted); writes to these
+          trigger maintenance *)
+  mutable cm_proof : string;  (** how the maintenance program was justified *)
+  mutable cm_epoch : int;  (** bumped on every maintenance application *)
+  mutable cm_writes : int;  (** maintenance statements executed so far *)
+  mutable cm_rows : int;  (** rows written by maintenance so far *)
+  mutable cm_refreshes : int;  (** full refreshes so far *)
 }
 
 type t = {
@@ -62,6 +92,11 @@ type t = {
       (** emit flattened views where the pass succeeds (default true) *)
   flatten_cache : (string, flatten_entry) Hashtbl.t;
       (** relation name -> cached flattening *)
+  comats : (int, comat_copy) Hashtbl.t;  (** tv id -> live copy *)
+  mutable comat_budget : int;
+      (** advisor space budget in rows across all copies; [<= 0] = unlimited *)
+  mutable comat_suspended : bool;
+      (** incremental maintenance paused (during migration flips) *)
 }
 
 exception Catalog_error of string
@@ -155,6 +190,24 @@ val enumerate_materializations : t -> int list list
 
 val physical_tables_for : t -> int list -> table_version list
 (** The physical table schema a materialization implies. *)
+
+(** {1 Co-materialized copies} *)
+
+val is_comat : t -> int -> bool
+(** Is a live redundant copy registered for this table version? *)
+
+val comat : t -> int -> comat_copy option
+
+val comat_ids : t -> int list
+(** Co-materialized table-version ids, sorted (the canonical order used for
+    cache validity and registration). *)
+
+val comats_list : t -> comat_copy list
+(** All live copies, in [comat_ids] order. *)
+
+val comat_register : t -> comat_copy -> unit
+
+val comat_unregister : t -> int -> unit
 
 (** {1 The flatten cache} *)
 

@@ -199,6 +199,24 @@ let stats_json (db : Db.t) (gen : G.t) =
        (List.map
           (fun (name, w) -> Fmt.str "{\"version\":%s,\"weight\":%.4f}" (jstr name) w)
           (observed_profile db gen)));
+  add "\"comat\":{\"budget_rows\":%d,\"copies\":[%s]},"
+    gen.G.comat_budget
+    (String.concat ","
+       (List.map
+          (fun (cm : G.comat_copy) ->
+            let mode, proof =
+              match cm.G.cm_mode with
+              | G.Cm_incremental _ -> ("incremental", cm.G.cm_proof)
+              | G.Cm_refresh reason -> ("refresh", reason)
+            in
+            Fmt.str
+              "{\"tv\":%d,\"table\":%s,\"copy\":%s,\"mode\":%s,\"proof\":%s,\"dormant\":%b,\"epoch\":%d,\"maintenance_statements\":%d,\"maintenance_rows\":%d,\"refreshes\":%d}"
+              cm.G.cm_tv
+              (jstr (G.tv gen cm.G.cm_tv).G.tv_table)
+              (jstr cm.G.cm_table) (jstr mode) (jstr proof)
+              (G.is_physical gen (G.tv gen cm.G.cm_tv))
+              cm.G.cm_epoch cm.G.cm_writes cm.G.cm_rows cm.G.cm_refreshes)
+          (G.comats_list gen)));
   add "\"read_latency_ns\":%s," (histogram_json (M.read_histogram m));
   add "\"write_latency_ns\":%s," (histogram_json (M.write_histogram m));
   add "\"spans\":{\"recorded\":%d,\"held\":%d,\"capacity\":%d}"
@@ -229,6 +247,28 @@ let stats_text (db : Db.t) (gen : G.t) =
   | fs ->
     add "flatten fallbacks: %d@." (List.length fs);
     List.iter (fun (rel, reason) -> add "  %s: %s@." rel reason) fs);
+  (match G.comats_list gen with
+  | [] -> add "co-materialized copies: none@."
+  | copies ->
+    add "co-materialized copies: %d (budget %s rows)@." (List.length copies)
+      (if gen.G.comat_budget <= 0 then "unlimited"
+       else string_of_int gen.G.comat_budget);
+    List.iter
+      (fun (cm : G.comat_copy) ->
+        let mode =
+          match cm.G.cm_mode with
+          | G.Cm_incremental _ -> "incremental"
+          | G.Cm_refresh _ -> "refresh"
+        in
+        let dormant =
+          if G.is_physical gen (G.tv gen cm.G.cm_tv) then " (dormant)" else ""
+        in
+        add "  tv%-3d %-12s %s  epoch %d  %d stmts / %d rows / %d refreshes%s@."
+          cm.G.cm_tv
+          (G.tv gen cm.G.cm_tv).G.tv_table
+          mode cm.G.cm_epoch cm.G.cm_writes cm.G.cm_rows cm.G.cm_refreshes
+          dormant)
+      copies);
   add "per-version traffic:@.";
   let profile = observed_profile db gen in
   List.iter
@@ -464,7 +504,19 @@ let explain (db : Db.t) (gen : G.t) sql =
     | Some v ->
       add " genealogy access path:@.";
       genealogy_path gen [] v emit 1;
-      add " flattening: %s@." (flatten_text (flat (G.tv_name v)))
+      add " flattening: %s@." (flatten_text (flat (G.tv_name v)));
+      (match G.comat gen v.G.tv_id with
+      | Some cm when not (G.is_physical gen v) ->
+        add " co-materialized: reads served by copy %s (%s, epoch %d)@."
+          cm.G.cm_table
+          (match cm.G.cm_mode with
+          | G.Cm_incremental _ -> "incrementally maintained"
+          | G.Cm_refresh _ -> "refresh-maintained")
+          cm.G.cm_epoch
+      | Some cm ->
+        add " co-materialized: copy %s dormant (version is physical)@."
+          cm.G.cm_table
+      | None -> ())
     | None -> ());
     (match Db.find_object db k with
     | Some (Db.Obj_view _) ->
@@ -538,9 +590,17 @@ let explain_json (db : Db.t) (gen : G.t) sql =
       | None -> "null"
     in
     let tv_id = match tv with Some v -> string_of_int v.G.tv_id | None -> "null" in
+    let comat =
+      match tv with
+      | Some v -> (
+        match G.comat gen v.G.tv_id with
+        | Some cm when not (G.is_physical gen v) -> jstr cm.G.cm_table
+        | _ -> "null")
+      | None -> "null"
+    in
     Fmt.str
-      "{\"object\":%s,\"role\":%s,\"tv\":%s,\"flattening\":%s,\"physical_tables\":[%s]}"
-      (jstr k) (jstr role) tv_id flattening
+      "{\"object\":%s,\"role\":%s,\"tv\":%s,\"flattening\":%s,\"comat\":%s,\"physical_tables\":[%s]}"
+      (jstr k) (jstr role) tv_id flattening comat
       (String.concat "," (List.map jstr (physical_bases db gen k)))
   in
   Fmt.str "{\"kind\":%s,\"targets\":[%s],\"objects\":[%s],\"text\":%s}"

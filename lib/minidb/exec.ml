@@ -1159,8 +1159,8 @@ and compile_select ctx outer_scopes sel : env -> relation =
      stored right side stays probeable by its index. The original WHERE is
      kept, so this is purely an evaluation-order rewrite. *)
   let sel =
-    match sel.from, sel.where with
-    | Some (From_join _ as f0), Some w when ctx.db.Db.optimizations ->
+    match sel.from with
+    | Some (From_join _ as f0) when ctx.db.Db.optimizations ->
       let rec column_free = function
         | Col _ -> false
         | Const _ | Param _ -> true
@@ -1199,16 +1199,43 @@ and compile_select ctx outer_scopes sel : env -> relation =
         in
         Option.value (go from) ~default:from
       in
-      let pins =
-        List.filter_map
-          (fun c ->
-            match c with
-            | Binop (Eq, Col (Some a, n), e) when column_free e -> Some (a, n, e)
-            | Binop (Eq, e, Col (Some a, n)) when column_free e -> Some (a, n, e)
-            | _ -> None)
-          (conjuncts w)
+      let pin_of c =
+        match c with
+        | Binop (Eq, Col (Some a, n), e) when column_free e -> Some (a, n, e)
+        | Binop (Eq, e, Col (Some a, n)) when column_free e -> Some (a, n, e)
+        | _ -> None
       in
-      { sel with from = Some (List.fold_left wrap_one f0 pins) }
+      let where_pins =
+        match sel.where with
+        | Some w -> List.filter_map pin_of (conjuncts w)
+        | None -> []
+      in
+      (* constant pins written in ON conditions push down too: for an
+         all-inner join tree ON and WHERE filtering coincide, so the wrap is
+         the same evaluation-order rewrite. Outer joins give ON conditions
+         different semantics (they gate null-extension, not row survival), so
+         any outer join in the tree disables this source of pins. *)
+      let rec all_inner = function
+        | From_join (l, Inner, r, _) -> all_inner l && all_inner r
+        | From_join _ -> false
+        | From_table _ | From_select _ -> true
+      in
+      let on_pins =
+        if not (all_inner f0) then []
+        else
+          let rec collect = function
+            | From_table _ | From_select _ -> []
+            | From_join (l, _, r, c) ->
+              (match c with
+              | None -> []
+              | Some c -> List.filter_map pin_of (conjuncts c))
+              @ collect l @ collect r
+          in
+          collect f0
+      in
+      (match where_pins @ on_pins with
+      | [] -> sel
+      | pins -> { sel with from = Some (List.fold_left wrap_one f0 pins) })
     | _ -> sel
   in
   (* second pre-pass: lift subquery-free equality conjuncts of the WHERE

@@ -1,0 +1,228 @@
+(** Co-materialization coherence sweep: incrementally maintained copies must
+    be byte-identical to full regeneration, and reads re-anchored at a copy
+    must answer exactly like the copy-free delta code.
+
+    For an instance with live copies the harness asserts, after every write
+    batch and after every migration:
+
+    - every copy table holds exactly the (sorted) rows of its
+      copy-independent source view — i.e. the per-write delta maintenance
+      produced the same result a full recomputation would
+      ({!Inverda.Comat.check});
+    - every version view answers [SELECT *] with exactly the same rows with
+      the copies live as after dropping them all (reads through copies are
+      observationally equivalent to the regular view stack); the copies are
+      then re-registered.
+
+    TasKy is swept under all five valid materializations with copies
+    accumulated along the way (so copies survive MATERIALIZE in both
+    directions, including going dormant when their version turns physical);
+    Wikimedia exercises deep multi-hop chains with copies in the middle and
+    at the far end of the genealogy. *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+module C = Inverda.Comat
+
+exception Coherence_failure of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Coherence_failure s)) fmt
+
+(** Every version view's contents, as [(view, sorted rows)] in catalog
+    order (same convention as {!Faults.view_contents}). *)
+let view_answers api =
+  let gen = I.genealogy api in
+  List.concat_map
+    (fun (sv : G.schema_version) ->
+      List.map
+        (fun (table, _) ->
+          let view =
+            Inverda.Naming.version_view ~version:sv.G.sv_name ~table
+          in
+          let rows =
+            I.query_rows api (Fmt.str "SELECT * FROM \"%s\"" view)
+          in
+          (view, List.sort compare rows))
+        sv.G.sv_tables)
+    gen.G.versions
+
+(* "Version.Table" for a live copy (any owning version works: all share the
+   table version and therefore the copy). *)
+let target_of api (cm : G.comat_copy) =
+  let gen = I.genealogy api in
+  let hit =
+    List.find_map
+      (fun (sv : G.schema_version) ->
+        List.find_map
+          (fun (table, tvid) ->
+            if tvid = cm.G.cm_tv then Some (sv.G.sv_name ^ "." ^ table)
+            else None)
+          sv.G.sv_tables)
+      gen.G.versions
+  in
+  match hit with
+  | Some t -> t
+  | None -> fail "copy of tv%d has no owning version" cm.G.cm_tv
+
+(** Register copies for every non-physical, not-yet-copied table version
+    reachable from the catalog's versions; returns how many were added. *)
+let comat_everything api =
+  let gen = I.genealogy api in
+  let added = ref 0 in
+  List.iter
+    (fun (sv : G.schema_version) ->
+      List.iter
+        (fun (table, tvid) ->
+          let v = G.tv gen tvid in
+          if (not (G.is_physical gen v)) && not (G.is_comat gen tvid) then begin
+            I.comat_add api (sv.G.sv_name ^ "." ^ table);
+            incr added
+          end)
+        sv.G.sv_tables)
+    gen.G.versions;
+  !added
+
+(** The two coherence assertions for the instance's current state. *)
+let check_here ?(label = "") api =
+  (* 1. incremental maintenance == full recomputation, per copy *)
+  (try I.comat_check api
+   with C.Comat_error msg -> fail "%s: %s" label msg);
+  (* 2. reads through copies == reads through the regular delta code.
+     Dormant copies (their version is physical right now) are left alone:
+     reads don't go through them, and they could not be re-registered. *)
+  let gen = I.genealogy api in
+  let live =
+    List.filter
+      (fun (cm : G.comat_copy) ->
+        not (G.is_physical gen (G.tv gen cm.G.cm_tv)))
+      (G.comats_list gen)
+  in
+  if live <> [] then begin
+    let targets = List.map (target_of api) live in
+    let with_copies = view_answers api in
+    List.iter (I.comat_drop api) targets;
+    let without = view_answers api in
+    List.iter (I.comat_add api) targets;
+    List.iter2
+      (fun (v, a) (v', b) ->
+        if v <> v' then fail "%s: view lists diverge (%s vs %s)" label v v';
+        if a <> b then
+          fail
+            "%s: view %s answers differently through copies (%d rows) vs \
+             plain delta code (%d rows)"
+            label v (List.length a) (List.length b))
+      with_copies without
+  end
+
+type report = {
+  checkpoints : int;  (** states under which the assertions ran *)
+  copies : int;  (** live copies at the final checkpoint *)
+  incremental : int;  (** of those, incrementally maintained *)
+  maintenance_rows : int;  (** total rows written by maintenance *)
+}
+
+let report_of api ~checkpoints =
+  let copies = I.comat_list api in
+  {
+    checkpoints;
+    copies = List.length copies;
+    incremental =
+      List.length
+        (List.filter
+           (fun (cm : G.comat_copy) ->
+             match cm.G.cm_mode with
+             | G.Cm_incremental _ -> true
+             | G.Cm_refresh _ -> false)
+           copies);
+    maintenance_rows =
+      List.fold_left
+        (fun acc (cm : G.comat_copy) -> acc + cm.G.cm_rows)
+        0 copies;
+  }
+
+(* Deterministic mixed write batch through the TasKy version views. *)
+let tasky_batch api ~round ~ops =
+  let db = I.database api in
+  let rng = Rng.create ~seed:(1000 + round) () in
+  let runner = Workload.make_runner ~rng db in
+  ignore
+    (Workload.replay_profile runner
+       ~shares:[ (Workload.V_tasky, 0.3); (Workload.V_tasky2, 0.4); (Workload.V_do, 0.3) ]
+       ~mix:Workload.paper_mix ~ops)
+
+(** TasKy + Do! + TasKy2 under all five valid materializations, with copies
+    accumulated as versions leave the physical set and a mixed workload
+    between checkpoints. *)
+let check_tasky ?(tasks = 40) ?(ops = 60) () =
+  let api = Tasky.setup_full ~tasks () in
+  let mats = G.enumerate_materializations (I.genealogy api) in
+  let n =
+    List.fold_left
+      (fun round mat ->
+        I.set_materialization api mat;
+        let label =
+          Fmt.str "tasky mat [%a]" Fmt.(list ~sep:comma int) mat
+        in
+        (* copies survive the migration; add fresh ones for whatever the new
+           materialization left derived *)
+        ignore (comat_everything api);
+        check_here ~label api;
+        tasky_batch api ~round ~ops;
+        check_here ~label:(label ^ " after writes") api;
+        round + 1)
+      0 mats
+  in
+  report_of api ~checkpoints:(2 * n)
+
+(** A deep Wikimedia-style chain with copies at the middle and far end,
+    written at both ends, then migrated to the middle version. *)
+let check_wikimedia ?(versions = 6) ?(pages = 8) ?(links = 12) () =
+  let api, names = Wikimedia.build ~versions () in
+  let first = names.(0) in
+  let mid = names.(Array.length names / 2) in
+  let last = names.(Array.length names - 1) in
+  Wikimedia.load api ~version:first ~pages ~links;
+  (* a target can be physical already (e.g. no SMO on the chain touches
+     [link] late, so the far version shares the root's physical table) —
+     copy whatever is actually derived *)
+  let added =
+    List.filter
+      (fun target ->
+        let gen = I.genealogy api in
+        let version, table =
+          match String.rindex_opt target '.' with
+          | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+          | None -> fail "bad comat target %s" target
+        in
+        let sv =
+          List.find
+            (fun (sv : G.schema_version) -> sv.G.sv_name = version)
+            gen.G.versions
+        in
+        let tvid = List.assoc table sv.G.sv_tables in
+        if G.is_physical gen (G.tv gen tvid) then false
+        else begin
+          I.comat_add api target;
+          true
+        end)
+      [ mid ^ ".page"; last ^ ".page"; last ^ ".link" ]
+  in
+  if List.length added < 2 then
+    fail "wikimedia: expected >= 2 derived copy targets, got %d"
+      (List.length added);
+  check_here ~label:"wikimedia after setup" api;
+  (* writes entering at both ends of the chain *)
+  Wikimedia.load api ~version:first ~pages:(pages / 2) ~links:(links / 2);
+  Wikimedia.load api ~version:last ~pages:(pages / 2) ~links:(links / 2);
+  ignore
+    (I.exec_sql api
+       (Fmt.str "UPDATE %s.page SET namespace = 0 WHERE title = 'Page_0'" first));
+  check_here ~label:"wikimedia after writes" api;
+  (* copies survive the migration to the middle version *)
+  I.materialize api [ mid ];
+  check_here ~label:"wikimedia after migration" api;
+  Wikimedia.load api ~version:last ~pages:2 ~links:2;
+  check_here ~label:"wikimedia post-migration writes" api;
+  report_of api ~checkpoints:4

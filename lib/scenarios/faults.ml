@@ -72,10 +72,12 @@ type report = {
     is checked to leave all version views unchanged. Raises
     {!Sweep_failure} on any violation or on a non-injected migration
     failure. *)
-let sweep ?(stride = 1) ?(max_statements = 200_000) ~build ~migrate () =
+let sweep ?(stride = 1) ?(max_statements = 200_000)
+    ?(check = fun (_ : I.t) -> ()) ~build ~migrate () =
   if stride < 1 then invalid_arg "Faults.sweep: stride must be >= 1";
   let api = build () in
   let db = I.database api in
+  check api;
   let pre_dump = I.dump api in
   let pre_views = view_contents api in
   let rec go k injected =
@@ -91,6 +93,7 @@ let sweep ?(stride = 1) ?(max_statements = 200_000) ~build ~migrate () =
       let post_views = view_contents api in
       if post_views <> pre_views then
         fail "successful migration changed version-view contents";
+      check api;
       { failpoints = injected; statements }
     | exception Inverda.Migration.Migration_error msg ->
       Db.clear_failpoint db;
@@ -104,6 +107,7 @@ let sweep ?(stride = 1) ?(max_statements = 200_000) ~build ~migrate () =
       let v = view_contents api in
       if v <> pre_views then
         fail "failpoint %d: version-view contents differ after rollback" k;
+      check api;
       go (k + stride) (injected + 1)
   in
   go 1 0
@@ -122,6 +126,33 @@ let sweep_tasky ?(tasks = 12) ?stride () =
       let report =
         sweep ?stride
           ~build:(fun () -> Tasky.setup_full ~tasks ())
+          ~migrate:(fun api -> I.set_materialization api mat)
+          ()
+      in
+      (mat, report))
+    mats
+
+(** The TasKy sweep with live co-materialized copies: two copies are
+    registered up front, the dump byte-identity pins their contents across
+    every rollback, and the extra [check] asserts each copy is exactly
+    coherent with its source view after every induced crash and after the
+    successful migration (fully rolled back or fully consistent — never in
+    between). *)
+let sweep_tasky_comat ?(tasks = 8) ?stride () =
+  let mats =
+    G.enumerate_materializations (I.genealogy (Tasky.setup_full ()))
+  in
+  let check api = Inverda.Comat.check (I.database api) (I.genealogy api) in
+  List.map
+    (fun mat ->
+      let build () =
+        let api = Tasky.setup_full ~tasks () in
+        I.comat_add api "TasKy2.Task";
+        I.comat_add api "Do!.Todo";
+        api
+      in
+      let report =
+        sweep ?stride ~check ~build
           ~migrate:(fun api -> I.set_materialization api mat)
           ()
       in

@@ -29,6 +29,22 @@ let test_tasky_sweep () =
         (r.F.failpoints >= r.F.statements))
     reports
 
+let test_tasky_comat_sweep () =
+  (* the same sweep with two co-materialized copies live: the byte-identity
+     check now pins the copy tables across every rollback, and the extra
+     coherence check proves each copy is fully rolled back or fully
+     consistent after every crash — never half-maintained *)
+  let reports = F.sweep_tasky_comat ~tasks:6 () in
+  Alcotest.(check int) "five materializations" 5 (List.length reports);
+  List.iter
+    (fun (mat, (r : F.report)) ->
+      let label = String.concat "," (List.map string_of_int mat) in
+      Alcotest.(check bool)
+        (Fmt.str "{%s}: injected a fault at every statement" label)
+        true
+        (r.F.failpoints >= r.F.statements))
+    reports
+
 let test_wikimedia_sweep () =
   let r = F.sweep_wikimedia ~versions:4 ~pages:6 ~links:8 () in
   Alcotest.(check bool) "swept the whole migration" true
@@ -225,6 +241,7 @@ let () =
       ( "atomicity",
         [
           tc "tasky sweep" test_tasky_sweep;
+          tc "tasky sweep with copies" test_tasky_comat_sweep;
           tc "wikimedia sweep" test_wikimedia_sweep;
         ] );
       ( "guards",
