@@ -25,9 +25,10 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("ablation_chain", Experiments.ablation_chain);
     ("telemetry", fun scale -> ignore (Experiments.telemetry_overhead scale));
     ("comat", fun scale -> ignore (Experiments.comat scale));
+    ("wal", fun scale -> ignore (Experiments.wal scale));
   ]
 
-let run only full bechamel smoke json json5 json7 =
+let run only full bechamel smoke json json5 json7 json8 =
   if bechamel then Micro.run ()
   else
   let scale =
@@ -40,6 +41,8 @@ let run only full bechamel smoke json json5 json7 =
     ignore (Experiments.telemetry_overhead ~out:"BENCH_PR5.json" scale)
   else if json7 then
     ignore (Experiments.comat ~out:"BENCH_PR7.json" scale)
+  else if json8 then
+    ignore (Experiments.wal ~out:"BENCH_PR8.json" scale)
   else
   let selected =
     match only with
@@ -105,9 +108,18 @@ let json7 =
   in
   Arg.(value & flag & info [ "json-pr7" ] ~doc)
 
+let json8 =
+  let doc =
+    "Write the durability baseline to BENCH_PR8.json (the TasKy insert \
+     workload with and without a write-ahead log attached, plus recovery \
+     time with and without a checkpoint) instead of running the figure \
+     harness."
+  in
+  Arg.(value & flag & info [ "json-pr8" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
   Cmd.v (Cmd.info "inverda-bench" ~doc)
-    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7)
+    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7 $ json8)
 
 let () = exit (Cmd.eval cmd)

@@ -24,8 +24,9 @@ let help_text =
   DROP SCHEMA VERSION <v>;
   MATERIALIZE '<version>' | '<version>.<table>', ...;
   any SQL: SELECT/INSERT/UPDATE/DELETE ... FROM <version>.<table>
+  SELECT ... AS OF <changeset>;   (time travel; needs --dir)
 Meta commands: .help  .catalog  .versions  .smos  .stats  .trace [n]
-               .explain <sql>  .quit|}
+               .explain <sql>  .history [n]  .checkpoint  .quit|}
 
 let is_bidel sql =
   let up = String.uppercase_ascii (String.trim sql) in
@@ -50,10 +51,13 @@ let execute t input =
       Fmt.pr "ok@."
     end
     else
-      match Minidb.Engine.exec (I.database t) input with
-      | Minidb.Exec.Rows rel -> print_relation rel
-      | Minidb.Exec.Affected n -> Fmt.pr "%d rows affected@." n
-      | Minidb.Exec.Done -> Fmt.pr "ok@."
+      match Inverda.Changeset.split_as_of input with
+      | sql, Some changeset -> print_relation (I.as_of t ~changeset sql)
+      | _, None -> (
+        match Minidb.Engine.exec (I.database t) input with
+        | Minidb.Exec.Rows rel -> print_relation rel
+        | Minidb.Exec.Affected n -> Fmt.pr "%d rows affected@." n
+        | Minidb.Exec.Done -> Fmt.pr "ok@.")
   with
   | Minidb.Sql_lexer.Cursor.Parse_error msg -> Fmt.pr "parse error: %s@." msg
   | Minidb.Sql_lexer.Lex_error (msg, _) -> Fmt.pr "lex error: %s@." msg
@@ -69,6 +73,27 @@ let execute t input =
   | Minidb.Value.Type_error msg -> Fmt.pr "type error: %s@." msg
   | Bidel.Smo_semantics.Semantics_error msg -> Fmt.pr "SMO error: %s@." msg
 
+let print_record (r : Minidb.Wal.record) =
+  let payload =
+    String.map (fun c -> if c = '\n' then ' ' else c) r.Minidb.Wal.payload
+  in
+  Fmt.pr "%6d  %-6s %-22s %s@." r.Minidb.Wal.lsn r.Minidb.Wal.kind
+    (if r.Minidb.Wal.tag = "" then "-" else r.Minidb.Wal.tag)
+    payload
+
+let print_history t limit =
+  try
+    let records = I.history t in
+    let records =
+      match limit with
+      | Some n when n >= 0 && n < List.length records ->
+        (* the newest [n] *)
+        List.filteri (fun i _ -> i >= List.length records - n) records
+      | _ -> records
+    in
+    List.iter print_record records
+  with I.Inverda_error msg -> Fmt.pr "error: %s@." msg
+
 let meta t line =
   let line = String.trim line in
   let arg_of prefix =
@@ -78,6 +103,9 @@ let meta t line =
     then Some (String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix)))
     else None
   in
+  match arg_of ".history" with
+  | Some n -> print_history t (int_of_string_opt n)
+  | None ->
   match arg_of ".explain" with
   | Some sql -> (
     try Fmt.pr "%s%!" (I.explain t sql)
@@ -96,6 +124,12 @@ let meta t line =
   | ".catalog" -> Fmt.pr "%s@." (I.describe t)
   | ".stats" -> Fmt.pr "%s%!" (I.stats_text t)
   | ".trace" -> print_trace 20
+  | ".history" -> print_history t None
+  | ".checkpoint" -> (
+    try
+      I.checkpoint t;
+      Fmt.pr "checkpoint written at changeset %d@." (I.current_changeset t)
+    with I.Inverda_error msg -> Fmt.pr "error: %s@." msg)
   | ".versions" ->
     List.iter
       (fun v ->
@@ -141,18 +175,33 @@ let repl t =
     let rest = String.trim (Buffer.contents buf) in
     if rest <> "" then execute t rest
 
-let run demo no_cache no_flatten =
-  let t = I.create () in
+let run demo no_cache no_flatten dir =
+  let t =
+    match dir with
+    | Some dir when Sys.file_exists (Minidb.Wal.log_file dir) ->
+      (* an existing history: recover it (repairing a torn tail) and keep
+         appending where the last session stopped *)
+      let t = I.recover dir in
+      Fmt.pr "recovered %s: %d schema versions, changeset position %d@." dir
+        (List.length (I.versions t))
+        (I.current_changeset t);
+      if demo then Fmt.pr "(--demo ignored: %s already holds a history)@." dir;
+      t
+    | _ ->
+      let t = I.create () in
+      (match dir with Some dir -> I.attach_wal t dir | None -> ());
+      if demo then begin
+        I.evolve t Scenarios.Tasky.bidel_initial;
+        Scenarios.Tasky.load_tasks t 20;
+        I.evolve t Scenarios.Tasky.bidel_do;
+        I.evolve t Scenarios.Tasky.bidel_tasky2;
+        Fmt.pr "loaded the TasKy demo: versions %s@."
+          (String.concat ", " (I.versions t))
+      end;
+      t
+  in
   if no_cache then I.set_cache t false;
   if no_flatten then I.set_flatten t false;
-  if demo then begin
-    I.evolve t Scenarios.Tasky.bidel_initial;
-    Scenarios.Tasky.load_tasks t 20;
-    I.evolve t Scenarios.Tasky.bidel_do;
-    I.evolve t Scenarios.Tasky.bidel_tasky2;
-    Fmt.pr "loaded the TasKy demo: versions %s@."
-      (String.concat ", " (I.versions t))
-  end;
   repl t;
   0
 
@@ -265,12 +314,27 @@ let materialize_run demo script dry_run targets =
 
 (* --- the faults command ------------------------------------------------------ *)
 
-let faults_run smoke stride =
+let faults_run smoke stride recover =
   let module F = Scenarios.Faults in
   let stride =
     match stride with Some s -> s | None -> if smoke then 7 else 1
   in
   let started = Unix.gettimeofday () in
+  if recover then (
+    (* crash-recovery mode: kill the instance at every failpoint and
+       recover from disk instead of relying on the in-memory rollback *)
+    try
+      let r = F.recovery_sweep_tasky ~tasks:(if smoke then 3 else 6) ~stride () in
+      Fmt.pr "TasKy crash-recovery: %d kills injected over %d statements@."
+        r.F.failpoints r.F.statements;
+      Fmt.pr "crash-recovery sweep passed in %.1fs (stride %d)@."
+        (Unix.gettimeofday () -. started)
+        stride;
+      0
+    with F.Sweep_failure msg ->
+      Fmt.epr "CRASH-RECOVERY SWEEP FAILED: %s@." msg;
+      1)
+  else
   try
     let tasky =
       F.sweep_tasky ~tasks:(if smoke then 6 else 12) ~stride ()
@@ -297,6 +361,158 @@ let faults_run smoke stride =
   with F.Sweep_failure msg ->
     Fmt.epr "FAULT SWEEP FAILED: %s@." msg;
     1
+
+(* --- durability commands: checkpoint / recover / history --------------------- *)
+
+let cli_errors f =
+  try f () with
+  | Inverda.Migration.Migration_error msg
+  | Inverda.Genealogy.Catalog_error msg
+  | Inverda.Comat.Comat_error msg
+  | Minidb.Database.Engine_error msg
+  | Minidb.Exec.Exec_error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Minidb.Sql_lexer.Cursor.Parse_error msg | Minidb.Sql_lexer.Lex_error (msg, _)
+    ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    2
+
+let checkpoint_run dir =
+  cli_errors @@ fun () ->
+  let t = I.recover dir in
+  I.checkpoint t;
+  Fmt.pr "checkpoint written at changeset %d (%d schema versions)@."
+    (I.current_changeset t)
+    (List.length (I.versions t));
+  I.detach_wal t;
+  0
+
+(* AS OF at [changeset] answers identically to a genesis replay of the log,
+   for every table of every schema version alive in that reality *)
+let as_of_matches_ground ~dir api changeset =
+  let ground = I.replay_to ~dir changeset in
+  List.for_all
+    (fun version ->
+      List.for_all
+        (fun table ->
+          let sql =
+            Fmt.str "SELECT * FROM \"%s\""
+              (Inverda.Naming.version_view ~version ~table)
+          in
+          List.sort compare (I.query_rows ground sql)
+          = List.sort compare
+              (List.map Array.to_list
+                 (I.as_of api ~changeset sql).Minidb.Exec.rel_rows))
+        (I.version_tables ground version))
+    (I.versions ground)
+
+(* The self-contained round trip: build the TasKy demo over a scratch log
+   (checkpoint in the middle, a migration and a live copy after it), kill
+   the instance, recover from disk, and check dump byte-identity, copy
+   coherence and AS OF against genesis replay. *)
+let recover_self_verify () =
+  let dir = Scenarios.Faults.fresh_dir () in
+  let t = I.create () in
+  I.attach_wal t dir;
+  I.evolve t Scenarios.Tasky.bidel_initial;
+  Scenarios.Tasky.load_tasks t 12;
+  I.evolve t Scenarios.Tasky.bidel_do;
+  I.evolve t Scenarios.Tasky.bidel_tasky2;
+  I.comat_add t "TasKy2.Task";
+  let mid = I.current_changeset t in
+  I.checkpoint t;
+  ignore
+    (I.exec_sql t "INSERT INTO Do!.Todo (author, task) VALUES ('Zed', 'r-1')");
+  I.materialize t [ "TasKy2" ];
+  let live_dump = I.dump t in
+  let live_cs = I.current_changeset t in
+  I.detach_wal t;
+  let r = I.recover dir in
+  let ok_dump = I.dump r = live_dump in
+  Inverda.Comat.check (I.database r) (I.genealogy r);
+  let ok_asof =
+    as_of_matches_ground ~dir r mid && as_of_matches_ground ~dir r live_cs
+  in
+  I.detach_wal r;
+  Scenarios.Faults.rm_rf dir;
+  if ok_dump && ok_asof then begin
+    Fmt.pr
+      "recovery verify passed: dump byte-identical after recovery, AS OF \
+       matches genesis replay at changesets %d and %d@."
+      mid live_cs;
+    0
+  end
+  else begin
+    Fmt.epr "RECOVERY VERIFY FAILED: dump_identical=%b as_of_identical=%b@."
+      ok_dump ok_asof;
+    1
+  end
+
+let recover_run dir verify =
+  cli_errors @@ fun () ->
+  match dir with
+  | None ->
+    if verify then recover_self_verify ()
+    else begin
+      Fmt.epr
+        "recover: --dir is required (or --verify alone for the \
+         self-contained check)@.";
+      2
+    end
+  | Some dir ->
+    let t = I.recover dir in
+    Fmt.pr "recovered %s: %d schema versions, changeset position %d@." dir
+      (List.length (I.versions t))
+      (I.current_changeset t);
+    if not verify then begin
+      I.detach_wal t;
+      0
+    end
+    else begin
+      (* recovery is idempotent and the checkpoint is pure acceleration *)
+      let d1 = I.dump t in
+      I.detach_wal t;
+      let t2 = I.recover dir in
+      let idempotent = I.dump t2 = d1 in
+      let cs = I.current_changeset t2 in
+      let genesis_equal = I.dump (I.replay_to ~dir cs) = d1 in
+      I.detach_wal t2;
+      if idempotent && genesis_equal then begin
+        Fmt.pr
+          "recovery verified: idempotent, and the checkpointed path agrees \
+           with genesis replay at changeset %d@."
+          cs;
+        0
+      end
+      else begin
+        Fmt.epr "RECOVERY VERIFY FAILED: idempotent=%b genesis_equal=%b@."
+          idempotent genesis_equal;
+        1
+      end
+    end
+
+let history_run dir limit =
+  cli_errors @@ fun () ->
+  let records, torn = Minidb.Wal.read_log dir in
+  let records =
+    match limit with
+    | Some n when n >= 0 && n < List.length records ->
+      List.filteri (fun i _ -> i >= List.length records - n) records
+    | _ -> records
+  in
+  List.iter print_record records;
+  (match torn with
+  | Some ofs ->
+    Fmt.pr "(torn tail at byte %d — recovery will repair it)@." ofs
+  | None -> ());
+  (match Minidb.Wal.read_checkpoint dir with
+  | Some ck -> Fmt.pr "(checkpoint at changeset %d)@." ck.Minidb.Wal.ck_lsn
+  | None -> ());
+  0
 
 (* --- the flatten-coherence command ------------------------------------------- *)
 
@@ -420,23 +636,6 @@ let verify_run demo script json mutate =
   end
 
 (* --- telemetry commands: stats / trace / explain / advise -------------------- *)
-
-let cli_errors f =
-  try f () with
-  | Inverda.Migration.Migration_error msg
-  | Inverda.Genealogy.Catalog_error msg
-  | Inverda.Comat.Comat_error msg
-  | Minidb.Database.Engine_error msg
-  | Minidb.Exec.Exec_error msg ->
-    Fmt.epr "error: %s@." msg;
-    1
-  | Minidb.Sql_lexer.Cursor.Parse_error msg | Minidb.Sql_lexer.Lex_error (msg, _)
-    ->
-    Fmt.epr "parse error: %s@." msg;
-    1
-  | Sys_error msg ->
-    Fmt.epr "%s@." msg;
-    2
 
 let build_instance ?(no_cache = false) ?(no_flatten = false) demo script =
   let t = I.create () in
@@ -636,7 +835,19 @@ let no_flatten =
   in
   Arg.(value & flag & info [ "no-flatten" ] ~doc)
 
-let shell_term = Term.(const run $ demo $ no_cache $ no_flatten)
+let dir_opt =
+  let doc =
+    "Durability directory: attach a write-ahead log there (recovering from \
+     it first when one exists), enabling $(b,.checkpoint), $(b,.history) and \
+     $(b,AS OF) queries."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let dir_req =
+  let doc = "Durability directory holding the write-ahead log." in
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let shell_term = Term.(const run $ demo $ no_cache $ no_flatten $ dir_opt)
 
 let shell_cmd =
   let doc = "Interactive shell (the default command)" in
@@ -734,6 +945,14 @@ let faults_cmd =
     in
     Arg.(value & opt (some int) None & info [ "stride" ] ~docv:"STRIDE" ~doc)
   in
+  let recover =
+    let doc =
+      "Crash-recovery sweep instead: kill the instance at every failpoint of \
+       a logged TasKy workload, recover from disk, and assert the recovered \
+       dump is byte-identical to the pre-crash committed state."
+    in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
   let doc = "Fault-injection sweep of the migration operation" in
   let man =
     [
@@ -745,9 +964,16 @@ let faults_cmd =
          the rolled-back database dump is byte-identical to the pre-migration \
          dump and that every version view still answers with its original \
          contents. Exits non-zero on the first violation.";
+      `P
+        "With $(b,--recover) the sweep targets durability instead: for every \
+         failpoint of a write-ahead-logged TasKy workload (DML, checkpoint, \
+         a transaction and a migration) the instance is killed, recovered \
+         from the on-disk log, and checked for byte-identical dumps, \
+         coherent co-materialized copies, and idempotent recovery.";
     ]
   in
-  Cmd.v (Cmd.info "faults" ~doc ~man) Term.(const faults_run $ smoke $ stride)
+  Cmd.v (Cmd.info "faults" ~doc ~man)
+    Term.(const faults_run $ smoke $ stride $ recover)
 
 let comat_coherence_cmd =
   let smoke =
@@ -942,6 +1168,67 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc ~man)
     Term.(const verify_run $ demo $ script_opt $ json_opt $ mutate)
 
+let checkpoint_cmd =
+  let doc = "Write a checkpoint for a durability directory" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Recovers the catalog from the write-ahead log in $(b,--dir) and \
+         writes a fresh checkpoint at the current changeset position. The \
+         log itself is never truncated, so $(b,AS OF) time travel to any \
+         earlier changeset keeps working; the checkpoint only accelerates \
+         future recoveries.";
+    ]
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc ~man) Term.(const checkpoint_run $ dir_req)
+
+let recover_cmd =
+  let verify =
+    let doc =
+      "After recovering, check that recovery is idempotent and that the \
+       checkpointed path agrees with a genesis replay of the log. Without \
+       $(b,--dir), run a self-contained round trip in a scratch directory \
+       instead (build, kill, recover, compare)."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let doc = "Recover a catalog from its write-ahead log" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads the newest checkpoint in $(b,--dir) (if any), repairs a torn \
+         log tail, replays the committed log suffix through the full \
+         evolution and DML path, and reports the recovered changeset \
+         position. With $(b,--verify) it additionally cross-checks the \
+         result; with $(b,--verify) and no $(b,--dir) it builds a TasKy \
+         catalog with a mid-stream checkpoint, a migration and a \
+         co-materialized copy in a scratch directory, kills it, and asserts \
+         dump byte-identity plus $(b,AS OF) agreement with genesis replay.";
+    ]
+  in
+  Cmd.v (Cmd.info "recover" ~doc ~man)
+    Term.(const recover_run $ dir_opt $ verify)
+
+let history_cmd =
+  let limit =
+    let doc = "Show only the newest $(docv) changesets." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let doc = "Print the changeset history of a durability directory" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads the write-ahead log in $(b,--dir) without replaying it and \
+         prints one line per committed changeset: its id, record kind, the \
+         table version it targeted, and the logged statement. A torn tail \
+         or an existing checkpoint is noted after the listing.";
+    ]
+  in
+  Cmd.v (Cmd.info "history" ~doc ~man) Term.(const history_run $ dir_req $ limit)
+
 let cmd =
   let doc = "Co-existing schema versions: shell and static analyzer" in
   Cmd.group ~default:shell_term (Cmd.info "inverda" ~doc)
@@ -957,6 +1244,9 @@ let cmd =
       trace_cmd;
       explain_cmd;
       advise_cmd;
+      checkpoint_cmd;
+      recover_cmd;
+      history_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

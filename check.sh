@@ -43,4 +43,10 @@ dune exec bench/main.exe -- --only telemetry --smoke
 # co-materialization: distance-2 reads at a copied version must stay within
 # the gate of the materialized-there local cost
 dune exec bench/main.exe -- --only comat --smoke
+# durability: build-kill-recover round trip (dump byte-identity, AS OF vs
+# genesis replay), then a strided crash-recovery sweep over a logged workload
+dune exec bin/inverda_cli.exe -- recover --verify
+dune exec bin/inverda_cli.exe -- faults --recover --smoke
+# durability: WAL write overhead must stay within the gate at smoke scale
+dune exec bench/main.exe -- --only wal --smoke
 echo "check.sh: all green"

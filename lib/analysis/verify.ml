@@ -477,7 +477,9 @@ let disjoint_branches_uncached ~max_instances ~(schema : (string * int) list)
     let head =
       match branches with
       | r :: _ -> r.D.head.D.pred
-      | [] -> assert false
+      | [] ->
+        (* unreachable: the < 2 guard above already returned *)
+        invalid_arg "Verify.disjoint_branches: empty branch list"
     in
     let tuples prog data =
       match List.assoc_opt head (Datalog.Eval.eval ~engine prog data) with

@@ -15,6 +15,12 @@ type t = {
   counter : int ref;  (** global id sequence: row keys and skolem ids *)
   mutable strict : bool;
       (** run the static analyzer on every evolution / migration *)
+  skolems : (string, (Minidb.Value.t list, Minidb.Value.t) Hashtbl.t) Hashtbl.t;
+      (** per-function skolem memos, held here (not in closures) so
+          checkpoints can persist them: replaying a logged evolution after
+          recovery must hand out the {e same} identifiers it did live *)
+  mutable wal : Changeset.session option;
+      (** the attached changeset log, if durability is on *)
 }
 
 exception Inverda_error = G.Catalog_error
@@ -22,10 +28,60 @@ exception Inverda_error = G.Catalog_error
 let create ?(strict = true) () =
   let db = Db.create () in
   let counter = ref 0 in
-  Db.register_function db Naming.global_id_function (fun _ _ ->
+  Db.register_function db Naming.global_id_function (fun db _ ->
+      (* undo-logged like a sequence: identifiers consumed by a statement
+         that rolls back are handed out again, so the committed statement
+         history alone determines every generated id (what WAL replay and
+         recovery reproduce) *)
+      db.Db.undo <- Db.U_sequence (counter, !counter) :: db.Db.undo;
       incr counter;
       Minidb.Value.Int !counter);
-  { db; gen = G.create (); counter; strict }
+  {
+    db;
+    gen = G.create ();
+    counter;
+    strict;
+    skolems = Hashtbl.create 8;
+    wal = None;
+  }
+
+(* Like {!Bidel.Verify.register_skolem}, but the memo lives in [t.skolems]
+   so a checkpoint can serialize it, and a generation is transactional: the
+   counter bump and the memo entry roll back together (counter via
+   [U_sequence], memo via [U_hook]), so no stale memo can ever hand a
+   rolled-back identifier to a second payload, and identifier generation is
+   a deterministic function of the committed statement history — the
+   property WAL replay and recovery rest on. The memo makes the function
+   deterministic in its arguments (hence [~pure]). *)
+let register_skolem t fname =
+  let memo =
+    match Hashtbl.find_opt t.skolems fname with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create 16 in
+      Hashtbl.replace t.skolems fname m;
+      m
+  in
+  Db.register_function ~pure:true t.db fname (fun db args ->
+      match Hashtbl.find_opt memo args with
+      | Some v -> v
+      | None ->
+        db.Db.undo <-
+          Db.U_hook (fun () -> Hashtbl.remove memo args)
+          :: Db.U_sequence (t.counter, !(t.counter))
+          :: db.Db.undo;
+        incr t.counter;
+        let v = Minidb.Value.Int !(t.counter) in
+        Hashtbl.replace memo args v;
+        v)
+
+(* Append a host-level logical record (evolution, migration flip, comat
+   registration) to the attached changeset log. Callers log only after the
+   operation succeeded; with no log attached this is free. *)
+let log_record t ~kind ~tag ~payload =
+  match t.wal with
+  | None -> ()
+  | Some s -> Changeset.append s ~kind ~tag ~payload
 
 let set_strict t b = t.strict <- b
 
@@ -174,13 +230,23 @@ let run_backfill t (si : G.smo_instance) =
       end)
     (si.G.si_inst.S.aux_src @ si.G.si_inst.S.aux_both)
 
+(* One logical record per successful BiDEL statement; the payload is the
+   printed statement, which round-trips through {!Bidel.Parser}. *)
+let log_bidel t (stmt : Bidel.Ast.statement) =
+  let tag =
+    match stmt with
+    | Bidel.Ast.Create_schema_version { name; _ } -> name
+    | Bidel.Ast.Drop_schema_version name -> name
+    | Bidel.Ast.Materialize targets -> String.concat "," targets
+  in
+  log_record t ~kind:"bidel" ~tag
+    ~payload:(Bidel.Printer.statement_to_string stmt)
+
 (** Execute one BiDEL statement. *)
 let exec_bidel t (stmt : Bidel.Ast.statement) =
-  match stmt with
+  (match stmt with
   | Bidel.Ast.Create_schema_version { name; from; smos } ->
-    let register_skolem fname =
-      Bidel.Verify.register_skolem t.db ~counter:t.counter fname
-    in
+    let register_skolem fname = register_skolem t fname in
     let _sv, instances =
       G.create_schema_version t.gen ~register_skolem ~name ~from ~smos
     in
@@ -200,7 +266,8 @@ let exec_bidel t (stmt : Bidel.Ast.statement) =
     Comat.rederive_all t.db t.gen
   | Bidel.Ast.Materialize targets ->
     check_no_open_txn t;
-    Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
+    Migration.materialize ~validate:(validate_delta t) t.db t.gen targets);
+  log_bidel t stmt
 
 (** Execute a BiDEL script given as text. *)
 let evolve t script =
@@ -209,11 +276,14 @@ let evolve t script =
 (** One-line migration command, e.g. [materialize t ["TasKy2"]]. *)
 let materialize t targets =
   check_no_open_txn t;
-  Migration.materialize ~validate:(validate_delta t) t.db t.gen targets
+  Migration.materialize ~validate:(validate_delta t) t.db t.gen targets;
+  log_bidel t (Bidel.Ast.Materialize targets)
 
 let set_materialization t mat =
   check_no_open_txn t;
-  Migration.set_materialization ~validate:(validate_delta t) t.db t.gen mat
+  Migration.set_materialization ~validate:(validate_delta t) t.db t.gen mat;
+  log_record t ~kind:"setmat" ~tag:""
+    ~payload:(String.concat " " (List.map string_of_int mat))
 
 (** The flip plan of [MATERIALIZE targets] — SMO ids to virtualize and to
     materialize, in execution order — without touching any data. *)
@@ -277,13 +347,15 @@ let advise_observed t =
     exact on every write through the derived maintenance program. *)
 let comat_add t target =
   check_no_open_txn t;
-  ignore (Comat.add t.db t.gen target)
+  ignore (Comat.add t.db t.gen target);
+  log_record t ~kind:"comat+" ~tag:target ~payload:target
 
 (** Drop a redundant copy; the version's reads fall back to its regular
     delta code. *)
 let comat_drop t target =
   check_no_open_txn t;
-  Comat.drop t.db t.gen target
+  Comat.drop t.db t.gen target;
+  log_record t ~kind:"comat-" ~tag:target ~payload:target
 
 (** All live copies, in table-version order. *)
 let comat_list t = G.comats_list t.gen
@@ -520,3 +592,177 @@ let describe t =
           (fun v -> Fmt.str "tv%d(%s)" v.G.tv_id v.G.tv_table)
           (List.filter (G.is_physical t.gen) (G.all_table_versions t.gen))));
   Buffer.contents buf
+
+(* --- durability: WAL, checkpoint, recovery, AS OF ---------------------------- *)
+
+module W = Minidb.Wal
+
+(** Attach a changeset log in [dir]: a torn tail is repaired, the history is
+    reloaded and every subsequent committed statement (DML/DDL through the
+    engine, evolutions, migrations, comat registrations) appends one record.
+    The instance's state must correspond to the log — a fresh instance with
+    a fresh directory, or the result of {!recover}. [sync] defaults to
+    {!Minidb.Wal.Flush}. *)
+let attach_wal ?sync t dir =
+  (match t.wal with Some s -> Changeset.detach s | None -> ());
+  let s = Changeset.attach ?sync dir in
+  t.wal <- Some s;
+  Db.set_statement_sink t.db (Some (Changeset.on_statement s))
+
+(** Close the log; further statements are no longer recorded. *)
+let detach_wal t =
+  match t.wal with
+  | None -> ()
+  | Some s ->
+    Changeset.detach s;
+    t.wal <- None;
+    Db.set_statement_sink t.db None
+
+let wal_dir t = Option.map (fun s -> s.Changeset.dir) t.wal
+
+(** Id of the newest durable changeset (0 before the first; raises without
+    an attached log). *)
+let current_changeset t =
+  match t.wal with
+  | Some s -> Changeset.current s
+  | None -> raise (Inverda_error "no write-ahead log attached")
+
+(** The full changeset history, oldest first. *)
+let history t =
+  match t.wal with
+  | Some s -> Changeset.history s
+  | None -> raise (Inverda_error "no write-ahead log attached")
+
+(** Write a checkpoint: the schema-shaped record prefix (evolutions, DDL,
+    migrations, comat registrations), the skolem memos and id counter, and
+    the deterministic dump of the current state. Recovery then replays only
+    the log tail past it. The log itself is never truncated. *)
+let checkpoint t =
+  match t.wal with
+  | None -> raise (Inverda_error "no write-ahead log attached")
+  | Some s ->
+    if Db.in_transaction t.db then
+      raise (Inverda_error "cannot checkpoint inside an open transaction");
+    let schema =
+      List.filter
+        (fun (r : W.record) -> Changeset.is_schema_kind r.W.kind)
+        (Changeset.history s)
+    in
+    let memos =
+      Hashtbl.fold
+        (fun fname memo acc ->
+          Hashtbl.fold
+            (fun args v acc ->
+              {
+                W.lsn = 0;
+                kind = "memo";
+                tag = fname;
+                payload = W.row_literal (v :: args);
+              }
+              :: acc)
+            memo acc)
+        t.skolems []
+      |> List.sort compare
+    in
+    W.write_checkpoint s.Changeset.dir
+      {
+        W.ck_lsn = Changeset.current s;
+        ck_meta = [ ("counter", string_of_int !(t.counter)) ];
+        ck_records = schema @ memos;
+        ck_dump = Db.dump t.db;
+      }
+
+(* Re-execute one logical record. DML/DDL run through the engine (the full
+   delta-code path: triggers fire, comat copies maintain themselves);
+   host-level records run through the same API entry points that logged
+   them. The instance being replayed into has no log attached, so nothing
+   is re-logged. *)
+let replay_record t (r : W.record) =
+  match r.W.kind with
+  | "dml" | "ddl" -> ignore (Minidb.Engine.exec t.db r.W.payload)
+  | "bidel" ->
+    List.iter (exec_bidel t) (Bidel.Parser.script_of_string r.W.payload)
+  | "setmat" ->
+    set_materialization t
+      (String.split_on_char ' ' r.W.payload |> List.filter_map int_of_string_opt)
+  | "comat+" -> comat_add t r.W.payload
+  | "comat-" -> comat_drop t r.W.payload
+  | "memo" -> (
+    match W.parse_row r.W.payload with
+    | v :: args -> (
+      match Hashtbl.find_opt t.skolems r.W.tag with
+      | Some memo -> Hashtbl.replace memo args v
+      | None ->
+        let memo = Hashtbl.create 16 in
+        Hashtbl.replace memo args v;
+        Hashtbl.replace t.skolems r.W.tag memo)
+    | [] ->
+      raise (Inverda_error ("empty skolem memo record for " ^ r.W.tag)))
+  | other -> raise (Inverda_error ("unknown WAL record kind " ^ other))
+
+(* Rebuild an instance from [dir] up to changeset [upto].
+
+   With a usable checkpoint (its LSN within [upto]): replay its
+   schema-shaped record prefix on the fresh, empty instance — backfills see
+   no rows and migrations move none, but the genealogy, delta code and comat
+   registrations come out exactly as live, because they are data-independent
+   — restore the id counter and skolem memos, bulk-load the dump (raw table
+   loads: the dump *is* the committed state, so no triggers, no undo, no
+   observers), then replay the log tail through the full path.
+
+   Without one: replay everything from genesis. The log is never truncated,
+   so this path always exists; it is also the ground truth the checkpointed
+   path is tested against. *)
+let reconstitute ?(use_checkpoint = true) ~repair ~upto dir =
+  let records = if repair then W.repair_log dir else fst (W.read_log dir) in
+  let t = create ~strict:false () in
+  (match (if use_checkpoint then W.read_checkpoint dir else None) with
+  | Some ck when ck.W.ck_lsn <= upto ->
+    List.iter (replay_record t) ck.W.ck_records;
+    (match List.assoc_opt "counter" ck.W.ck_meta with
+    | Some n -> (
+      match int_of_string_opt n with
+      | Some n -> t.counter := n
+      | None -> raise (Inverda_error "checkpoint: malformed counter"))
+    | None -> ());
+    W.load_dump t.db ck.W.ck_dump;
+    List.iter
+      (fun (r : W.record) ->
+        if r.W.lsn > ck.W.ck_lsn && r.W.lsn <= upto then replay_record t r)
+      records
+  | _ ->
+    List.iter
+      (fun (r : W.record) -> if r.W.lsn <= upto then replay_record t r)
+      records);
+  t
+
+(** Recover the durable state from [dir]: repair a torn log tail, load the
+    checkpoint (when present), replay the tail, and re-attach the log so
+    the recovered instance continues appending where the crash stopped.
+    Idempotent: recovering twice yields byte-identical dumps (the only
+    mutation is the one-time torn-tail repair). *)
+let recover ?sync dir =
+  let t = reconstitute ~repair:true ~upto:max_int dir in
+  attach_wal ?sync t dir;
+  t
+
+(** Ground truth for time travel: replay the log from genesis up to
+    [changeset], ignoring any checkpoint. *)
+let replay_to ~dir changeset =
+  reconstitute ~use_checkpoint:false ~repair:false ~upto:changeset dir
+
+(** [as_of t ~changeset sql] — answer [sql] (a query against any live
+    schema version's views) as of the named changeset: the base tables are
+    reconstituted at that changeset (via the checkpoint when it is old
+    enough, from genesis otherwise) and the query runs through the ordinary
+    genealogy / flatten / codegen read path of the reconstituted instance.
+    A version created after [changeset] does not exist in that reality and
+    errors like any unknown object. *)
+let as_of t ~changeset sql =
+  match t.wal with
+  | None -> raise (Inverda_error "no write-ahead log attached")
+  | Some s ->
+    let scratch =
+      reconstitute ~repair:false ~upto:changeset s.Changeset.dir
+    in
+    Minidb.Engine.query scratch.db sql

@@ -253,6 +253,65 @@ val verify_json : t -> string
     [{"ok":bool,"smos":[{"id","smo","getput","putget"}...],
     "diagnostics":[...]}]. *)
 
+(** {1 Durability and time travel}
+
+    With a changeset log attached, every committed statement — DML and DDL
+    through the engine, evolutions, migrations, comat registrations —
+    appends one logical record (a {e changeset}: monotone id, kind, target,
+    statement) to a write-ahead log on disk. {!checkpoint} persists the
+    current state in the deterministic dump format; {!recover} rebuilds an
+    instance as checkpoint + log-tail replay, with torn-tail detection via
+    per-record checksums. The log is never truncated, which is what makes
+    {!as_of} exact: any schema version can be read as of any past changeset
+    by reconstituting the base tables at that changeset and answering
+    through the regular delta-code read path. *)
+
+val attach_wal : ?sync:Minidb.Wal.sync_mode -> t -> string -> unit
+(** Attach (create or re-open) the changeset log in a directory. The
+    instance's state must correspond to the log: a fresh instance with a
+    fresh directory, or the result of {!recover}. A torn log tail is
+    repaired on attach. [sync] defaults to {!Minidb.Wal.Flush}. *)
+
+val detach_wal : t -> unit
+(** Close the log; subsequent statements are no longer recorded. *)
+
+val wal_dir : t -> string option
+(** The attached log directory, if any. *)
+
+val current_changeset : t -> int
+(** Id of the newest durable changeset ([0] before the first). Raises
+    {!Inverda_error} without an attached log. *)
+
+val history : t -> Minidb.Wal.record list
+(** The full changeset history (oldest first), including records replayed
+    from disk on attach. Raises {!Inverda_error} without an attached log. *)
+
+val checkpoint : t -> unit
+(** Write a checkpoint: schema-shaped record prefix, skolem memos and id
+    counter, plus the deterministic dump of the current state — atomically
+    (tmp + rename). Recovery replays only the log tail past it. Raises
+    {!Inverda_error} without an attached log or inside an open
+    transaction. *)
+
+val recover : ?sync:Minidb.Wal.sync_mode -> string -> t
+(** Rebuild an instance from a log directory: repair the torn tail, load
+    the checkpoint when present (schema replay + raw dump load + memo and
+    counter restore), replay the log tail through the full API path, and
+    re-attach the log. Recovering twice yields byte-identical dumps. *)
+
+val replay_to : dir:string -> int -> t
+(** Ground truth for {!as_of}: replay the log from genesis up to a
+    changeset, ignoring any checkpoint. The returned instance has no log
+    attached. *)
+
+val as_of : t -> changeset:int -> string -> Minidb.Exec.relation
+(** [as_of t ~changeset sql] — answer a query at any live schema version as
+    of a past changeset: base tables are reconstituted at that changeset
+    (checkpoint-accelerated when possible) and the query runs through the
+    reconstituted instance's regular genealogy / flatten / codegen read
+    path. A version created after [changeset] errors like any unknown
+    object. *)
+
 (** {1 Introspection} *)
 
 val versions : t -> string list

@@ -1,0 +1,138 @@
+(** Changeset history on top of the {!Minidb.Wal} log.
+
+    Every committed statement becomes one changeset: a monotone id (the WAL
+    LSN), a record kind, the table version (or catalog object) it targeted,
+    and the statement itself, re-executable through the public API. Kinds:
+
+    - ["dml"] / ["ddl"] — SQL text, replayed through {!Minidb.Engine.exec};
+    - ["bidel"] — a BiDEL statement printed by {!Bidel.Printer} (evolution,
+      DROP SCHEMA VERSION, MATERIALIZE), replayed through [Api.evolve];
+    - ["setmat"] — a low-level materialization flip (space-separated SMO
+      ids), replayed through [Api.set_materialization];
+    - ["comat+"] / ["comat-"] — co-materialized copy registration/removal by
+      target, replayed through [Api.comat_add] / [Api.comat_drop];
+    - ["memo"] — checkpoint-only: one skolem memo binding (tag = function
+      name, payload = result and arguments as a dump row literal), restored
+      before the log tail replays so identifier generation stays exactly
+      reproducible.
+
+    The session buffers records while a user transaction is open: they reach
+    the log only on COMMIT (a ROLLBACK drops them), so the log never holds a
+    statement whose effects did not commit, and recovery never replays one.
+    The log is never truncated — [AS OF] reconstruction replays it from
+    genesis — so checkpoints are pure acceleration. *)
+
+module W = Minidb.Wal
+module Sql = Minidb.Sql_ast
+
+(** Record kinds that shape the schema/catalog rather than the data; a
+    checkpoint carries this subsequence so recovery can rebuild the delta
+    code before bulk-loading the dump. *)
+let schema_kinds = [ "ddl"; "bidel"; "setmat"; "comat+"; "comat-" ]
+
+let is_schema_kind k = List.mem k schema_kinds
+
+type session = {
+  dir : string;
+  wal : W.t;
+  mutable pending : (string * string * string) list;
+      (** (kind, tag, payload) buffered inside an open user transaction,
+          newest first *)
+  mutable buffering : bool;
+}
+
+(** Committed history, oldest first — read back from the file rather than
+    retained in memory, so an attached session stays O(1) in log length
+    (the append path must not grow the major heap per statement). *)
+let history s =
+  W.flush_buffered s.wal;
+  fst (W.read_log s.dir)
+
+(** Id of the newest durable changeset (0 before the first). *)
+let current s = s.wal.W.next_lsn - 1
+
+(** Append one record, honouring transaction buffering. *)
+let append s ~kind ~tag ~payload =
+  if s.buffering then s.pending <- (kind, tag, payload) :: s.pending
+  else begin
+    ignore (W.append s.wal ~kind ~tag ~payload);
+    W.commit s.wal
+  end
+
+let flush_txn s =
+  let items = List.rev s.pending in
+  s.pending <- [];
+  s.buffering <- false;
+  if items <> [] then begin
+    List.iter
+      (fun (kind, tag, payload) ->
+        ignore (W.append s.wal ~kind ~tag ~payload))
+      items;
+    W.commit s.wal
+  end
+
+(** The statement sink installed into the engine: fired for every successful
+    top-level user statement. Queries carry no effects and are skipped;
+    transaction control drives the buffer. *)
+let on_statement s stmt sql =
+  match stmt with
+  | Sql.Begin_txn ->
+    s.pending <- [];
+    s.buffering <- true
+  | Sql.Commit -> flush_txn s
+  | Sql.Rollback ->
+    s.pending <- [];
+    s.buffering <- false
+  | _ -> (
+    let tag = function [ t ] -> t | ts -> String.concat "," ts in
+    match Minidb.Exec.span_shape stmt with
+    | ("insert" | "update" | "delete"), targets ->
+      append s ~kind:"dml" ~tag:(tag targets) ~payload:sql
+    | "ddl", targets -> append s ~kind:"ddl" ~tag:(tag targets) ~payload:sql
+    | _ -> ())
+
+(** Open (or re-open) the log in [dir] for appending: repairs a torn tail,
+    seeds the in-memory history from the existing records and positions the
+    next LSN after both the log and the checkpoint. *)
+let attach ?sync dir =
+  let records = W.repair_log dir in
+  let last_logged =
+    List.fold_left (fun acc (r : W.record) -> max acc r.W.lsn) 0 records
+  in
+  let last_ckpt =
+    match W.read_checkpoint dir with
+    | Some ck -> ck.W.ck_lsn
+    | None -> 0
+  in
+  let wal = W.open_append ?sync ~next_lsn:(max last_logged last_ckpt + 1) dir in
+  { dir; wal; pending = []; buffering = false }
+
+let detach s = W.close s.wal
+
+(* --- AS OF parsing -------------------------------------------------------- *)
+
+(** Split a trailing [AS OF <changeset>] suffix off a SQL statement:
+    [split_as_of "SELECT ... AS OF 42"] is [("SELECT ...", Some 42)];
+    statements without the suffix come back unchanged. *)
+let split_as_of sql =
+  let s =
+    let t = String.trim sql in
+    if String.length t > 0 && t.[String.length t - 1] = ';' then
+      String.trim (String.sub t 0 (String.length t - 1))
+    else t
+  in
+  let ls = String.lowercase_ascii s in
+  let needle = " as of " in
+  let nlen = String.length needle in
+  let rec last_from i acc =
+    if i + nlen > String.length ls then acc
+    else if String.sub ls i nlen = needle then last_from (i + 1) (Some i)
+    else last_from (i + 1) acc
+  in
+  match last_from 0 None with
+  | None -> (sql, None)
+  | Some i -> (
+    let suffix = String.trim (String.sub s (i + nlen) (String.length s - i - nlen)) in
+    match int_of_string_opt suffix with
+    | Some c when c >= 0 -> (String.trim (String.sub s 0 i), Some c)
+    | _ -> (sql, None))

@@ -82,6 +82,9 @@ type comat_copy = {
   mutable cm_writes : int;  (** maintenance statements executed so far *)
   mutable cm_rows : int;  (** rows written by maintenance so far *)
   mutable cm_refreshes : int;  (** full refreshes so far *)
+  mutable cm_maint_ns : int;
+      (** wall-clock nanoseconds spent maintaining this copy (incremental
+          applications and full refreshes) *)
 }
 
 type t = {

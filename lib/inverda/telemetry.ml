@@ -210,12 +210,13 @@ let stats_json (db : Db.t) (gen : G.t) =
               | G.Cm_refresh reason -> ("refresh", reason)
             in
             Fmt.str
-              "{\"tv\":%d,\"table\":%s,\"copy\":%s,\"mode\":%s,\"proof\":%s,\"dormant\":%b,\"epoch\":%d,\"maintenance_statements\":%d,\"maintenance_rows\":%d,\"refreshes\":%d}"
+              "{\"tv\":%d,\"table\":%s,\"copy\":%s,\"mode\":%s,\"proof\":%s,\"dormant\":%b,\"epoch\":%d,\"maintenance_statements\":%d,\"maintenance_rows\":%d,\"refreshes\":%d,\"maintenance_us\":%d}"
               cm.G.cm_tv
               (jstr (G.tv gen cm.G.cm_tv).G.tv_table)
               (jstr cm.G.cm_table) (jstr mode) (jstr proof)
               (G.is_physical gen (G.tv gen cm.G.cm_tv))
-              cm.G.cm_epoch cm.G.cm_writes cm.G.cm_rows cm.G.cm_refreshes)
+              cm.G.cm_epoch cm.G.cm_writes cm.G.cm_rows cm.G.cm_refreshes
+              (cm.G.cm_maint_ns / 1000))
           (G.comats_list gen)));
   add "\"read_latency_ns\":%s," (histogram_json (M.read_histogram m));
   add "\"write_latency_ns\":%s," (histogram_json (M.write_histogram m));
@@ -263,11 +264,13 @@ let stats_text (db : Db.t) (gen : G.t) =
         let dormant =
           if G.is_physical gen (G.tv gen cm.G.cm_tv) then " (dormant)" else ""
         in
-        add "  tv%-3d %-12s %s  epoch %d  %d stmts / %d rows / %d refreshes%s@."
+        add
+          "  tv%-3d %-12s %s  epoch %d  %d stmts / %d rows / %d refreshes / \
+           %d us wall%s@."
           cm.G.cm_tv
           (G.tv gen cm.G.cm_tv).G.tv_table
           mode cm.G.cm_epoch cm.G.cm_writes cm.G.cm_rows cm.G.cm_refreshes
-          dormant)
+          (cm.G.cm_maint_ns / 1000) dormant)
       copies);
   add "per-version traffic:@.";
   let profile = observed_profile db gen in
@@ -507,12 +510,14 @@ let explain (db : Db.t) (gen : G.t) sql =
       add " flattening: %s@." (flatten_text (flat (G.tv_name v)));
       (match G.comat gen v.G.tv_id with
       | Some cm when not (G.is_physical gen v) ->
-        add " co-materialized: reads served by copy %s (%s, epoch %d)@."
+        add
+          " co-materialized: reads served by copy %s (%s, epoch %d, %d us \
+           wall maintaining)@."
           cm.G.cm_table
           (match cm.G.cm_mode with
           | G.Cm_incremental _ -> "incrementally maintained"
           | G.Cm_refresh _ -> "refresh-maintained")
-          cm.G.cm_epoch
+          cm.G.cm_epoch (cm.G.cm_maint_ns / 1000)
       | Some cm ->
         add " co-materialized: copy %s dormant (version is physical)@."
           cm.G.cm_table

@@ -1106,7 +1106,13 @@ let dec_part_write (lay : dec_layout) (inst : S.instance) ~left_part op =
       (* new part rows join with matching partners per rule (166); without a
          match they survive as one-sided combined rows *)
       let cond =
-        match lay.dc_linkage with A.On_cond c -> c | _ -> assert false
+        match lay.dc_linkage with
+        | A.On_cond c -> c
+        | _ ->
+          error
+            "triggers: cond-SMO part insert for %s without an ON condition \
+             in its linkage"
+            id.S.rel_name
       in
       let other_rel = if left_part then lay.dc_right else lay.dc_left in
       let cond_subst =

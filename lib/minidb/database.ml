@@ -61,6 +61,11 @@ type undo_entry =
   | U_drop_trigger of trigger  (** undo: re-install the trigger *)
   | U_create_index of Table.t * string  (** undo: drop the secondary index *)
   | U_create_seq of string  (** undo: remove the on-demand sequence *)
+  | U_hook of (unit -> unit)
+      (** undo: run the closure. For host-level state the engine cannot see
+          (e.g. skolem memo entries paired with a [U_sequence] counter
+          rollback, so identifier generation stays deterministic over the
+          {e committed} statement history — what log replay reproduces). *)
 
 type t = {
   objects : (string, obj) Hashtbl.t;  (** lowercase name -> object *)
@@ -103,6 +108,13 @@ type t = {
           through. Never fired by {!rollback_to} (raw table operations):
           rollback restores observed state wholesale. Used by incremental
           co-materialization to maintain redundant copies. *)
+  mutable statement_sink : (Sql_ast.statement -> string -> unit) option;
+      (** Fired by {!Engine} after every {e successfully} executed top-level
+          user statement — [(ast, sql text)] — under the same gating the
+          telemetry uses: never inside a trigger cascade and never while
+          metrics are suspended for internal work (migration data movement,
+          delta-code regeneration, comat maintenance). Used by the
+          write-ahead log; a failing statement never reaches the sink. *)
 }
 
 exception Engine_error of string
@@ -137,10 +149,14 @@ let create () =
     failpoint = None;
     metrics = Metrics.create ();
     write_observer = None;
+    statement_sink = None;
   }
 
 (** Install (or clear) the row-write observer. *)
 let set_write_observer t obs = t.write_observer <- obs
+
+(** Install (or clear) the committed-statement sink (the WAL hook). *)
+let set_statement_sink t sink = t.statement_sink <- sink
 
 (* --- fault injection ----------------------------------------------------- *)
 
@@ -445,7 +461,8 @@ let rollback_to t mark =
           Hashtbl.replace t.triggers (key trig.trig_name) trig;
           Hashtbl.replace t.by_target (trig.target, trig.event) trig
         | U_create_index (tbl, col) -> Table.remove_index tbl col
-        | U_create_seq name -> Hashtbl.remove t.sequences name);
+        | U_create_seq name -> Hashtbl.remove t.sequences name
+        | U_hook f -> f ());
         go rest
   in
   go t.undo;

@@ -5,27 +5,50 @@ type db = Database.t
 
 let create = Database.create
 
+(* The committed-statement sink (the WAL hook) fires only for top-level user
+   statements: never inside a trigger cascade, never while metrics are
+   suspended for internal work (migration data movement, delta-code
+   regeneration, comat maintenance), and only after the statement succeeded
+   — a failing statement rolls back and must not be logged. The SQL text is
+   built lazily so the AST path pays nothing when no sink is installed. *)
+let fire_sink db stmt sql_thunk =
+  match db.Database.statement_sink with
+  | Some sink
+    when db.Database.trigger_depth = 0
+         && db.Database.metrics.Metrics.internal_depth = 0 ->
+    sink stmt (sql_thunk ())
+  | _ -> ()
+
 (** Execute one SQL statement given as text. When telemetry is collecting,
     the parse phase is timed separately and folded into the statement's span
     (pre-built ASTs report a parse time of 0). *)
 let exec db sql =
   let m = db.Database.metrics in
-  if Metrics.collecting m && db.Database.trigger_depth = 0 then begin
-    let t0 = Metrics.now_ns () in
-    let stmt = Sql_parser.statement_of_string sql in
-    let t1 = Metrics.now_ns () in
-    m.Metrics.pending_parse_ns <- t1 - t0;
-    m.Metrics.pending_t0 <- t1;
-    Exec.exec_statement db stmt
-  end
-  else Exec.exec_statement db (Sql_parser.statement_of_string sql)
+  let stmt =
+    if Metrics.collecting m && db.Database.trigger_depth = 0 then begin
+      let t0 = Metrics.now_ns () in
+      let stmt = Sql_parser.statement_of_string sql in
+      let t1 = Metrics.now_ns () in
+      m.Metrics.pending_parse_ns <- t1 - t0;
+      m.Metrics.pending_t0 <- t1;
+      stmt
+    end
+    else Sql_parser.statement_of_string sql
+  in
+  let r = Exec.exec_statement db stmt in
+  fire_sink db stmt (fun () -> sql);
+  r
 
 let execf db fmt = Fmt.kstr (fun sql -> exec db sql) fmt
 
 (** Execute a ';'-separated script; returns the number of statements run. *)
 let exec_script db sql =
   let stmts = Sql_parser.script_of_string sql in
-  List.iter (fun s -> ignore (Exec.exec_statement db s)) stmts;
+  List.iter
+    (fun s ->
+      ignore (Exec.exec_statement db s);
+      fire_sink db s (fun () -> Sql_printer.statement_to_string s))
+    stmts;
   List.length stmts
 
 (** Run a query and return its relation. *)
@@ -55,7 +78,10 @@ let affected db sql =
     Database.error "statement is not DML: %s" sql
 
 (** Execute a pre-built AST statement. *)
-let exec_ast db stmt = Exec.exec_statement db stmt
+let exec_ast db stmt =
+  let r = Exec.exec_statement db stmt in
+  fire_sink db stmt (fun () -> Sql_printer.statement_to_string stmt);
+  r
 
 let pp_relation ppf (rel : Exec.relation) =
   Fmt.pf ppf "%a@." (Fmt.list ~sep:(Fmt.any " | ") Fmt.string) rel.Exec.rel_cols;

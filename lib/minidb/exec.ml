@@ -62,7 +62,9 @@ let numeric_binop op a b =
     | Mul -> Value.Int (x * y)
     | Div -> if y = 0 then error "division by zero" else Value.Int (x / y)
     | Mod -> if y = 0 then error "division by zero" else Value.Int (x mod y)
-    | _ -> assert false)
+    | op ->
+      error "exec: operator %s dispatched to the numeric path"
+        (Sql_printer.binop_name op))
   | _ ->
     let x = Value.as_float a and y = Value.as_float b in
     (match op with
@@ -70,8 +72,11 @@ let numeric_binop op a b =
     | Sub -> Value.Real (x -. y)
     | Mul -> Value.Real (x *. y)
     | Div -> if y = 0.0 then error "division by zero" else Value.Real (x /. y)
-    | Mod -> Value.Real (Float.rem x y)
-    | _ -> assert false)
+    | Mod ->
+      if y = 0.0 then error "division by zero" else Value.Real (Float.rem x y)
+    | op ->
+      error "exec: operator %s dispatched to the numeric path"
+        (Sql_printer.binop_name op))
 
 let comparison_binop op a b =
   if Value.is_null a || Value.is_null b then Value.Null
@@ -85,7 +90,9 @@ let comparison_binop op a b =
       | Le -> c <= 0
       | Gt -> c > 0
       | Ge -> c >= 0
-      | _ -> assert false
+      | op ->
+        error "exec: operator %s dispatched to the comparison path"
+          (Sql_printer.binop_name op)
     in
     Value.Bool r
 

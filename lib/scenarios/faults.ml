@@ -169,3 +169,139 @@ let sweep_wikimedia ?(versions = 5) ?(pages = 8) ?(links = 12) ?stride () =
   in
   let target = Fmt.str "v%03d" versions in
   sweep ?stride ~build ~migrate:(fun api -> I.materialize api [ target ]) ()
+
+(* --- crash-recovery sweeps ------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(** Fresh scratch directory for one crash run: deterministic per-process
+    names, wiped before use. *)
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "inverda-crash-%d-%d" (Unix.getpid ()) !counter)
+    in
+    rm_rf d;
+    d
+
+(** [recovery_sweep ?stride ?max_statements ?check ~build ~workload ()] —
+    the crash-recovery counterpart of {!sweep}. For every strided failpoint
+    [k]: build a fresh instance over a fresh write-ahead log ([build dir]
+    must attach the log before its first statement), arm the failpoint and
+    run the deterministic [workload] until the fault kills it mid-statement
+    — possibly deep inside a trigger cascade, copy maintenance or a
+    migration's data movement. The live instance is then abandoned exactly
+    as a process kill would leave the disk (with the default [Flush] mode
+    every committed record has already reached the file; any open
+    transaction is rolled back first, because a crash discards uncommitted
+    work and the log only holds committed records). {!Inverda.Api.recover}
+    rebuilds an instance from the directory alone and the sweep asserts:
+    the recovered dump is byte-identical to the live instance's committed
+    state, every version view answers with identical contents, recovering a
+    second time yields the same bytes again, and [check] holds on the
+    recovered instance. Terminates when the failpoint outlives the workload
+    — that crash-free run must recover identically, too.
+
+    The workload should stick to operations with statement-level fault
+    atomicity (DML and migrations): only their post-fault live state is
+    well-defined to compare against. *)
+let recovery_sweep ?(stride = 1) ?(max_statements = 200_000)
+    ?(check = fun (_ : I.t) -> ()) ~build ~workload () =
+  if stride < 1 then invalid_arg "Faults.recovery_sweep: stride must be >= 1";
+  let run_one k =
+    let dir = fresh_dir () in
+    let api = build dir in
+    let db = I.database api in
+    Db.set_failpoint db k;
+    let before = db.Db.statements_executed in
+    let crashed =
+      match workload api with
+      | () -> false
+      | exception Db.Injected_fault _ -> true
+      | exception Inverda.Migration.Migration_error msg ->
+        if not (contains msg "injected fault") then
+          fail "failpoint %d: migration failed on its own: %s" k msg;
+        true
+    in
+    Db.clear_failpoint db;
+    let statements = db.Db.statements_executed - before in
+    if Db.in_transaction db then ignore (I.exec_sql api "ROLLBACK");
+    let committed_dump = I.dump api in
+    let committed_views = view_contents api in
+    I.detach_wal api;
+    let recovered = I.recover dir in
+    let rdump = I.dump recovered in
+    if rdump <> committed_dump then
+      fail "failpoint %d: recovered dump differs from the pre-crash \
+            committed state (first diff: %s)"
+        k (first_diff_line committed_dump rdump);
+    if view_contents recovered <> committed_views then
+      fail "failpoint %d: version-view contents differ after recovery" k;
+    check recovered;
+    I.detach_wal recovered;
+    let again = I.recover dir in
+    if I.dump again <> rdump then
+      fail "failpoint %d: recovery is not idempotent" k;
+    I.detach_wal again;
+    rm_rf dir;
+    (crashed, statements)
+  in
+  let rec go k injected =
+    if k > max_statements then
+      fail "recovery sweep did not terminate within %d statements"
+        max_statements;
+    match run_one k with
+    | true, _ -> go (k + stride) (injected + 1)
+    | false, statements -> { failpoints = injected; statements }
+  in
+  go 1 0
+
+(** The canned crash-recovery sweep on TasKy. The log captures the whole
+    history — all three versions evolve after it attaches, then a seed
+    workload, a live co-materialized copy and a mid-run checkpoint — so
+    early failpoints exercise genesis replay and later ones the
+    checkpoint-accelerated path, with skolem-generated identifiers forced
+    to reproduce exactly in both. [check] pins the copy's coherence on
+    every recovered instance. *)
+let recovery_sweep_tasky ?(tasks = 6) ?stride () =
+  let build dir =
+    let api = I.create () in
+    I.attach_wal api dir;
+    I.evolve api Tasky.bidel_initial;
+    I.evolve api Tasky.bidel_do;
+    I.evolve api Tasky.bidel_tasky2;
+    Tasky.load_tasks api tasks;
+    I.comat_add api "TasKy2.Task";
+    api
+  in
+  let workload api =
+    ignore
+      (I.exec_sql api
+         "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Zed', 'crash-1', 1)");
+    ignore
+      (I.exec_sql api "INSERT INTO Do!.Todo (author, task) VALUES ('Yva', 'crash-2')");
+    ignore (I.exec_sql api "UPDATE TasKy.Task SET prio = 2 WHERE task = 'crash-1'");
+    I.checkpoint api;
+    ignore (I.exec_sql api "BEGIN");
+    ignore
+      (I.exec_sql api
+         "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Xan', 'crash-3', 1)");
+    ignore (I.exec_sql api "DELETE FROM Do!.Todo WHERE task = 'crash-2'");
+    ignore (I.exec_sql api "COMMIT");
+    I.materialize api [ "TasKy2" ];
+    ignore
+      (I.exec_sql api
+         "INSERT INTO TasKy.Task (author, task, prio) VALUES ('Walt', 'crash-4', 3)")
+  in
+  let check api = Inverda.Comat.check (I.database api) (I.genealogy api) in
+  recovery_sweep ?stride ~check ~build ~workload ()

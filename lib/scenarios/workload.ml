@@ -157,7 +157,9 @@ let run_mix r ~version ~mix ~ops =
 let replay_profile r ~shares ~mix ~ops =
   let shares = List.filter (fun (_, w) -> w > 0.0) shares in
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 shares in
-  if total <= 0.0 then []
+  if total <= 0.0 then
+    invalid_arg
+      "Workload.replay_profile: share mix is empty or entirely zero-weight"
   else begin
     let slots =
       (* the key sampling is harness bookkeeping, not workload traffic:
@@ -174,11 +176,15 @@ let replay_profile r ~shares ~mix ~ops =
             shares)
     in
     let pick x =
+      (* the singleton case clamps: float accumulation can make [x] reach
+         [total], which must land in the last slot rather than fall off *)
       let rec go acc = function
         | [ s ] -> s
         | (_, w, _, _) as s :: rest ->
           if x < acc +. w then s else go (acc +. w) rest
-        | [] -> assert false
+        | [] ->
+          invalid_arg
+            "Workload.replay_profile: weighted pick on an empty slot list"
       in
       go 0.0 slots
     in
