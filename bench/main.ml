@@ -26,9 +26,10 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("telemetry", fun scale -> ignore (Experiments.telemetry_overhead scale));
     ("comat", fun scale -> ignore (Experiments.comat scale));
     ("wal", fun scale -> ignore (Experiments.wal scale));
+    ("batch", fun scale -> ignore (Experiments.batch scale));
   ]
 
-let run only full bechamel smoke json json5 json7 json8 =
+let run only full bechamel smoke json json5 json7 json8 json9 =
   if bechamel then Micro.run ()
   else
   let scale =
@@ -43,6 +44,8 @@ let run only full bechamel smoke json json5 json7 json8 =
     ignore (Experiments.comat ~out:"BENCH_PR7.json" scale)
   else if json8 then
     ignore (Experiments.wal ~out:"BENCH_PR8.json" scale)
+  else if json9 then
+    ignore (Experiments.batch ~out:"BENCH_PR9.json" scale)
   else
   let selected =
     match only with
@@ -117,9 +120,20 @@ let json8 =
   in
   Arg.(value & flag & info [ "json-pr8" ] ~doc)
 
+let json9 =
+  let doc =
+    "Write the batch-executor baseline to BENCH_PR9.json (cold reads through \
+     the compiled columnar executor vs the row interpreter, plus per-version \
+     Wikimedia read latency under both) instead of running the figure \
+     harness."
+  in
+  Arg.(value & flag & info [ "json-pr9" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
   Cmd.v (Cmd.info "inverda-bench" ~doc)
-    Term.(const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7 $ json8)
+    Term.(
+      const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7
+      $ json8 $ json9)
 
 let () = exit (Cmd.eval cmd)

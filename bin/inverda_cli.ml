@@ -175,7 +175,7 @@ let repl t =
     let rest = String.trim (Buffer.contents buf) in
     if rest <> "" then execute t rest
 
-let run demo no_cache no_flatten dir =
+let run demo no_cache no_flatten no_batch dir =
   let t =
     match dir with
     | Some dir when Sys.file_exists (Minidb.Wal.log_file dir) ->
@@ -202,6 +202,7 @@ let run demo no_cache no_flatten dir =
   in
   if no_cache then I.set_cache t false;
   if no_flatten then I.set_flatten t false;
+  if no_batch then I.set_batch t false;
   repl t;
   0
 
@@ -574,6 +575,51 @@ let comat_run smoke =
     Fmt.epr "COMAT COHERENCE FAILED: %s@." msg;
     1
 
+(* --- the batch-coherence command --------------------------------------------- *)
+
+let batch_run smoke =
+  let module BC = Scenarios.Batch_check in
+  let started = Unix.gettimeofday () in
+  let pr scenario (r : BC.report) =
+    Fmt.pr
+      "%s: %d materializations, %d queries each — batch and row executors \
+       agree@."
+      scenario r.BC.checkpoints r.BC.queries
+  in
+  try
+    pr "TasKy" (BC.check_tasky ~tasks:(if smoke then 25 else 120) ());
+    pr "Wikimedia"
+      (BC.check_wikimedia
+         ~versions:(if smoke then 6 else 171)
+         ~pages:(if smoke then 8 else 30)
+         ~links:(if smoke then 12 else 60)
+         ());
+    let faults =
+      BC.check_faults
+        ~tasks:(if smoke then 6 else 10)
+        ?stride:(if smoke then Some 7 else None)
+        ()
+    in
+    let injected =
+      List.fold_left
+        (fun a (_, (r : Scenarios.Faults.report)) ->
+          a + r.Scenarios.Faults.failpoints)
+        0 faults
+    in
+    Fmt.pr
+      "fault sweep: %d materializations, %d injected faults — executors \
+       agree on every rollback state@."
+      (List.length faults) injected;
+    Fmt.pr "batch coherence passed in %.1fs@." (Unix.gettimeofday () -. started);
+    0
+  with
+  | BC.Coherence_failure msg ->
+    Fmt.epr "BATCH COHERENCE FAILED: %s@." msg;
+    1
+  | Scenarios.Faults.Sweep_failure msg ->
+    Fmt.epr "BATCH COHERENCE FAILED (fault sweep): %s@." msg;
+    1
+
 (* --- the verify command ------------------------------------------------------ *)
 
 let verify_run demo script json mutate =
@@ -637,10 +683,12 @@ let verify_run demo script json mutate =
 
 (* --- telemetry commands: stats / trace / explain / advise -------------------- *)
 
-let build_instance ?(no_cache = false) ?(no_flatten = false) demo script =
+let build_instance ?(no_cache = false) ?(no_flatten = false)
+    ?(no_batch = false) demo script =
   let t = I.create () in
   if no_cache then I.set_cache t false;
   if no_flatten then I.set_flatten t false;
+  if no_batch then I.set_batch t false;
   if demo then load_demo t;
   (match script with Some path -> I.evolve t (read_script path) | None -> ());
   t
@@ -667,9 +715,9 @@ let apply_comat t = function
            let target = String.trim target in
            if target <> "" then I.comat_add t target)
 
-let stats_run demo script comat ops json no_cache no_flatten =
+let stats_run demo script comat ops json no_cache no_flatten no_batch =
   cli_errors @@ fun () ->
-  let t = build_instance ~no_cache ~no_flatten demo script in
+  let t = build_instance ~no_cache ~no_flatten ~no_batch demo script in
   apply_comat t comat;
   if demo then replay_demo_traffic t ops;
   if json then print_endline (I.stats_json t) else print_string (I.stats_text t);
@@ -835,6 +883,13 @@ let no_flatten =
   in
   Arg.(value & flag & info [ "no-flatten" ] ~doc)
 
+let no_batch =
+  let doc =
+    "Disable the columnar batch executor (every read runs the row-at-a-time \
+     interpreter instead of selection vectors over column snapshots)."
+  in
+  Arg.(value & flag & info [ "no-batch" ] ~doc)
+
 let dir_opt =
   let doc =
     "Durability directory: attach a write-ahead log there (recovering from \
@@ -847,7 +902,8 @@ let dir_req =
   let doc = "Durability directory holding the write-ahead log." in
   Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
 
-let shell_term = Term.(const run $ demo $ no_cache $ no_flatten $ dir_opt)
+let shell_term =
+  Term.(const run $ demo $ no_cache $ no_flatten $ no_batch $ dir_opt)
 
 let shell_cmd =
   let doc = "Interactive shell (the default command)" in
@@ -1021,6 +1077,30 @@ let flatten_coherence_cmd =
     (Cmd.info "flatten-coherence" ~doc ~man)
     Term.(const flatten_run $ smoke)
 
+let batch_coherence_cmd =
+  let smoke =
+    let doc = "Smaller genealogies and data sets, for CI smoke checks." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc = "Check the columnar batch executor against the row path" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Builds the TasKy genealogy (swept through all five valid \
+         materializations) and a Wikimedia-style genealogy (migrated to a \
+         middle and the newest version) and, at every checkpoint, runs a \
+         query battery — scans, filtered projections, aggregates and \
+         self-joins — over every version view with the columnar batch \
+         executor on and off: answers must be identical and the engine \
+         state byte-identical across the toggle. A step-indexed \
+         fault-injection sweep then re-checks coherence after every \
+         injected migration failure's rollback. Exits non-zero on the \
+         first divergence.";
+    ]
+  in
+  Cmd.v (Cmd.info "batch-coherence" ~doc ~man) Term.(const batch_run $ smoke)
+
 (* shared options of the telemetry commands *)
 let script_opt =
   let doc =
@@ -1063,7 +1143,7 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc ~man)
     Term.(
       const stats_run $ demo $ script_opt $ comat_opt $ ops_opt $ json_opt
-      $ no_cache $ no_flatten)
+      $ no_cache $ no_flatten $ no_batch)
 
 let trace_cmd =
   let limit =
@@ -1239,6 +1319,7 @@ let cmd =
       faults_cmd;
       flatten_coherence_cmd;
       comat_coherence_cmd;
+      batch_coherence_cmd;
       verify_cmd;
       stats_cmd;
       trace_cmd;

@@ -49,4 +49,10 @@ dune exec bin/inverda_cli.exe -- recover --verify
 dune exec bin/inverda_cli.exe -- faults --recover --smoke
 # durability: WAL write overhead must stay within the gate at smoke scale
 dune exec bench/main.exe -- --only wal --smoke
+# batch executor: batch and row execution must answer identically under every
+# TasKy materialization, a Wikimedia genealogy, and every injected-fault
+# rollback state; the bench experiment re-checks agreement at every measured
+# version (the >= 2x speedup gate arms at full scale only)
+dune exec bin/inverda_cli.exe -- batch-coherence --smoke
+dune exec bench/main.exe -- --only batch --smoke
 echo "check.sh: all green"

@@ -92,6 +92,14 @@ let set_cache t b = Db.set_view_cache t.db b
 (** (hits, misses) of the view-result cache since creation. *)
 let cache_stats t = Db.cache_stats t.db
 
+(** Toggle the columnar batch executor (enabled by default): table scans
+    served from epoch-memoized column snapshots and eligible pipelines
+    compiled to selection-vector filters. Off = the row-at-a-time
+    interpreter everywhere (coherence harnesses, ablation benchmarks). *)
+let set_batch t b = Db.set_batch t.db b
+
+let batch_enabled t = t.db.Db.batch_enabled
+
 (** Toggle the delta-code flattening pass (enabled by default) and
     regenerate: with it off, every derived view is the layered one-hop stack
     regardless of genealogy distance. *)

@@ -39,6 +39,17 @@ val set_cache : t -> bool -> unit
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the view-result cache since creation. *)
 
+val set_batch : t -> bool -> unit
+(** Toggle the columnar batch executor (enabled by default): table scans are
+    served from epoch-memoized column snapshots and eligible select pipelines
+    compile to selection-vector filters over typed vectors. Disabling it
+    restores the row-at-a-time interpreter everywhere — the batch-vs-row
+    coherence harness and the ablation benchmarks run both modes against the
+    same instance. Each toggle drops cached view results (physical row order
+    can differ between the executors). *)
+
+val batch_enabled : t -> bool
+
 val set_flatten : t -> bool -> unit
 (** Toggle the delta-code flattening pass ({!Flatten}, enabled by default)
     and regenerate the delta code: with it off, every derived view is the

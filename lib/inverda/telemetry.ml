@@ -543,6 +543,13 @@ let explain (db : Db.t) (gen : G.t) sql =
       (match Minidb.Exec.query_targets q with
       | [] -> "(no stored objects)"
       | ts -> String.concat ", " ts);
+    (* per-operator executor choice: columnar batch pipeline vs row-at-a-time
+       interpretation vs the index / view-pushdown fast paths *)
+    (match Minidb.Exec.access_paths db q with
+    | [] -> ()
+    | paths ->
+      add "executor access paths:@.";
+      List.iter (fun (obj, p) -> add "  %s: %s@." obj p) paths);
     List.iter explain_object (Minidb.Exec.query_targets q)
   | Sql.Insert { table; _ } ->
     add "INSERT into %s@." (key table);
@@ -608,8 +615,19 @@ let explain_json (db : Db.t) (gen : G.t) sql =
       (jstr k) (jstr role) tv_id flattening comat
       (String.concat "," (List.map jstr (physical_bases db gen k)))
   in
-  Fmt.str "{\"kind\":%s,\"targets\":[%s],\"objects\":[%s],\"text\":%s}"
+  let access_paths =
+    match stmt with
+    | Sql.Query q ->
+      Minidb.Exec.access_paths db q
+      |> List.map (fun (obj, p) ->
+             Fmt.str "{\"object\":%s,\"path\":%s}" (jstr obj) (jstr p))
+      |> String.concat ","
+    | _ -> ""
+  in
+  Fmt.str
+    "{\"kind\":%s,\"targets\":[%s],\"access_paths\":[%s],\"objects\":[%s],\"text\":%s}"
     (jstr kind)
     (String.concat "," (List.map jstr targets))
+    access_paths
     (String.concat "," (List.map target_json targets))
     (jstr (explain db gen sql))

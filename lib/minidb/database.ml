@@ -81,6 +81,11 @@ type t = {
       (** planner fast paths (index probes, view pushdown, index
           nested-loop joins); disabling them is used by the ablation
           benchmarks only *)
+  mutable batch_enabled : bool;
+      (** columnar batch execution: table scans served from epoch-memoized
+          {!Batch} snapshots and eligible select pipelines compiled to
+          selection-vector filters. Disabling it restores the row-at-a-time
+          interpreter everywhere (coherence harness, ablation benchmarks). *)
   view_cache : (string, cached_view) Hashtbl.t;
       (** cross-statement view results, keyed by lowercase view name *)
   view_bases : (string, base_closure option) Hashtbl.t;
@@ -140,6 +145,7 @@ let create () =
     trigger_depth = 0;
     statements_executed = 0;
     optimizations = true;
+    batch_enabled = true;
     view_cache = Hashtbl.create 64;
     view_bases = Hashtbl.create 64;
     pure_functions = Hashtbl.create 8;
@@ -193,6 +199,18 @@ let flush_view_metadata t =
 let set_view_cache t enabled =
   t.view_cache_enabled <- enabled;
   if not enabled then flush_view_cache t
+
+(** Toggle the columnar batch executor. Cached view results are dropped on
+    every toggle — row content is identical either way, but physical row
+    order can differ between the executors, so one mode never serves rows
+    materialized under the other. Disabling also drops the memoized column
+    snapshots so a later re-enable starts cold. *)
+let set_batch t enabled =
+  if t.batch_enabled <> enabled then begin
+    t.batch_enabled <- enabled;
+    flush_view_cache t;
+    if not enabled then Batch.reset_cache ()
+  end
 
 (** Declare the stored tables a view's result depends on (transitively).
     A registration overrides the generic query-walk memoization. *)

@@ -28,6 +28,10 @@ let error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 type eval_ctx = {
   db : Db.t;
   cache : (string, relation) Hashtbl.t;  (** per-statement object snapshots *)
+  scans : (string, unit) Hashtbl.t;
+      (** tables whose scan was already recorded this statement — shared by
+          the row and batch paths so telemetry counts one scan per statement
+          per table regardless of which executor served it *)
 }
 
 type env = {
@@ -39,7 +43,7 @@ type env = {
 (** A compile-time scope: for each column position its alias and name. *)
 type scope = { entries : (string option * string) array }
 
-let fresh_ctx db = { db; cache = Hashtbl.create 16 }
+let fresh_ctx db = { db; cache = Hashtbl.create 16; scans = Hashtbl.create 8 }
 
 let no_params : (string, Value.t) Hashtbl.t = Hashtbl.create 1
 
@@ -418,6 +422,138 @@ let compile_row_pred scopes e : (env -> Value.t array -> bool) option =
       fun row -> bool3 (f row) = Some true)
     (compile_row_expr scopes e)
 
+(* --- batch filtering ------------------------------------------------------ *)
+
+(* Selection vectors: [None] = every row of the batch, [Some sel] = the row
+   indices in [sel], in order. Narrowing returns the input vector unchanged
+   when nothing was dropped, so steady-state unselective conjuncts allocate
+   nothing new. *)
+let filter_sel (b : Batch.t) sel keep =
+  let n = Batch.sel_length b sel in
+  if n = 0 then sel
+  else begin
+    let out = Array.make n 0 in
+    let k = ref 0 in
+    (match sel with
+    | None ->
+      for i = 0 to n - 1 do
+        if keep i then begin
+          out.(!k) <- i;
+          incr k
+        end
+      done
+    | Some s ->
+      for j = 0 to n - 1 do
+        let i = s.(j) in
+        if keep i then begin
+          out.(!k) <- i;
+          incr k
+        end
+      done);
+    if !k = n then sel else Some (Array.sub out 0 !k)
+  end
+
+let cmp_ok op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+  | _ -> error "exec: operator %s is not a comparison" (Sql_printer.binop_name op)
+
+(* [col(pos) op v] (or [v op col(pos)] when [flipped]) over the candidates.
+   Typed columns compare unboxed when the constant's runtime type matches the
+   column's (including the Int/Real cross, mirroring {!Value.compare_exn});
+   any other pairing falls back to the shared [comparison_binop] per
+   candidate, so three-valued semantics and type errors stay identical to
+   the row path. *)
+let apply_cmp (b : Batch.t) sel op ~flipped pos v =
+  if Value.is_null v then filter_sel b sel (fun _ -> false)
+  else
+    (* effective operator for a col-vs-const compare; [compare_exn] is
+       antisymmetric, so flipping operands mirrors the comparison *)
+    let eop =
+      if not flipped then op
+      else
+        match op with
+        | Lt -> Gt
+        | Le -> Ge
+        | Gt -> Lt
+        | Ge -> Le
+        | op -> op
+    in
+    let generic () =
+      filter_sel b sel (fun i ->
+          let c = Batch.get b pos i in
+          let r = if flipped then comparison_binop op v c
+            else comparison_binop op c v
+          in
+          match r with Value.Bool r -> r | _ -> false)
+    in
+    let masked m keep =
+      match m with
+      | None -> filter_sel b sel keep
+      | Some m ->
+        filter_sel b sel (fun i -> (not (Batch.null_at m i)) && keep i)
+    in
+    match b.Batch.cols.(pos), v with
+    | Batch.C_int (a, m), Value.Int k ->
+      masked m (fun i -> cmp_ok eop (Int.compare a.(i) k))
+    | Batch.C_int (a, m), Value.Real r ->
+      masked m (fun i -> cmp_ok eop (Float.compare (float_of_int a.(i)) r))
+    | Batch.C_real (a, m), Value.Real r ->
+      masked m (fun i -> cmp_ok eop (Float.compare a.(i) r))
+    | Batch.C_real (a, m), Value.Int k ->
+      let r = float_of_int k in
+      masked m (fun i -> cmp_ok eop (Float.compare a.(i) r))
+    | Batch.C_text (a, m), Value.Text s ->
+      masked m (fun i -> cmp_ok eop (String.compare a.(i) s))
+    | Batch.C_bool (a, m), Value.Bool x ->
+      masked m (fun i -> cmp_ok eop (Stdlib.compare a.(i) x))
+    | _ -> generic ()
+
+let apply_isnull (b : Batch.t) sel pos negated =
+  filter_sel b sel (fun i ->
+      let isnull = Batch.is_null b pos i in
+      if negated then not isnull else isnull)
+
+(* Positional projection: every select item reads a depth-0 column, so each
+   output row is built by direct indexing with no per-row environment.
+   [None] when any item needs expression evaluation. Shared by the row and
+   batch pipelines, so both project exactly the same positions. *)
+let positional_items (entries : (string option * string) array) scopes items =
+  let pos_item = function
+    | Star -> Some (List.init (Array.length entries) (fun i -> i))
+    | Qualified_star q ->
+      let la = String.lowercase_ascii q in
+      let positions = ref [] in
+      Array.iteri
+        (fun i (alias, _) ->
+          match alias with
+          | Some a when String.lowercase_ascii a = la ->
+            positions := i :: !positions
+          | _ -> ())
+        entries;
+      Some (List.rev !positions)
+    | Sel_expr (Col (q, n), _) -> (
+      match resolve_column scopes q n with
+      | 0, p -> Some [ p ]
+      | _ -> None
+      | exception Exec_error _ -> None)
+    | Sel_expr _ -> None
+  in
+  let rec all = function
+    | [] -> Some []
+    | it :: rest -> (
+      match pos_item it with
+      | None -> None
+      | Some ps -> (
+        match all rest with None -> None | Some tail -> Some (ps @ tail)))
+  in
+  Option.map Array.of_list (all items)
+
 let rec compile_expr ctx scopes e : env -> Value.t =
   match e with
   | Const v -> fun _ -> v
@@ -753,6 +889,22 @@ and decorrelate ctx scopes q =
 
 (* --- relations of named objects ------------------------------------------ *)
 
+(* Record a table scan once per statement, whichever executor serves it. *)
+and record_scan_once ctx k (tbl : Table.t) =
+  if not (Hashtbl.mem ctx.scans k) then begin
+    Hashtbl.replace ctx.scans k ();
+    let m = ctx.db.Db.metrics in
+    if Metrics.collecting m then Metrics.record_scan m k (Table.cardinality tbl)
+  end
+
+(* The table's columnar snapshot, with the scan recorded for telemetry.
+   Callers hold the batch for at most one statement, so a concurrent write
+   (which bumps the epoch and re-extracts on next access) cannot be observed
+   mid-plan any more than the row path's per-statement snapshot could. *)
+and table_batch ctx name (tbl : Table.t) =
+  record_scan_once ctx (Db.key name) tbl;
+  Batch.of_table tbl
+
 and object_relation ctx name : relation =
   let k = Db.key name in
   match Hashtbl.find_opt ctx.cache k with
@@ -761,16 +913,19 @@ and object_relation ctx name : relation =
     let rel =
       match Db.find_object ctx.db name with
       | Some (Db.Obj_table tbl) ->
+        record_scan_once ctx k tbl;
         let rows =
-          Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
+          if ctx.db.Db.batch_enabled then
+            (* ascending-rowid order off the shared columnar snapshot; the
+               row list is memoized on the batch, so repeated scans of an
+               unchanged table cost a hash lookup *)
+            Batch.rows_of (Batch.of_table tbl)
+          else Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
         in
-        (let m = ctx.db.Db.metrics in
-         if Metrics.collecting m then
-           Metrics.record_scan m k (Hashtbl.length tbl.Table.rows));
         {
           rel_cols = Schema.names tbl.Table.schema;
           rel_rows = rows;
-          rel_count = Hashtbl.length tbl.Table.rows;
+          rel_count = Table.cardinality tbl;
         }
       | Some (Db.Obj_view v) -> view_relation ctx k v
       | None -> error "no such table or view %s" name
@@ -822,6 +977,144 @@ and view_relation ctx k (v : Db.view) : relation =
       | Some deps -> Db.cache_store ctx.db k rel deps
       | None -> ());
       rel
+
+(* --- batch pipeline ------------------------------------------------------- *)
+
+(* One WHERE conjunct compiled for batch evaluation: a typed column-vs-
+   constant comparison, an IS NULL test on a column, or a generic per-row
+   fallback over materialized candidate rows ([compile_row_pred], so the
+   three-valued semantics are the row path's by construction). [None] when
+   the conjunct needs machinery the batch path does not carry (subqueries).
+
+   The "constant" side may reference outer scopes or parameters — anything
+   row-independent — and is compiled against the outer scopes, where depth
+   [d] of the full scope stack resolves at depth [d-1]: exactly how the row
+   path's per-evaluation staging sees it. *)
+and batch_conjunct ctx scopes e =
+  let outer = List.tl scopes in
+  let pos_of q n =
+    match resolve_column scopes q n with
+    | 0, p -> Some p
+    | _ -> None
+    | exception Exec_error _ -> None
+  in
+  let const_ok rhs = subquery_free rhs && not (references_depth scopes 0 rhs) in
+  let generic () =
+    Option.map (fun p -> `Generic p) (compile_row_pred scopes e)
+  in
+  match e with
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), Col (q, n), rhs)
+    when const_ok rhs -> (
+    match pos_of q n with
+    | Some p -> Some (`Cmp (op, false, p, compile_expr ctx outer rhs))
+    | None -> generic ())
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), lhs, Col (q, n))
+    when const_ok lhs -> (
+    match pos_of q n with
+    | Some p -> Some (`Cmp (op, true, p, compile_expr ctx outer lhs))
+    | None -> generic ())
+  | Is_null (Col (q, n), negated) -> (
+    match pos_of q n with
+    | Some p -> Some (`Is_null (p, negated))
+    | None -> generic ())
+  | _ -> generic ()
+
+(* The full WHERE as a selection-vector filter, or [None] when any conjunct
+   declines. Conjuncts narrow the vector in syntactic order; AND's
+   three-valued truth table keeps exactly the rows whose full predicate is
+   TRUE either way, so the keep-set matches the row path's. *)
+and compile_batch_where ctx scopes w =
+  let compiled = List.map (batch_conjunct ctx scopes) (conjuncts w) in
+  if List.exists Option.is_none compiled then None
+  else
+    let compiled = List.filter_map Fun.id compiled in
+    Some
+      (fun env (b : Batch.t) sel ->
+        List.fold_left
+          (fun sel c ->
+            match c with
+            | `Cmp (op, flipped, pos, f) ->
+              apply_cmp b sel op ~flipped pos (f env)
+            | `Is_null (pos, neg) -> apply_isnull b sel pos neg
+            | `Generic p ->
+              let p = p env in
+              filter_sel b sel (fun i -> p (Batch.row b i)))
+          sel compiled)
+
+(* A FROM subtree the columnar pipeline can produce directly: a stored table,
+   or a pushdown wrapper (a simple positional subquery-free select over one —
+   the shape the pin-pushdown pre-passes and view pushdown emit). Returns the
+   scope entries (identical to {!compile_from}'s) and a producer of
+   (batch, selection vector). Views and joins decline: view reads flow
+   through {!object_relation} (their own bodies get batch treatment when
+   compiled — converting the evaluated relation here would bypass view
+   pushdown, which is worth far more than a columnar top-level), joins
+   through {!compile_from}. *)
+and batch_from ctx outer_scopes from :
+    ((string option * string) array * (env -> Batch.t * int array option))
+    option =
+  if not (ctx.db.Db.batch_enabled && ctx.db.Db.optimizations) then None
+  else
+    match from with
+    | From_table (name, alias) -> (
+      match Db.find_object ctx.db name with
+      | Some (Db.Obj_table tbl) ->
+        let cols = Schema.names tbl.Table.schema in
+        let a = match alias with Some a -> Some a | None -> Some name in
+        let entries = Array.of_list (List.map (fun c -> (a, c)) cols) in
+        Some (entries, fun env -> (table_batch env.ctx name tbl, None))
+      | _ -> None)
+    | From_select ({ body = Select s; order_by = []; limit = None }, alias)
+      when s.group_by = [] && s.having = None && (not s.distinct)
+           && not
+                (List.exists
+                   (function
+                     | Sel_expr (e, _) -> has_aggregate e | _ -> false)
+                   s.items) -> (
+      match Option.bind s.from (batch_from ctx outer_scopes) with
+      | None -> None
+      | Some (ientries, isrc) -> (
+        let iscopes = { entries = ientries } :: outer_scopes in
+        match positional_items ientries iscopes s.items with
+        | None -> None
+        | Some positions -> (
+          let fwhere =
+            match s.where with
+            | None -> Some (fun _ _ sel -> sel)
+            | Some w -> compile_batch_where ctx iscopes w
+          in
+          match fwhere with
+          | None -> None
+          | Some fwhere ->
+            let names = select_columns ctx s in
+            let entries =
+              Array.of_list (List.map (fun c -> (Some alias, c)) names)
+            in
+            let identity =
+              Array.length positions = Array.length ientries
+              &&
+              let ok = ref true in
+              Array.iteri (fun j p -> if p <> j then ok := false) positions;
+              !ok
+            in
+            Some
+              ( entries,
+                fun env ->
+                  let b, sel = isrc env in
+                  let sel = fwhere env b sel in
+                  let b =
+                    if identity then b
+                    else
+                      (* column permutation shares the underlying vectors *)
+                      {
+                        Batch.cols =
+                          Array.map (fun p -> b.Batch.cols.(p)) positions;
+                        nrows = b.Batch.nrows;
+                        rows_memo = None;
+                      }
+                  in
+                  (b, sel) ))))
+    | _ -> None
 
 (* --- FROM clause ---------------------------------------------------------- *)
 
@@ -951,6 +1244,102 @@ and compile_from ctx outer_scopes from :
       | _ -> fallback ()
     in
     let no_residual = fresidual = [] in
+    (* batch hash join: both sides extractable as column batches and the
+       single equi-join key is a plain column of each side — build and probe
+       over the typed vectors, materializing rows only on emission. Bucket
+       lists are built by prepending in right scan order, so within a probe
+       group candidates appear in reversed right order: the same order the
+       row-path hash join emits. *)
+    let batch_join =
+      match right_index_probe, keys with
+      | None, [ (Col (lq, ln), Col (rq, rn)) ] -> (
+        match
+          ( resolve_column lscopes lq ln,
+            resolve_column rscopes rq rn,
+            batch_from ctx outer_scopes left,
+            batch_from ctx outer_scopes right )
+        with
+        | (0, lp), (0, rp), Some (_, lbsrc), Some (_, rbsrc) ->
+          Some
+            (fun env ->
+              let lb, lsel = lbsrc env in
+              let rb, rsel = rbsrc env in
+              let residual_ok = residual_pred env in
+              let probe : int -> int list =
+                match lb.Batch.cols.(lp), rb.Batch.cols.(rp) with
+                | Batch.C_int (la, lm), Batch.C_int (ra, rm) ->
+                  (* both key columns are unboxed ints: hash on the raw int *)
+                  let h : (int, int list) Hashtbl.t =
+                    Hashtbl.create (Batch.sel_length rb rsel)
+                  in
+                  Batch.fold_sel rb rsel
+                    (fun () j ->
+                      if
+                        not
+                          (match rm with
+                          | Some m -> Batch.null_at m j
+                          | None -> false)
+                      then
+                        Hashtbl.replace h ra.(j)
+                          (j
+                          :: Option.value (Hashtbl.find_opt h ra.(j)) ~default:[]))
+                    ();
+                  fun i ->
+                    if
+                      match lm with
+                      | Some m -> Batch.null_at m i
+                      | None -> false
+                    then []
+                    else Option.value (Hashtbl.find_opt h la.(i)) ~default:[]
+                | _ ->
+                  (* boxed fallback: same structural hashing as the row path *)
+                  let h : (Value.t, int list) Hashtbl.t =
+                    Hashtbl.create (Batch.sel_length rb rsel)
+                  in
+                  Batch.fold_sel rb rsel
+                    (fun () j ->
+                      let key = Batch.get rb rp j in
+                      if not (Value.is_null key) then
+                        Hashtbl.replace h key
+                          (j :: Option.value (Hashtbl.find_opt h key) ~default:[]))
+                    ();
+                  fun i ->
+                    let key = Batch.get lb lp i in
+                    if Value.is_null key then []
+                    else Option.value (Hashtbl.find_opt h key) ~default:[]
+              in
+              let acc =
+                Batch.fold_sel lb lsel
+                  (fun acc i ->
+                    match probe i with
+                    | [] -> (
+                      match kind with
+                      | Left_outer -> combine (Batch.row lb i) null_right :: acc
+                      | _ -> acc)
+                    | [ j ] when no_residual ->
+                      combine (Batch.row lb i) (Batch.row rb j) :: acc
+                    | js -> (
+                      let lrow = Batch.row lb i in
+                      let combined =
+                        if no_residual then
+                          List.map (fun j -> combine lrow (Batch.row rb j)) js
+                        else
+                          List.filter_map
+                            (fun j ->
+                              let row = combine lrow (Batch.row rb j) in
+                              if residual_ok row then Some row else None)
+                            js
+                      in
+                      match kind, combined with
+                      | Left_outer, [] -> combine lrow null_right :: acc
+                      | _ -> List.rev_append combined acc))
+                  []
+              in
+              List.rev acc)
+        | _ -> None
+        | exception Exec_error _ -> None)
+      | _ -> None
+    in
     (match right_index_probe with
     | Some (tbl, idx, lkey_expr) when keys <> [] ->
       let flkey = key_reader lscopes lkey_expr in
@@ -1022,6 +1411,9 @@ and compile_from ctx outer_scopes from :
           in
           List.rev acc )
     | _ ->
+    (match batch_join with
+    | Some produce -> (entries, produce)
+    | None ->
     (match keys with
     | [ (la, rb) ] ->
       (* single-key hash join: the hash keys are the values themselves, and
@@ -1123,7 +1515,7 @@ and compile_from ctx outer_scopes from :
               match kind, combined with
               | Left_outer, [] -> [ combine lrow null_right ]
               | _ -> combined)
-            lrows )))
+            lrows ))))
 
 (* --- output column naming ------------------------------------------------- *)
 
@@ -1340,10 +1732,40 @@ and compile_select ctx outer_scopes sel : env -> relation =
     || match sel.having with Some h -> has_aggregate h | None -> false
   in
   let cols = select_columns ctx sel in
-  (* index fast path: single stored table + equality on an indexed column *)
-  let produce = index_fast_path ctx sel scope scopes produce in
+  (* plan choice: index equality probe, then view pushdown, then the
+     columnar batch pipeline, then plain row-at-a-time interpretation *)
+  let ifp = index_fast_path ctx sel scope scopes in
+  let vpd = view_pushdown ctx sel in
+  (* batch pipeline: FROM is batch-producible and the whole WHERE compiles
+     to selection-vector conjuncts — then filtering runs typed over the
+     columnar snapshot and the WHERE is consumed here *)
+  let batch_pipe =
+    match vpd, ifp, sel.from with
+    | None, None, Some f -> (
+      match batch_from ctx outer_scopes f with
+      | None -> None
+      | Some (_, bsrc) -> (
+        match sel.where with
+        | None -> Some bsrc
+        | Some w -> (
+          match compile_batch_where ctx scopes w with
+          | None -> None
+          | Some fw ->
+            Some
+              (fun env ->
+                let b, s = bsrc env in
+                (b, fw env b s)))))
+    | _ -> None
+  in
   let produce =
-    match view_pushdown ctx sel with Some p -> p | None -> produce
+    match vpd, ifp, batch_pipe with
+    | Some p, _, _ -> p
+    | None, Some p, _ -> p
+    | None, None, Some bp ->
+      fun env ->
+        let b, s = bp env in
+        Batch.rows_for_sel b s
+    | None, None, None -> produce
   in
   (* cheap-first WHERE: subquery-free conjuncts run before conjuncts with
      subqueries, so EXISTS probes only see rows that survive the plain
@@ -1351,6 +1773,7 @@ and compile_select ctx outer_scopes sel : env -> relation =
      pure evaluation-order rewrite. *)
   let fwhere =
     match sel.where with
+    | _ when Option.is_some batch_pipe -> None (* consumed by the pipeline *)
     | None -> None
     | Some w ->
       let cheap, costly = List.partition subquery_free (conjuncts w) in
@@ -1377,40 +1800,7 @@ and compile_select ctx outer_scopes sel : env -> relation =
         rows
   in
   if not aggregating then begin
-    (* positional projection: every item reads a depth-0 column, so each
-       output row is built by direct indexing with no per-row environment.
-       [None] when any item needs expression evaluation. *)
-    let direct_positions =
-      let pos_item = function
-        | Star -> Some (List.init (Array.length entries) (fun i -> i))
-        | Qualified_star q ->
-          let la = String.lowercase_ascii q in
-          let positions = ref [] in
-          Array.iteri
-            (fun i (alias, _) ->
-              match alias with
-              | Some a when String.lowercase_ascii a = la ->
-                positions := i :: !positions
-              | _ -> ())
-            entries;
-          Some (List.rev !positions)
-        | Sel_expr (Col (q, n), _) -> (
-          match resolve_column scopes q n with
-          | 0, p -> Some [ p ]
-          | _ -> None
-          | exception Exec_error _ -> None)
-        | Sel_expr _ -> None
-      in
-      let rec all = function
-        | [] -> Some []
-        | it :: rest -> (
-          match pos_item it with
-          | None -> None
-          | Some ps -> (
-            match all rest with None -> None | Some tail -> Some (ps @ tail)))
-      in
-      Option.map Array.of_list (all sel.items)
-    in
+    let direct_positions = positional_items entries scopes sel.items in
     let identity_projection =
       (* SELECT * re-emits produced rows unchanged: the passthrough layers of
          the generated delta code (version views, @-alias views) then cost
@@ -1426,13 +1816,55 @@ and compile_select ctx outer_scopes sel : env -> relation =
       | None -> false
     in
     match direct_positions with
-    | Some _ when identity_projection ->
+    | Some _ when identity_projection -> (
+      match batch_pipe with
+      | Some bp ->
+        (* identity off the batch: the memoized row list when unfiltered,
+           materialized survivors otherwise; exact counts either way *)
+        fun env ->
+          let b, s = bp env in
+          let rows = Batch.rows_for_sel b s in
+          if sel.distinct then
+            let rows, n = dedupe rows in
+            { rel_cols = cols; rel_rows = rows; rel_count = n }
+          else
+            { rel_cols = cols; rel_rows = rows;
+              rel_count = Batch.sel_length b s }
+      | None ->
+        fun env ->
+          let rows = filter env (produce env) in
+          if sel.distinct then
+            let rows, n = dedupe rows in
+            { rel_cols = cols; rel_rows = rows; rel_count = n }
+          else { rel_cols = cols; rel_rows = rows; rel_count = -1 })
+    | Some positions when Option.is_some batch_pipe ->
+      (* fused batch projection: gather only the projected columns of the
+         surviving rows, straight off the column vectors *)
+      let bp = Option.get batch_pipe in
+      let n = Array.length positions in
+      let project_from b i : Value.t array =
+        match positions with
+        | [| a |] -> [| Batch.get b a i |]
+        | [| a; b2 |] -> [| Batch.get b a i; Batch.get b b2 i |]
+        | [| a; b2; c |] ->
+          [| Batch.get b a i; Batch.get b b2 i; Batch.get b c i |]
+        | [| a; b2; c; d |] ->
+          [| Batch.get b a i; Batch.get b b2 i; Batch.get b c i;
+             Batch.get b d i |]
+        | _ -> Array.init n (fun j -> Batch.get b positions.(j) i)
+      in
       fun env ->
-        let rows = filter env (produce env) in
+        let b, s = bp env in
+        let rows =
+          List.rev
+            (Batch.fold_sel b s (fun acc i -> project_from b i :: acc) [])
+        in
         if sel.distinct then
           let rows, n = dedupe rows in
           { rel_cols = cols; rel_rows = rows; rel_count = n }
-        else { rel_cols = cols; rel_rows = rows; rel_count = -1 }
+        else
+          { rel_cols = cols; rel_rows = rows;
+            rel_count = Batch.sel_length b s }
     | Some positions ->
       let n = Array.length positions in
       (* hand-rolled constructors for the common small arities avoid the
@@ -1547,13 +1979,13 @@ and dedupe rows =
   in
   (out, Hashtbl.length seen)
 
-and index_fast_path ctx sel scope scopes produce =
-  if not ctx.db.Db.optimizations then produce
+and index_fast_path ctx sel scope scopes =
+  if not ctx.db.Db.optimizations then None
   else
   match sel.from, sel.where with
   | Some (From_table (tname, _)), Some w -> (
     match Db.find_table_opt ctx.db tname with
-    | None -> produce
+    | None -> None
     | Some tbl -> (
       (* find a conjunct [col = e] where e has no local column refs and col
          is indexed *)
@@ -1574,13 +2006,14 @@ and index_fast_path ctx sel scope scopes produce =
           (conjuncts w)
       in
       match usable with
-      | None -> produce
+      | None -> None
       | Some (idx, key_expr) ->
         let fkey = compile_expr ctx (List.tl scopes) key_expr in
-        fun env ->
-          let v = fkey env in
-          if Value.is_null v then [] else Table.index_probe tbl idx v))
-  | _ -> produce
+        Some
+          (fun env ->
+            let v = fkey env in
+            if Value.is_null v then [] else Table.index_probe tbl idx v)))
+  | _ -> None
 
 (* Key-filter pushdown into views: a select over a single *view* whose WHERE
    pins a view column to a row-independent, column-free expression is
@@ -1949,6 +2382,148 @@ let query_targets q =
       walk_from b
   in
   walk_query q;
+  List.rev !acc
+
+(** Static access-path report for EXPLAIN: for every FROM operand of every
+    SELECT in [q], the executor layer that would serve it — ["index"]
+    (equality-probe fast path), ["pushdown"] (view-cache pushdown),
+    ["batch"] (columnar selection-vector pipeline) or ["row"] (row-at-a-time
+    interpretation). Mirrors the plan choice of {!compile_select} and
+    {!compile_from} without evaluating anything; labels are per leaf, in
+    FROM order, modulo the join pin-pushdown pre-pass (a WHERE-driven
+    evaluation-order rewrite that can additionally batch-wrap join sides at
+    run time). *)
+let access_paths db (q : query) : (string * string) list =
+  let ctx = fresh_ctx db in
+  let acc = ref [] in
+  let label_of = function
+    | `Index -> "index"
+    | `Pushdown -> "pushdown"
+    | `Batch -> "batch"
+    | `Row -> "row"
+  in
+  let batchable outer_scopes f =
+    match batch_from ctx outer_scopes f with
+    | Some _ -> true
+    | None | (exception Exec_error _) -> false
+  in
+  let visited_views = Hashtbl.create 8 in
+  let rec leaf outer_scopes plan f =
+    match f with
+    | From_table (name, _) ->
+      acc := (Db.key name, label_of plan) :: !acc;
+      (* a view read row-at-a-time expands its body: report what serves the
+         body's own FROM leaves (the interesting part of delta code) *)
+      if plan = `Row then (
+        match Db.find_object db name with
+        | Some (Db.Obj_view v) when not (Hashtbl.mem visited_views (Db.key name))
+          ->
+          Hashtbl.replace visited_views (Db.key name) ();
+          walk_query outer_scopes v.Db.query
+        | _ -> ())
+    | From_select (sub, alias) ->
+      if plan = `Batch then
+        (* the wrapper itself compiled into the batch pipeline *)
+        acc := (alias, "batch") :: !acc
+      else begin
+        acc := (alias, label_of plan) :: !acc;
+        walk_query outer_scopes sub
+      end
+    | From_join (l, kind, r, cond) -> join outer_scopes l kind r cond
+  and join outer_scopes l _kind r cond =
+    match
+      (compile_from ctx outer_scopes l, compile_from ctx outer_scopes r)
+    with
+    | exception Exec_error _ ->
+      leaf outer_scopes `Row l;
+      leaf outer_scopes `Row r
+    | (lentries, _), (rentries, _) ->
+      let lscopes = { entries = lentries } :: outer_scopes in
+      let rscopes = { entries = rentries } :: outer_scopes in
+      let refs_left e = references_depth lscopes 0 e in
+      let refs_right e = references_depth rscopes 0 e in
+      let conj = match cond with None -> [] | Some c -> conjuncts c in
+      let keys =
+        List.filter_map
+          (fun e ->
+            match e with
+            | Binop (Eq, a, b)
+              when refs_left a && (not (refs_right a)) && refs_right b
+                   && not (refs_left b) ->
+              Some (a, b)
+            | Binop (Eq, a, b)
+              when refs_left b && (not (refs_right b)) && refs_right a
+                   && not (refs_left a) ->
+              Some (b, a)
+            | _ -> None)
+          conj
+      in
+      let right_indexed =
+        ctx.db.Db.optimizations && keys <> []
+        &&
+        match r with
+        | From_table (rname, _) -> (
+          match Db.find_table_opt ctx.db rname with
+          | None -> false
+          | Some tbl ->
+            List.exists
+              (fun (_, rexpr) ->
+                match rexpr with
+                | Col (qn, n) -> (
+                  match resolve_column rscopes qn n with
+                  | 0, pos ->
+                    Option.is_some
+                      (Table.indexed_column tbl (snd rentries.(pos)))
+                  | _ -> false
+                  | exception Exec_error _ -> false)
+                | _ -> false)
+              keys)
+        | _ -> false
+      in
+      if right_indexed then begin
+        leaf outer_scopes `Row l;
+        leaf outer_scopes `Index r
+      end
+      else
+        let batch_joined =
+          match keys with
+          | [ (Col _, Col _) ] ->
+            batchable outer_scopes l && batchable outer_scopes r
+          | _ -> false
+        in
+        let side = if batch_joined then `Batch else `Row in
+        leaf outer_scopes side l;
+        leaf outer_scopes side r
+  and go_select outer_scopes sel =
+    match sel.from with
+    | None -> ()
+    | Some (From_join _ as f) -> leaf outer_scopes `Row f
+    | Some f ->
+      let plan =
+        try
+          let entries, _ = compile_from ctx outer_scopes f in
+          let scope = { entries } in
+          let scopes = scope :: outer_scopes in
+          if Option.is_some (view_pushdown ctx sel) then `Pushdown
+          else if Option.is_some (index_fast_path ctx sel scope scopes) then
+            `Index
+          else if not (batchable outer_scopes f) then `Row
+          else
+            match sel.where with
+            | None -> `Batch
+            | Some w ->
+              if Option.is_some (compile_batch_where ctx scopes w) then `Batch
+              else `Row
+        with Exec_error _ -> `Row
+      in
+      leaf outer_scopes plan f
+  and walk_set_op outer_scopes = function
+    | Select s -> go_select outer_scopes s
+    | Union (a, b, _) ->
+      walk_set_op outer_scopes a;
+      walk_set_op outer_scopes b
+  and walk_query outer_scopes (q : query) = walk_set_op outer_scopes q.body in
+  (try walk_query [] q with Exec_error _ -> ());
   List.rev !acc
 
 let span_shape stmt =

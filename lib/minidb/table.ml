@@ -26,13 +26,23 @@ type t = {
   mutable epoch : int;
       (** monotonic write counter; cached view results carry the epochs of
           their base tables and are valid only while all of them still match *)
+  uid : int;
+      (** process-unique table identity; the columnar batch cache is keyed by
+          it, so a dropped-and-recreated table of the same name never aliases
+          a stale batch *)
 }
 
 exception Constraint_violation of string
 
 let violation fmt = Fmt.kstr (fun s -> raise (Constraint_violation s)) fmt
 
+let next_uid = ref 0
+
 let create ~name ~schema ~pk =
+  let uid =
+    incr next_uid;
+    !next_uid
+  in
   let t =
     {
       name;
@@ -42,6 +52,7 @@ let create ~name ~schema ~pk =
       next_rowid = 0;
       indexes = Hashtbl.create 4;
       epoch = 0;
+      uid;
     }
   in
   (match pk with

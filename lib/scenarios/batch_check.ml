@@ -1,0 +1,160 @@
+(** Batch-vs-row coherence sweep: the columnar batch executor and the
+    row-at-a-time interpreter must be observationally equivalent.
+
+    For a given instance the sweep toggles {!Inverda.Api.set_batch} and
+    asserts, under each inspected materialization:
+
+    - a template battery per version view — [SELECT *], a filtered
+      projection, an aggregate and a self-join — answers with exactly the
+      same (sorted) rows in both modes;
+    - the engine dumps are byte-identical across the toggle (reading through
+      either executor never disturbs state).
+
+    TasKy is swept under all five valid materializations (Table 2);
+    Wikimedia under the initial materialization and after migrating to a
+    middle and the last version — and the template battery reads every
+    version view of every version in the genealogy, so every delta-code
+    path runs through both executors. {!check_faults} additionally re-runs
+    the comparison after every injected migration fault of the step-indexed
+    sweep, pinning coherence across rollback states. *)
+
+module I = Inverda.Api
+module G = Inverda.Genealogy
+module Db = Minidb.Database
+
+exception Coherence_failure of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Coherence_failure s)) fmt
+
+(* The per-view query battery: exercises the identity pipeline, a
+   selection-vector filter + fused projection, aggregation over batch
+   input, and the (batch) hash join. Column names come from the installed
+   view so the battery adapts to any scenario schema. *)
+let templates db view =
+  let cols =
+    match Db.find_object db view with
+    | Some (Db.Obj_view v) -> v.Db.view_cols
+    | Some (Db.Obj_table t) -> Minidb.Schema.names t.Minidb.Table.schema
+    | None -> []
+  in
+  let star = Fmt.str "SELECT * FROM \"%s\"" view in
+  match cols with
+  | [] -> [ star ]
+  | c0 :: rest ->
+    let c1 = match rest with c :: _ -> c | [] -> c0 in
+    [
+      star;
+      Fmt.str "SELECT %s FROM \"%s\" WHERE %s IS NOT NULL" c0 view c0;
+      Fmt.str "SELECT COUNT(*), MIN(%s) FROM \"%s\"" c0 view;
+      Fmt.str
+        "SELECT a.%s, b.%s FROM \"%s\" a JOIN \"%s\" b ON a.%s = b.%s" c0 c1
+        view view c0 c0;
+    ]
+
+(** Every template's answer over every version view, as [(sql, sorted
+    rows)] in catalog order. Row order is not part of the contract — the
+    executors scan in different physical orders by design — so answers are
+    compared sorted, the same convention as {!Flatten_check}. *)
+let answers api =
+  let db = I.database api in
+  let gen = I.genealogy api in
+  List.concat_map
+    (fun (sv : G.schema_version) ->
+      List.concat_map
+        (fun (table, _) ->
+          let view =
+            Inverda.Naming.version_view ~version:sv.G.sv_name ~table
+          in
+          List.map
+            (fun sql -> (sql, List.sort compare (I.query_rows api sql)))
+            (templates db view))
+        sv.G.sv_tables)
+    gen.G.versions
+
+type report = {
+  checkpoints : int;  (** materializations under which both modes compared *)
+  queries : int;  (** template queries compared per checkpoint *)
+}
+
+let empty = { checkpoints = 0; queries = 0 }
+
+(** Compare the two executors under the instance's current materialization
+    and leave batch execution enabled. *)
+let check_here ?(label = "") api acc =
+  I.set_batch api true;
+  let batch = answers api in
+  let batch_dump = I.dump api in
+  I.set_batch api false;
+  let row = answers api in
+  let row_dump = I.dump api in
+  I.set_batch api true;
+  if batch_dump <> row_dump then
+    fail "%s: executor toggle changed engine state" label;
+  List.iter2
+    (fun (q, b) (q', r) ->
+      if q <> q' then fail "%s: template lists diverge (%s vs %s)" label q q';
+      if b <> r then
+        fail "%s: %s answers differently batch (%d rows) vs row (%d rows)"
+          label q (List.length b) (List.length r))
+    batch row;
+  { checkpoints = acc.checkpoints + 1; queries = List.length batch }
+
+(** One-shot coherence assertion (no report) — for use as the [check] hook
+    of a fault sweep. *)
+let assert_coherent api =
+  ignore (check_here ~label:"fault sweep" api empty)
+
+(** TasKy + Do! + TasKy2 under all five valid materializations. *)
+let check_tasky ?(tasks = 60) () =
+  let api = Tasky.setup_full ~tasks () in
+  let mats = G.enumerate_materializations (I.genealogy api) in
+  List.fold_left
+    (fun acc mat ->
+      I.set_materialization api mat;
+      let label = Fmt.str "tasky mat [%a]" Fmt.(list ~sep:comma int) mat in
+      check_here ~label api acc)
+    empty mats
+
+(** A Wikimedia-style genealogy: initial materialization, then after
+    migrating to the middle and the newest version. The template battery
+    reads the views of {e every} version at each stop, so at [~versions:n]
+    every one of the [n] versions answers identically under both
+    executors. *)
+let check_wikimedia ?(versions = 8) ?(pages = 10) ?(links = 15) () =
+  let api, names = Wikimedia.build ~versions () in
+  Wikimedia.load api ~version:names.(0) ~pages ~links;
+  let stops =
+    [
+      None;
+      Some names.(Array.length names / 2);
+      Some names.(Array.length names - 1);
+    ]
+  in
+  List.fold_left
+    (fun acc stop ->
+      (match stop with None -> () | Some v -> I.materialize api [ v ]);
+      let label =
+        Fmt.str "wikimedia@%s" (Option.value stop ~default:names.(0))
+      in
+      check_here ~label api acc)
+    empty stops
+
+(** The step-indexed fault-injection sweep with the batch-vs-row comparison
+    re-run after every injected failure's rollback (and after the final
+    successful migration): both executors must agree on every rollback
+    state, not just on cleanly materialized ones. Returns the
+    per-materialization fault reports in enumeration order. *)
+let check_faults ?(tasks = 8) ?stride () =
+  let mats =
+    G.enumerate_materializations (I.genealogy (Tasky.setup_full ()))
+  in
+  List.map
+    (fun mat ->
+      let report =
+        Faults.sweep ?stride ~check:assert_coherent
+          ~build:(fun () -> Tasky.setup_full ~tasks ())
+          ~migrate:(fun api -> I.set_materialization api mat)
+          ()
+      in
+      (mat, report))
+    mats
