@@ -1331,3 +1331,121 @@ let batch ?out ?(gate = 2.0) scale =
             tasks)@."
       gate;
   speedup_dist2
+
+(* --- hierarchical tracing (BENCH_PR10.json) --------------------------------- *)
+
+(** Read cost with hierarchical tracing collecting vs switched off
+    (BENCH_PR10.json). The PR9 read suite's statements are measured
+    cache-off (every read pays full delta-code evaluation, so every scan,
+    view expansion and join on the way records a child span) with telemetry
+    on and off, interleaved best-of-rounds ({!interleaved_min}). At full
+    scale (>= 100k tasks) tracing may cost at most [gate]x the untraced
+    read; below that the ratio is only reported, since the fixed per-span
+    cost is divided by ever-cheaper reads. Profile mode (exact per-operator
+    row counts) and the rendering paths (trace trees, the OpenMetrics
+    exposition) are measured too but only reported — they run on demand,
+    never on the hot path. *)
+let obs ?out ?(gate = 1.02) scale =
+  section "Observability: read overhead with hierarchical tracing on vs off";
+  let tasks = scale.fig8_tasks in
+  let reads = if tasks >= 100_000 then 3 else 25 in
+  let runs = max 5 scale.runs in
+  let rng = Scenarios.Rng.create ~seed:67 () in
+  let t = Scenarios.Tasky.setup_full ~tasks () in
+  I.set_cache t false;
+  let db = I.database t in
+  let q_local = Scenarios.Tasky.tasky_read rng in
+  let q_dist2 = Scenarios.Tasky.tasky2_read rng in
+  let q_do = Scenarios.Tasky.do_read rng in
+  let pair sql =
+    let best =
+      interleaved_min ~runs [| false; true |] (fun _ tel _ ->
+          I.set_telemetry t tel;
+          ns (repeated_read_cost db ~reads sql))
+    in
+    I.set_telemetry t true;
+    (best.(0), best.(1))
+  in
+  let suite =
+    [
+      ("read_local_cold", pair q_local);
+      ("read_dist2_cold", pair q_dist2);
+      ("read_do_dist2_cold", pair q_do);
+    ]
+  in
+  let ratio (off, on) = on /. Float.max 1e-9 off in
+  Fmt.pr "%-24s %12s %12s %10s@."
+    (Fmt.str "TasKy (%d tasks)" tasks)
+    "tracing off" "tracing on" "overhead";
+  List.iter
+    (fun (name, ((off, on) as p)) ->
+      Fmt.pr "%-24s %9.0f ns %9.0f ns %9s@." name off on
+        (Fmt.str "x%.3f" (ratio p)))
+    suite;
+  let worst =
+    List.fold_left (fun acc (_, p) -> Float.max acc (ratio p)) 0.0 suite
+  in
+  (* the on-demand paths: exact row counts, tree rendering, the exposition *)
+  let m = db.Minidb.Database.metrics in
+  Minidb.Metrics.set_detail m true;
+  let detail_on = ns (repeated_read_cost db ~reads q_dist2) in
+  Minidb.Metrics.set_detail m false;
+  let traces = I.recent_traces ~limit:8 t in
+  let render_ms =
+    1000.0
+    *. W.time_unit (fun () ->
+           List.iter
+             (fun tr -> ignore (Inverda.Telemetry.trace_tree_text tr))
+             traces)
+  in
+  let metrics_ms =
+    1000.0 *. W.time_unit (fun () -> ignore (I.metrics_text t))
+  in
+  Fmt.pr "max read overhead: x%.3f (gate x%.2f, armed at >= 100k tasks)@."
+    worst gate;
+  Fmt.pr "%-24s %9.0f ns   (exact row counts, on demand)@."
+    "read_dist2_profile" detail_on;
+  Fmt.pr "%-24s %9.3f ms   (%d trees)@." "render_trace_trees" render_ms
+    (List.length traces);
+  Fmt.pr "%-24s %9.3f ms@." "openmetrics_export" metrics_ms;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 512 in
+    let addf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+    addf "{\n";
+    addf "  \"baseline\": \"PR10\",\n";
+    addf "  \"unit\": \"ns/op\",\n";
+    addf "  \"tasks\": %d,\n" tasks;
+    addf "  \"reads_per_batch\": %d,\n" reads;
+    addf "  \"runs\": %d,\n" runs;
+    addf "  \"max_read_overhead\": %.4f,\n" worst;
+    addf "  \"read_dist2_profile\": %.0f,\n" detail_on;
+    addf "  \"render_trace_trees_ms\": %.3f,\n" render_ms;
+    addf "  \"openmetrics_export_ms\": %.3f,\n" metrics_ms;
+    addf "  \"experiments\": {\n";
+    let n = List.length suite in
+    List.iteri
+      (fun i (name, ((off, on) as p)) ->
+        addf "    \"%s_off\": %.0f,\n" name off;
+        addf "    \"%s_on\": %.0f,\n" name on;
+        addf "    \"%s_overhead\": %.4f%s\n" name (ratio p)
+          (if i = n - 1 then "" else ","))
+      suite;
+    addf "  }\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "wrote %s@." path);
+  if tasks >= 100_000 then begin
+    if worst > gate then
+      failwith
+        (Fmt.str "tracing read overhead x%.3f exceeds the x%.2f gate" worst
+           gate)
+  end
+  else
+    Fmt.pr
+      "(small scale: reporting only; the x%.2f gate applies at >= 100k \
+       tasks)@."
+      gate;
+  worst

@@ -27,9 +27,10 @@ let all_experiments : (string * (Experiments.scale -> unit)) list =
     ("comat", fun scale -> ignore (Experiments.comat scale));
     ("wal", fun scale -> ignore (Experiments.wal scale));
     ("batch", fun scale -> ignore (Experiments.batch scale));
+    ("obs", fun scale -> ignore (Experiments.obs scale));
   ]
 
-let run only full bechamel smoke json json5 json7 json8 json9 =
+let run only full bechamel smoke json json5 json7 json8 json9 json10 =
   if bechamel then Micro.run ()
   else
   let scale =
@@ -46,6 +47,8 @@ let run only full bechamel smoke json json5 json7 json8 json9 =
     ignore (Experiments.wal ~out:"BENCH_PR8.json" scale)
   else if json9 then
     ignore (Experiments.batch ~out:"BENCH_PR9.json" scale)
+  else if json10 then
+    ignore (Experiments.obs ~out:"BENCH_PR10.json" scale)
   else
   let selected =
     match only with
@@ -129,11 +132,20 @@ let json9 =
   in
   Arg.(value & flag & info [ "json-pr9" ] ~doc)
 
+let json10 =
+  let doc =
+    "Write the observability baseline to BENCH_PR10.json (cold reads with \
+     hierarchical tracing collecting vs switched off, profile-mode cost, \
+     trace-tree and OpenMetrics rendering time) instead of running the \
+     figure harness."
+  in
+  Arg.(value & flag & info [ "json-pr10" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the InVerDa paper" in
   Cmd.v (Cmd.info "inverda-bench" ~doc)
     Term.(
       const run $ only $ full $ bechamel $ smoke $ json $ json5 $ json7
-      $ json8 $ json9)
+      $ json8 $ json9 $ json10)
 
 let () = exit (Cmd.eval cmd)

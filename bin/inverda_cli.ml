@@ -25,8 +25,9 @@ let help_text =
   MATERIALIZE '<version>' | '<version>.<table>', ...;
   any SQL: SELECT/INSERT/UPDATE/DELETE ... FROM <version>.<table>
   SELECT ... AS OF <changeset>;   (time travel; needs --dir)
-Meta commands: .help  .catalog  .versions  .smos  .stats  .trace [n]
-               .explain <sql>  .history [n]  .checkpoint  .quit|}
+Meta commands: .help  .catalog  .versions  .smos  .stats  .metrics
+               .trace [n]  .traces [n]  .profile <stmt>  .explain <sql>
+               .author <who> [why...]  .history [n]  .checkpoint  .quit|}
 
 let is_bidel sql =
   let up = String.uppercase_ascii (String.trim sql) in
@@ -77,9 +78,18 @@ let print_record (r : Minidb.Wal.record) =
   let payload =
     String.map (fun c -> if c = '\n' then ' ' else c) r.Minidb.Wal.payload
   in
-  Fmt.pr "%6d  %-6s %-22s %s@." r.Minidb.Wal.lsn r.Minidb.Wal.kind
-    (if r.Minidb.Wal.tag = "" then "-" else r.Minidb.Wal.tag)
-    payload
+  let tag = I.record_tag r in
+  let audit =
+    match I.record_audit r with
+    | None -> ""
+    | Some (who, why) ->
+      Fmt.str "  -- by %s%s"
+        (if who = "" then "?" else who)
+        (if why = "" then "" else Fmt.str " (%s)" why)
+  in
+  Fmt.pr "%6d  %-6s %-22s %s%s@." r.Minidb.Wal.lsn r.Minidb.Wal.kind
+    (if tag = "" then "-" else tag)
+    payload audit
 
 let print_history t limit =
   try
@@ -111,11 +121,43 @@ let meta t line =
     try Fmt.pr "%s%!" (I.explain t sql)
     with exn -> Fmt.pr "error: %s@." (Printexc.to_string exn))
   | None ->
+  match arg_of ".profile" with
+  | Some sql -> (
+    try Fmt.pr "%s%!" (I.profile t sql)
+    with exn -> Fmt.pr "error: %s@." (Printexc.to_string exn))
+  | None ->
+  match arg_of ".author" with
+  | Some rest -> (
+    let who, why =
+      match String.index_opt rest ' ' with
+      | None -> (rest, "")
+      | Some i ->
+        ( String.sub rest 0 i,
+          String.trim
+            (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    try
+      I.set_author t ~who ~why;
+      if who = "" && why = "" then Fmt.pr "audit annotation cleared@."
+      else
+        Fmt.pr "changesets now stamped: by %s%s@." who
+          (if why = "" then "" else Fmt.str " (%s)" why)
+    with I.Inverda_error msg -> Fmt.pr "error: %s@." msg)
+  | None ->
   let print_trace limit =
     List.iter
       (fun sp -> print_endline (Inverda.Telemetry.span_json sp))
       (I.recent_spans ~limit t)
   in
+  let print_traces limit =
+    List.iter
+      (fun tr -> Fmt.pr "%s%!" (Inverda.Telemetry.trace_tree_text tr))
+      (I.recent_traces ~limit t)
+  in
+  (* [.traces] must be tried before [.trace]: [arg_of] is a prefix match *)
+  match arg_of ".traces" with
+  | Some n -> print_traces (Option.value ~default:5 (int_of_string_opt n))
+  | None ->
   match arg_of ".trace" with
   | Some n -> print_trace (Option.value ~default:20 (int_of_string_opt n))
   | None ->
@@ -123,7 +165,14 @@ let meta t line =
   | ".help" -> Fmt.pr "%s@." help_text
   | ".catalog" -> Fmt.pr "%s@." (I.describe t)
   | ".stats" -> Fmt.pr "%s%!" (I.stats_text t)
+  | ".metrics" -> Fmt.pr "%s%!" (I.metrics_text t)
   | ".trace" -> print_trace 20
+  | ".traces" -> print_traces 5
+  | ".author" -> (
+    try
+      I.set_author t ~who:"" ~why:"";
+      Fmt.pr "audit annotation cleared@."
+    with I.Inverda_error msg -> Fmt.pr "error: %s@." msg)
   | ".history" -> print_history t None
   | ".checkpoint" -> (
     try
@@ -715,12 +764,15 @@ let apply_comat t = function
            let target = String.trim target in
            if target <> "" then I.comat_add t target)
 
-let stats_run demo script comat ops json no_cache no_flatten no_batch =
+let stats_run demo script comat ops json openmetrics no_cache no_flatten
+    no_batch =
   cli_errors @@ fun () ->
   let t = build_instance ~no_cache ~no_flatten ~no_batch demo script in
   apply_comat t comat;
   if demo then replay_demo_traffic t ops;
-  if json then print_endline (I.stats_json t) else print_string (I.stats_text t);
+  if openmetrics then print_string (I.metrics_text t)
+  else if json then print_endline (I.stats_json t)
+  else print_string (I.stats_text t);
   0
 
 let trace_run demo script ops limit smoke =
@@ -772,13 +824,58 @@ let trace_run demo script ops limit smoke =
     0
   end
 
-let explain_run demo script comat json sql =
+let explain_run demo script comat json analyze sql =
   cli_errors @@ fun () ->
   let t = build_instance demo script in
   apply_comat t comat;
-  if json then print_endline (I.explain_json t sql)
+  if analyze then print_string (I.explain_analyze t sql)
+  else if json then print_endline (I.explain_json t sql)
   else print_string (I.explain t sql);
   0
+
+(* --- the profile command ----------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* The smoke mode runs a read and a cascading write under forced tracing and
+   asserts the trace trees carry the expected span kinds: the read must show
+   the synthesized parse child and the delta-code view stack, the write its
+   INSTEAD OF trigger cascade. *)
+let profile_run demo script smoke sql =
+  cli_errors @@ fun () ->
+  if smoke then begin
+    let t = build_instance true script in
+    let sel = I.profile t "SELECT author, task FROM Do!.Todo" in
+    let ins =
+      I.profile t "INSERT INTO Do!.Todo (author, task) VALUES ('Smoke', 'probe')"
+    in
+    let ok =
+      contains sel "select" && contains sel "parse" && contains sel "spans"
+      && contains ins "insert" && contains ins "trigger"
+    in
+    if ok then begin
+      Fmt.pr "profile smoke passed:@.%s%s%!" sel ins;
+      0
+    end
+    else begin
+      Fmt.epr "PROFILE SMOKE FAILED:@.%s%s%!" sel ins;
+      1
+    end
+  end
+  else
+    match sql with
+    | None ->
+      Fmt.epr "profile: a SQL statement is required (or --smoke)@.";
+      2
+    | Some sql ->
+      let t = build_instance demo script in
+      print_string (I.profile t sql);
+      0
 
 (* "TasKy=0.2,TasKy2=0.5,Do!=0.3" -> an Advisor.profile *)
 let parse_profile s =
@@ -1137,13 +1234,22 @@ let stats_cmd =
         "Prints the engine's workload telemetry: view-cache hits/misses, \
          flatten fallbacks, per-schema-version and per-table-version access \
          counters, the observed workload profile and the latency histograms. \
-         $(b,--json) emits one JSON object (the schema checked in CI).";
+         $(b,--json) emits one JSON object (the schema checked in CI); \
+         $(b,--openmetrics) emits the Prometheus/OpenMetrics text exposition \
+         for scraping.";
     ]
+  in
+  let openmetrics =
+    let doc =
+      "Emit the OpenMetrics text exposition (counters, per-version traffic, \
+       latency histograms with cumulative buckets, terminated by $(b,# EOF))."
+    in
+    Arg.(value & flag & info [ "openmetrics" ] ~doc)
   in
   Cmd.v (Cmd.info "stats" ~doc ~man)
     Term.(
       const stats_run $ demo $ script_opt $ comat_opt $ ops_opt $ json_opt
-      $ no_cache $ no_flatten $ no_batch)
+      $ openmetrics $ no_cache $ no_flatten $ no_batch)
 
 let trace_cmd =
   let limit =
@@ -1185,11 +1291,51 @@ let explain_cmd =
          the Section 6 access path from its table version to the data, the \
          flattening decision (single composed hop or layered stack), the \
          installed view stack, the physical tables touched and — for \
-         INSERT/UPDATE/DELETE — the trigger cascade the write would fire.";
+         INSERT/UPDATE/DELETE — the trigger cascade the write would fire. \
+         $(b,--analyze) additionally executes the statement under profile \
+         tracing and annotates the plan with actual per-node rows and \
+         timings, cross-checked against the executed row count.";
     ]
   in
+  let analyze =
+    let doc =
+      "EXPLAIN ANALYZE: really execute the statement and annotate the static \
+       plan with measured per-node rows and timings."
+    in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
   Cmd.v (Cmd.info "explain" ~doc ~man)
-    Term.(const explain_run $ demo $ script_opt $ comat_opt $ json_opt $ sql)
+    Term.(
+      const explain_run $ demo $ script_opt $ comat_opt $ json_opt $ analyze
+      $ sql)
+
+let profile_cmd =
+  let sql =
+    let doc = "The SQL statement to profile (quote it)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let smoke =
+    let doc =
+      "Self-check for CI: profile a read and a cascading write on the demo \
+       catalog and assert the trace trees carry parse, view and trigger \
+       spans."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let doc = "Execute one statement and print its hierarchical trace tree" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the statement with tracing forced into profile mode (exact \
+         per-operator row counts) and prints the resulting span tree: \
+         parse/plan, every scan, view expansion, join and trigger hop with \
+         its path (batch, row, index, view-pushdown, cache hit/miss), \
+         duration and row counts, plus a one-line summary.";
+    ]
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~man)
+    Term.(const profile_run $ demo $ script_opt $ smoke $ sql)
 
 let advise_cmd =
   let observed =
@@ -1324,6 +1470,7 @@ let cmd =
       stats_cmd;
       trace_cmd;
       explain_cmd;
+      profile_cmd;
       advise_cmd;
       checkpoint_cmd;
       recover_cmd;

@@ -32,7 +32,8 @@ dune exec bin/inverda_cli.exe -- comat-coherence --smoke
 stats_json=$(dune exec bin/inverda_cli.exe -- stats --demo --json)
 for field in enabled observed_statements engine_statements trigger_hops \
              cache flatten_fallbacks versions table_versions \
-             observed_profile read_latency_ns write_latency_ns spans comat; do
+             observed_profile read_latency_ns write_latency_ns \
+             latency_quantiles_ns spans comat; do
   echo "$stats_json" | grep -q "\"$field\"" \
     || { echo "check.sh: stats --json is missing \"$field\"" >&2; exit 1; }
 done
@@ -55,4 +56,21 @@ dune exec bench/main.exe -- --only wal --smoke
 # version (the >= 2x speedup gate arms at full scale only)
 dune exec bin/inverda_cli.exe -- batch-coherence --smoke
 dune exec bench/main.exe -- --only batch --smoke
+# observability: the OpenMetrics exposition must be well-formed (typed
+# families, terminated by # EOF) and carry per-version traffic
+openmetrics=$(dune exec bin/inverda_cli.exe -- stats --demo --openmetrics)
+echo "$openmetrics" | grep -q '^# TYPE inverda_statements_total counter' \
+  || { echo "check.sh: openmetrics is missing a typed counter family" >&2; exit 1; }
+echo "$openmetrics" | grep -q '^# TYPE inverda_read_latency_seconds histogram' \
+  || { echo "check.sh: openmetrics is missing the latency histogram" >&2; exit 1; }
+echo "$openmetrics" | grep -q 'inverda_version_reads_total{version=' \
+  || { echo "check.sh: openmetrics is missing per-version traffic" >&2; exit 1; }
+echo "$openmetrics" | tail -1 | grep -q '^# EOF$' \
+  || { echo "check.sh: openmetrics is not terminated by # EOF" >&2; exit 1; }
+# observability: profiled statements must show their full trace trees
+# (parse, delta-code views, trigger cascades) with exact row counts
+dune exec bin/inverda_cli.exe -- profile --smoke > /dev/null
+# observability: hierarchical tracing stays within its read-overhead gate at
+# full scale; at smoke scale the experiment runs end to end, reporting only
+dune exec bench/main.exe -- --only obs --smoke
 echo "check.sh: all green"

@@ -330,15 +330,55 @@ let reset_telemetry t = Telemetry.reset t.db
 
 let recent_spans ?limit t = Telemetry.recent_spans ?limit t.db
 
+(** Complete hierarchical traces still held in the span ring, oldest first. *)
+let recent_traces ?limit t = Telemetry.recent_traces ?limit t.db
+
 let observed_profile t = Telemetry.observed_profile t.db t.gen
 
 let stats_json t = Telemetry.stats_json t.db t.gen
 
 let stats_text t = Telemetry.stats_text t.db t.gen
 
+(** OpenMetrics/Prometheus text exposition of the engine's telemetry. *)
+let metrics_text t = Telemetry.metrics_text t.db t.gen
+
 let explain t sql = Telemetry.explain t.db t.gen sql
 
 let explain_json t sql = Telemetry.explain_json t.db t.gen sql
+
+(** EXPLAIN ANALYZE: execute [sql] with profile-mode tracing and annotate
+    the static plan with actual per-node rows and timings. The statement
+    really runs. *)
+let explain_analyze t sql = Telemetry.explain_analyze t.db t.gen sql
+
+(** Execute [sql] with tracing forced on and render its trace tree. *)
+let profile t sql = Telemetry.profile t.db sql
+
+(** Route sampled slow-statement trace roots into a JSONL file: every
+    [sample]th trace whose total latency reaches [threshold_ns] is appended
+    as one JSON line. [set_slow_log t None] disables and closes the file. *)
+let slow_log_channel : out_channel option ref = ref None
+
+let set_slow_log t spec =
+  (match !slow_log_channel with
+  | Some oc ->
+    close_out_noerr oc;
+    slow_log_channel := None
+  | None -> ());
+  match spec with
+  | None ->
+    Minidb.Metrics.set_slow_sink t.db.Db.metrics ~threshold_ns:0 ~sample:1 None
+  | Some (path, threshold_ns, sample) ->
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    slow_log_channel := Some oc;
+    Minidb.Metrics.set_slow_sink t.db.Db.metrics ~threshold_ns ~sample
+      (Some
+         (fun sp ->
+           output_string oc (Telemetry.span_json sp);
+           output_char oc '\n';
+           flush oc))
 
 (** Advise a materialization schema from a hand-written profile. *)
 let advise t profile = Advisor.advise t.gen profile
@@ -615,6 +655,16 @@ let attach_wal ?sync t dir =
   (match t.wal with Some s -> Changeset.detach s | None -> ());
   let s = Changeset.attach ?sync dir in
   t.wal <- Some s;
+  (* surface append/flush/fsync latency as child spans of whichever trace is
+     open — the engine opens a dedicated "wal" root around the statement
+     sink, so durability cost shows up inside the statement's own tree *)
+  let m = t.db.Db.metrics in
+  Minidb.Wal.set_observer s.Changeset.wal
+    (Some
+       (fun ~op ~start_ns ~ns ->
+         if Minidb.Metrics.child_active m then
+           Minidb.Metrics.record_child m ~kind:op ~detail:"" ~path:"wal"
+             ~start_ns ~ns ~rows_in:(-1) ~rows:(-1)));
   Db.set_statement_sink t.db (Some (Changeset.on_statement s))
 
 (** Close the log; further statements are no longer recorded. *)
@@ -640,6 +690,14 @@ let history t =
   match t.wal with
   | Some s -> Changeset.history s
   | None -> raise (Inverda_error "no write-ahead log attached")
+
+let set_author t ~who ~why =
+  match t.wal with
+  | Some s -> Changeset.set_author s ~who ~why
+  | None -> raise (Inverda_error "no write-ahead log attached")
+
+let record_audit = Changeset.audit_of
+let record_tag (r : W.record) = Changeset.bare_tag r.W.tag
 
 (** Write a checkpoint: the schema-shaped record prefix (evolutions, DDL,
     migrations, comat registrations), the skolem memos and id counter, and
@@ -721,11 +779,26 @@ let replay_record t (r : W.record) =
    Without one: replay everything from genesis. The log is never truncated,
    so this path always exists; it is also the ground truth the checkpointed
    path is tested against. *)
+(* Phase timings staged by {!reconstitute}; only {!recover} emits them (as
+   one [recover] trace on the recovered instance), and only on success, so a
+   failed or scratch reconstruction leaves no telemetry behind. *)
+let recover_phases : (string * int * int * int) list ref = ref []
+
+let note_recover_phase detail t0 rows =
+  recover_phases :=
+    (detail, t0, Minidb.Metrics.now_ns () - t0, rows) :: !recover_phases
+
 let reconstitute ?(use_checkpoint = true) ~repair ~upto dir =
+  recover_phases := [];
+  let t0 = Minidb.Metrics.now_ns () in
   let records = if repair then W.repair_log dir else fst (W.read_log dir) in
+  note_recover_phase
+    (if repair then "repair+scan log" else "scan log")
+    t0 (List.length records);
   let t = create ~strict:false () in
   (match (if use_checkpoint then W.read_checkpoint dir else None) with
   | Some ck when ck.W.ck_lsn <= upto ->
+    let t0 = Minidb.Metrics.now_ns () in
     List.iter (replay_record t) ck.W.ck_records;
     (match List.assoc_opt "counter" ck.W.ck_meta with
     | Some n -> (
@@ -734,14 +807,28 @@ let reconstitute ?(use_checkpoint = true) ~repair ~upto dir =
       | None -> raise (Inverda_error "checkpoint: malformed counter"))
     | None -> ());
     W.load_dump t.db ck.W.ck_dump;
+    note_recover_phase "load checkpoint" t0 (List.length ck.W.ck_records);
+    let t0 = Minidb.Metrics.now_ns () in
+    let replayed = ref 0 in
     List.iter
       (fun (r : W.record) ->
-        if r.W.lsn > ck.W.ck_lsn && r.W.lsn <= upto then replay_record t r)
-      records
+        if r.W.lsn > ck.W.ck_lsn && r.W.lsn <= upto then begin
+          replay_record t r;
+          incr replayed
+        end)
+      records;
+    note_recover_phase "replay tail" t0 !replayed
   | _ ->
+    let t0 = Minidb.Metrics.now_ns () in
+    let replayed = ref 0 in
     List.iter
-      (fun (r : W.record) -> if r.W.lsn <= upto then replay_record t r)
-      records);
+      (fun (r : W.record) ->
+        if r.W.lsn <= upto then begin
+          replay_record t r;
+          incr replayed
+        end)
+      records;
+    note_recover_phase "replay from genesis" t0 !replayed);
   t
 
 (** Recover the durable state from [dir]: repair a torn log tail, load the
@@ -750,8 +837,16 @@ let reconstitute ?(use_checkpoint = true) ~repair ~upto dir =
     Idempotent: recovering twice yields byte-identical dumps (the only
     mutation is the one-time torn-tail repair). *)
 let recover ?sync dir =
+  let t0 = Minidb.Metrics.now_ns () in
   let t = reconstitute ~repair:true ~upto:max_int dir in
+  let a0 = Minidb.Metrics.now_ns () in
   attach_wal ?sync t dir;
+  note_recover_phase "attach log" a0 0;
+  Minidb.Metrics.record_phase_trace t.db.Db.metrics ~kind:"recover"
+    ~detail:(Filename.basename dir) ~targets:[] ~start_ns:t0
+    ~ns:(Minidb.Metrics.now_ns () - t0)
+    ~rows:0
+    ~phases:(List.rev !recover_phases);
   t
 
 (** Ground truth for time travel: replay the log from genesis up to

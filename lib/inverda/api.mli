@@ -145,6 +145,10 @@ val recent_spans : ?limit:int -> t -> Minidb.Metrics.span list
 (** The most recent statement spans, oldest first (bounded by the ring
     capacity). *)
 
+val recent_traces : ?limit:int -> t -> Minidb.Metrics.trace list
+(** Complete hierarchical traces still held in the span ring, oldest first;
+    traces partially evicted by ring wrap-around are dropped whole. *)
+
 val observed_profile : t -> Advisor.profile
 (** Share of observed statements per schema version; empty when no traffic
     has been observed. *)
@@ -155,12 +159,33 @@ val stats_json : t -> string
 
 val stats_text : t -> string
 
+val metrics_text : t -> string
+(** OpenMetrics/Prometheus text exposition of the engine's telemetry
+    (counters, per-schema-version traffic, latency histograms), terminated
+    by [# EOF] — ready for a scrape endpoint to serve verbatim. *)
+
 val explain : t -> string -> string
 (** The delta-code path a statement would traverse: object roles, the
     Section 6 access path, flattening decision, installed view stack,
     physical tables touched and (for DML) the trigger cascade. *)
 
 val explain_json : t -> string -> string
+
+val explain_analyze : t -> string -> string
+(** EXPLAIN ANALYZE: execute the statement with profile-mode tracing and
+    annotate the static plan with actual per-node rows and timings,
+    cross-checked against the executed result. The statement really runs —
+    a write writes. *)
+
+val profile : t -> string -> string
+(** Execute a statement with tracing forced on and render its trace tree
+    plus a one-line summary ([inverda_cli profile <stmt>]). *)
+
+val set_slow_log : t -> (string * int * int) option -> unit
+(** [set_slow_log t (Some (path, threshold_ns, sample))]: append every
+    [sample]th statement trace root whose total latency reaches
+    [threshold_ns] to [path] as one JSON line. [None] disables and closes
+    the file. *)
 
 val advise : t -> Advisor.profile -> Advisor.recommendation option
 (** Score every valid materialization schema for a hand-written profile. *)
@@ -296,6 +321,19 @@ val current_changeset : t -> int
 val history : t -> Minidb.Wal.record list
 (** The full changeset history (oldest first), including records replayed
     from disk on attach. Raises {!Inverda_error} without an attached log. *)
+
+val set_author : t -> who:string -> why:string -> unit
+(** Stamp an audit annotation (author and reason) on every changeset this
+    session appends from now on; [~who:"" ~why:""] clears it. The annotation
+    rides inside the WAL frame tag and never affects replay. Raises
+    {!Inverda_error} without an attached log. *)
+
+val record_audit : Minidb.Wal.record -> (string * string) option
+(** [Some (who, why)] when a history record carries an audit annotation. *)
+
+val record_tag : Minidb.Wal.record -> string
+(** A history record's tag with any audit annotation stripped — what
+    [history] displays as the target. *)
 
 val checkpoint : t -> unit
 (** Write a checkpoint: schema-shaped record prefix, skolem memos and id

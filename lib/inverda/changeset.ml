@@ -39,7 +39,52 @@ type session = {
       (** (kind, tag, payload) buffered inside an open user transaction,
           newest first *)
   mutable buffering : bool;
+  mutable who : string;  (** audit author stamped on subsequent records *)
+  mutable why : string;  (** audit reason stamped on subsequent records *)
 }
+
+(* --- audit annotations ----------------------------------------------------- *)
+
+(* Who/why ride inside the frame tag, after unit separators — a character
+   that cannot appear in object names or version identifiers — so the frame
+   format, checksums and replay (which reads payloads, never tags) are
+   untouched and old logs read back unchanged. *)
+let audit_sep = '\x1f'
+
+(** Set (or clear, with [""]) the author/reason stamped on every record this
+    session appends from now on. *)
+let set_author s ~who ~why =
+  s.who <- who;
+  s.why <- why
+
+let stamp s tag =
+  if s.who = "" && s.why = "" then tag
+  else Fmt.str "%s%c%s%c%s" tag audit_sep s.who audit_sep s.why
+
+(** [(bare_tag, who, why)] of a possibly-annotated frame tag. *)
+let split_audit tag =
+  match String.index_opt tag audit_sep with
+  | None -> (tag, "", "")
+  | Some i -> (
+    let bare = String.sub tag 0 i in
+    let rest = String.sub tag (i + 1) (String.length tag - i - 1) in
+    match String.index_opt rest audit_sep with
+    | None -> (bare, rest, "")
+    | Some j ->
+      ( bare,
+        String.sub rest 0 j,
+        String.sub rest (j + 1) (String.length rest - j - 1) ))
+
+(** The tag with any audit annotation removed. *)
+let bare_tag tag =
+  let t, _, _ = split_audit tag in
+  t
+
+(** [Some (who, why)] when the record carries an audit annotation. *)
+let audit_of (r : W.record) =
+  match split_audit r.W.tag with
+  | _, "", "" -> None
+  | _, who, why -> Some (who, why)
 
 (** Committed history, oldest first — read back from the file rather than
     retained in memory, so an attached session stays O(1) in log length
@@ -53,6 +98,7 @@ let current s = s.wal.W.next_lsn - 1
 
 (** Append one record, honouring transaction buffering. *)
 let append s ~kind ~tag ~payload =
+  let tag = stamp s tag in
   if s.buffering then s.pending <- (kind, tag, payload) :: s.pending
   else begin
     ignore (W.append s.wal ~kind ~tag ~payload);
@@ -105,7 +151,7 @@ let attach ?sync dir =
     | None -> 0
   in
   let wal = W.open_append ?sync ~next_lsn:(max last_logged last_ckpt + 1) dir in
-  { dir; wal; pending = []; buffering = false }
+  { dir; wal; pending = []; buffering = false; who = ""; why = "" }
 
 let detach s = W.close s.wal
 

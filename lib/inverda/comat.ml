@@ -208,7 +208,12 @@ let refresh_copy db gen (cm : G.comat_copy) =
   cm.G.cm_refreshes <- cm.G.cm_refreshes + 1;
   cm.G.cm_writes <- cm.G.cm_writes + 2;
   cm.G.cm_rows <- cm.G.cm_rows + n + m;
-  cm.G.cm_maint_ns <- cm.G.cm_maint_ns + (Minidb.Metrics.now_ns () - t0)
+  let ns = Minidb.Metrics.now_ns () - t0 in
+  cm.G.cm_maint_ns <- cm.G.cm_maint_ns + ns;
+  (* maintenance runs suspended but is causally part of the writing
+     statement: attach a [comat] child to its trace *)
+  Minidb.Metrics.record_maintenance db.Db.metrics ~detail:cm.G.cm_table
+    ~start_ns:t0 ~ns ~rows:(n + m)
 
 (* One incremental maintenance application for a single base-row change:
    candidate keys over the post-state, then per-key rectification. *)
@@ -265,7 +270,10 @@ let maintain_incremental db gen (cm : G.comat_copy) rules ~stored ~old_row
       keys;
     cm.G.cm_epoch <- cm.G.cm_epoch + 1
   end;
-  cm.G.cm_maint_ns <- cm.G.cm_maint_ns + (Minidb.Metrics.now_ns () - t0)
+  let ns = Minidb.Metrics.now_ns () - t0 in
+  cm.G.cm_maint_ns <- cm.G.cm_maint_ns + ns;
+  Minidb.Metrics.record_maintenance db.Db.metrics ~detail:cm.G.cm_table
+    ~start_ns:t0 ~ns ~rows:(-1)
 
 (* The write observer: fired by the engine after every logged row write.
    [in_flight] breaks self-recursion (a copy's own rectification writes its

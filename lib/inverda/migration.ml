@@ -149,7 +149,16 @@ let failure_text = function
    delta code is regenerated from the restored state (without re-validation:
    that state was installed and valid before), so every version view answers
    queries exactly as before the attempt. *)
-let atomically db (gen : G.t) f =
+(* Phase timings staged by {!run_plan}'s flips while metrics are suspended.
+   They only ever reach the span ring through {!Minidb.Metrics.record_phase_trace}
+   after a successful commit, so a fault-injected MATERIALIZE leaves the
+   telemetry bit-identical to never having run (the PR 5 discipline extended
+   to trace trees). *)
+let phase_buf : (string * int * int * int) list ref = ref []
+
+let note_phase detail t0 ns rows = phase_buf := (detail, t0, ns, rows) :: !phase_buf
+
+let atomically ?(label = "") db (gen : G.t) f =
   if Db.in_transaction db then
     error
       "MATERIALIZE is not allowed inside an open transaction; COMMIT or \
@@ -159,6 +168,8 @@ let atomically db (gen : G.t) f =
      between sides must not inflate the per-version access counters the
      telemetry-driven advisor reads (neither on success nor on rollback) *)
   let metrics = db.Db.metrics in
+  phase_buf := [];
+  let t0 = Minidb.Metrics.now_ns () in
   Minidb.Metrics.suspend metrics;
   Fun.protect
     ~finally:(fun () -> Minidb.Metrics.resume metrics)
@@ -173,7 +184,9 @@ let atomically db (gen : G.t) f =
         let was = gen.G.comat_suspended in
         gen.G.comat_suspended <- true;
         Fun.protect ~finally:(fun () -> gen.G.comat_suspended <- was) f;
-        Comat.refresh_all db gen
+        let c0 = Minidb.Metrics.now_ns () in
+        Comat.refresh_all db gen;
+        note_phase "comat refresh" c0 (Minidb.Metrics.now_ns () - c0) 0
       in
       match run () with
       | () -> Db.commit_internal_txn db
@@ -188,7 +201,13 @@ let atomically db (gen : G.t) f =
         raise
           (Migration_error
              (Fmt.str "migration failed and was rolled back: %s"
-                (failure_text exn))))
+                (failure_text exn))));
+  (* success only: the suspended phases surface as one [migrate] trace *)
+  Minidb.Metrics.record_phase_trace metrics ~kind:"migrate" ~detail:label
+    ~targets:[] ~start_ns:t0
+    ~ns:(Minidb.Metrics.now_ns () - t0)
+    ~rows:0
+    ~phases:(List.rev !phase_buf)
 
 (* --- planning ------------------------------------------------------------ *)
 
@@ -246,12 +265,17 @@ let targets_materialization (gen : G.t) targets =
 (* --- the public, atomic entry points ------------------------------------- *)
 
 let run_plan ?validate db gen (to_virtualize, to_materialize) =
-  List.iter
-    (fun id -> flip_raw ?validate db gen (G.smo gen id) ~to_materialized:false)
-    to_virtualize;
-  List.iter
-    (fun id -> flip_raw ?validate db gen (G.smo gen id) ~to_materialized:true)
-    to_materialize
+  let timed_flip verb id to_materialized =
+    let t0 = Minidb.Metrics.now_ns () in
+    flip_raw ?validate db gen (G.smo gen id) ~to_materialized;
+    note_phase
+      (Fmt.str "%s smo %d" verb id)
+      t0
+      (Minidb.Metrics.now_ns () - t0)
+      0
+  in
+  List.iter (fun id -> timed_flip "virtualize" id false) to_virtualize;
+  List.iter (fun id -> timed_flip "materialize" id true) to_materialize
 
 let flip ?validate db (gen : G.t) (si : G.smo_instance) ~to_materialized =
   atomically db gen (fun () -> flip_raw ?validate db gen si ~to_materialized)
@@ -265,7 +289,8 @@ let set_materialization ?validate db (gen : G.t) mat =
     ["version.table"] table versions. *)
 let materialize ?validate db (gen : G.t) targets =
   let p = plan gen (targets_materialization gen targets) in
-  atomically db gen (fun () -> run_plan ?validate db gen p)
+  atomically ~label:(String.concat "," targets) db gen (fun () ->
+      run_plan ?validate db gen p)
 
 (** The flip plan of [MATERIALIZE targets] without touching any data:
     [(to_virtualize, to_materialize)] in execution order. *)

@@ -135,14 +135,74 @@ let jstr s = "\"" ^ json_escape s ^ "\""
 (** One span as a single JSON object (one line; no trailing newline). *)
 let span_json (sp : M.span) =
   Fmt.str
-    "{\"seq\":%d,\"kind\":%s,\"targets\":[%s],\"ns\":%d,\"parse_ns\":%d,\"compile_ns\":%d,\"rows\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"trigger_hops\":%d,\"view_depth\":%d}"
-    sp.M.sp_seq (jstr sp.M.sp_kind)
+    "{\"seq\":%d,\"id\":%d,\"trace\":%d,\"parent\":%d,\"kind\":%s,\"detail\":%s,\"path\":%s,\"targets\":[%s],\"start_ns\":%d,\"ns\":%d,\"parse_ns\":%d,\"compile_ns\":%d,\"rows_in\":%d,\"rows\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"trigger_hops\":%d,\"view_depth\":%d}"
+    sp.M.sp_seq sp.M.sp_id sp.M.sp_trace sp.M.sp_parent (jstr sp.M.sp_kind)
+    (jstr sp.M.sp_detail) (jstr sp.M.sp_path)
     (String.concat "," (List.map jstr sp.M.sp_targets))
-    sp.M.sp_ns sp.M.sp_parse_ns sp.M.sp_compile_ns sp.M.sp_rows
-    sp.M.sp_cache_hits sp.M.sp_cache_misses sp.M.sp_trigger_hops
-    sp.M.sp_view_depth
+    sp.M.sp_start_ns sp.M.sp_ns sp.M.sp_parse_ns sp.M.sp_compile_ns
+    sp.M.sp_rows_in sp.M.sp_rows sp.M.sp_cache_hits sp.M.sp_cache_misses
+    sp.M.sp_trigger_hops sp.M.sp_view_depth
 
 let recent_spans ?limit (db : Db.t) = M.recent_spans ?limit db.Db.metrics
+
+(* --- traces ----------------------------------------------------------------- *)
+
+let recent_traces ?limit (db : Db.t) = M.recent_traces ?limit db.Db.metrics
+
+let pp_dur ns =
+  if ns >= 1_000_000 then Fmt.str "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Fmt.str "%.1fus" (float_of_int ns /. 1e3)
+  else Fmt.str "%dns" ns
+
+let span_label (sp : M.span) =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf sp.M.sp_kind;
+  if sp.M.sp_detail <> "" then begin
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf sp.M.sp_detail
+  end;
+  if sp.M.sp_targets <> [] then
+    Buffer.add_string buf (" [" ^ String.concat "," sp.M.sp_targets ^ "]");
+  if sp.M.sp_path <> "" then Buffer.add_string buf (" via " ^ sp.M.sp_path);
+  Buffer.contents buf
+
+(** One trace as an indented tree, root first, children in open order. *)
+let trace_tree_text (tr : M.trace) =
+  let buf = Buffer.create 256 in
+  let children p =
+    List.filter (fun (sp : M.span) -> sp.M.sp_parent = p) tr.M.tr_spans
+    |> List.sort (fun (a : M.span) (b : M.span) -> compare a.M.sp_id b.M.sp_id)
+  in
+  let rec go indent (sp : M.span) =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf (span_label sp);
+    Buffer.add_string buf ("  " ^ pp_dur sp.M.sp_ns);
+    if sp.M.sp_rows >= 0 then begin
+      Buffer.add_string buf (Fmt.str "  rows=%d" sp.M.sp_rows);
+      if sp.M.sp_rows_in >= 0 && sp.M.sp_rows_in <> sp.M.sp_rows then
+        Buffer.add_string buf (Fmt.str " (in=%d)" sp.M.sp_rows_in)
+    end;
+    if sp.M.sp_parent < 0 then begin
+      if sp.M.sp_cache_hits + sp.M.sp_cache_misses > 0 then
+        Buffer.add_string buf
+          (Fmt.str "  cache=%d/%d" sp.M.sp_cache_hits
+             (sp.M.sp_cache_hits + sp.M.sp_cache_misses));
+      if sp.M.sp_trigger_hops > 0 then
+        Buffer.add_string buf (Fmt.str "  hops=%d" sp.M.sp_trigger_hops);
+      if sp.M.sp_view_depth > 0 then
+        Buffer.add_string buf (Fmt.str "  view-depth=%d" sp.M.sp_view_depth)
+    end;
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) (children sp.M.sp_id)
+  in
+  go 0 tr.M.tr_root;
+  Buffer.contents buf
+
+(** One trace as a JSON object: the root id plus every span, completion
+    order (root last). *)
+let trace_json (tr : M.trace) =
+  Fmt.str "{\"trace\":%d,\"spans\":[%s]}" tr.M.tr_root.M.sp_trace
+    (String.concat "," (List.map span_json tr.M.tr_spans))
 
 (* --- unified stats ---------------------------------------------------------- *)
 
@@ -220,10 +280,17 @@ let stats_json (db : Db.t) (gen : G.t) =
           (G.comats_list gen)));
   add "\"read_latency_ns\":%s," (histogram_json (M.read_histogram m));
   add "\"write_latency_ns\":%s," (histogram_json (M.write_histogram m));
-  add "\"spans\":{\"recorded\":%d,\"held\":%d,\"capacity\":%d}"
+  let qj arr =
+    Fmt.str "{\"p50\":%d,\"p95\":%d,\"p99\":%d}" (M.quantile_ns arr 0.50)
+      (M.quantile_ns arr 0.95) (M.quantile_ns arr 0.99)
+  in
+  add "\"latency_quantiles_ns\":{\"read\":%s,\"write\":%s},"
+    (qj m.M.read_latency) (qj m.M.write_latency);
+  add "\"spans\":{\"recorded\":%d,\"held\":%d,\"capacity\":%d,\"traces_held\":%d}"
     (M.total_spans m)
     (List.length (M.recent_spans m))
-    M.span_capacity;
+    M.span_capacity
+    (List.length (M.recent_traces m));
   add "}";
   Buffer.contents buf
 
@@ -293,17 +360,23 @@ let stats_text (db : Db.t) (gen : G.t) =
           (if G.is_physical gen v then "physical" else "derived ")
           t.t_reads t.t_writes t.t_rows_scanned)
     (table_version_counters db gen);
-  let histo label h =
+  let histo label h arr =
     if h <> [] then begin
       add "%s latency (log2 ns buckets):@." label;
-      List.iter (fun (lower, count) -> add "  >=%9dns  %d@." lower count) h
+      List.iter (fun (lower, count) -> add "  >=%9dns  %d@." lower count) h;
+      add "  p50 %s  p95 %s  p99 %s@."
+        (pp_dur (M.quantile_ns arr 0.50))
+        (pp_dur (M.quantile_ns arr 0.95))
+        (pp_dur (M.quantile_ns arr 0.99))
     end
   in
-  histo "read" (M.read_histogram m);
-  histo "write" (M.write_histogram m);
-  add "spans: %d recorded, %d held (capacity %d)@." (M.total_spans m)
+  histo "read" (M.read_histogram m) m.M.read_latency;
+  histo "write" (M.write_histogram m) m.M.write_latency;
+  add "spans: %d recorded, %d held (capacity %d), %d complete traces@."
+    (M.total_spans m)
     (List.length (M.recent_spans m))
-    M.span_capacity;
+    M.span_capacity
+    (List.length (M.recent_traces m));
   Buffer.contents buf
 
 (* --- EXPLAIN ---------------------------------------------------------------- *)
@@ -631,3 +704,183 @@ let explain_json (db : Db.t) (gen : G.t) sql =
     access_paths
     (String.concat "," (List.map target_json targets))
     (jstr (explain db gen sql))
+
+(* --- OpenMetrics exposition -------------------------------------------------- *)
+
+(** The whole engine's counters, per-schema-version traffic and latency
+    histograms in OpenMetrics/Prometheus text exposition format — the
+    [inverda_cli stats --openmetrics] / [Api.metrics_text] payload, ready
+    for a scrape endpoint to serve verbatim. *)
+let metrics_text (db : Db.t) (gen : G.t) =
+  let m = db.Db.metrics in
+  let hits, misses = Db.cache_stats db in
+  let buf = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let counter name help v =
+    add "# HELP %s %s\n" name help;
+    add "# TYPE %s counter\n" name;
+    add "%s %d\n" name v
+  in
+  counter "inverda_statements_total"
+    "Top-level statements observed by telemetry" m.M.statements;
+  counter "inverda_engine_statements_total"
+    "Engine statements including trigger cascades and internal work"
+    db.Db.statements_executed;
+  counter "inverda_trigger_hops_total" "Delta-code trigger cascade hops"
+    m.M.trigger_hops_total;
+  add "# HELP inverda_view_cache_total View cache lookups by outcome\n";
+  add "# TYPE inverda_view_cache_total counter\n";
+  add "inverda_view_cache_total{outcome=\"hit\"} %d\n" hits;
+  add "inverda_view_cache_total{outcome=\"miss\"} %d\n" misses;
+  let vcs = version_counters db gen in
+  let per_version name help field =
+    add "# HELP %s %s\n" name help;
+    add "# TYPE %s counter\n" name;
+    List.iter
+      (fun (version, t) ->
+        add "%s{version=%s} %d\n" name (jstr version) (field t))
+      vcs
+  in
+  if vcs <> [] then begin
+    per_version "inverda_version_reads_total"
+      "Statement-level reads per schema version" (fun t -> t.t_reads);
+    per_version "inverda_version_writes_total"
+      "Statement-level writes per schema version" (fun t -> t.t_writes);
+    per_version "inverda_version_rows_returned_total"
+      "Rows returned to each schema version" (fun t -> t.t_rows_returned);
+    per_version "inverda_version_trigger_hops_total"
+      "Trigger cascade hops per schema version" (fun t -> t.t_trigger_hops)
+  end;
+  (match G.comats_list gen with
+  | [] -> ()
+  | copies ->
+    add "# HELP inverda_comat_maintenance_seconds_total Wall time maintaining each co-materialized copy\n";
+    add "# TYPE inverda_comat_maintenance_seconds_total counter\n";
+    List.iter
+      (fun (cm : G.comat_copy) ->
+        add "inverda_comat_maintenance_seconds_total{copy=%s} %g\n"
+          (jstr cm.G.cm_table)
+          (float_of_int cm.G.cm_maint_ns /. 1e9))
+      copies);
+  let histo name help arr total_ns =
+    add "# HELP %s %s\n" name help;
+    add "# TYPE %s histogram\n" name;
+    let cum = ref 0 in
+    for i = 0 to M.buckets - 1 do
+      if arr.(i) > 0 then begin
+        cum := !cum + arr.(i);
+        add "%s_bucket{le=\"%g\"} %d\n" name
+          (float_of_int (M.bucket_lower_ns (i + 1)) /. 1e9)
+          !cum
+      end
+    done;
+    add "%s_bucket{le=\"+Inf\"} %d\n" name !cum;
+    add "%s_sum %g\n" name (float_of_int total_ns /. 1e9);
+    add "%s_count %d\n" name !cum
+  in
+  histo "inverda_read_latency_seconds" "Observed top-level read latency"
+    m.M.read_latency m.M.read_ns_total;
+  histo "inverda_write_latency_seconds" "Observed top-level write latency"
+    m.M.write_latency m.M.write_ns_total;
+  counter "inverda_spans_recorded_total"
+    "Trace spans ever recorded (ring holds the newest)" (M.total_spans m);
+  add "# EOF\n";
+  Buffer.contents buf
+
+(* --- EXPLAIN ANALYZE / profile ----------------------------------------------- *)
+
+let result_rows (result : Minidb.Exec.result) =
+  match result with
+  | Minidb.Exec.Rows rel ->
+    if rel.Minidb.Exec.rel_count >= 0 then rel.Minidb.Exec.rel_count
+    else List.length rel.Minidb.Exec.rel_rows
+  | Minidb.Exec.Affected n -> n
+  | Minidb.Exec.Done -> 0
+
+(** Execute [sql] with profile-mode tracing forced on (exact per-operator
+    row counts, per-plan select nodes) and hand back the result plus the
+    statement's trace. Restores the telemetry switches afterwards. *)
+let run_traced (db : Db.t) sql =
+  let m = db.Db.metrics in
+  let was_enabled = m.M.enabled and was_detail = m.M.detail in
+  M.set_enabled m true;
+  M.set_detail m true;
+  let restore () =
+    M.set_enabled m was_enabled;
+    M.set_detail m was_detail
+  in
+  let result =
+    try Minidb.Engine.exec db sql
+    with exn ->
+      restore ();
+      raise exn
+  in
+  restore ();
+  (* newest complete trace whose root is the statement itself (a WAL sink,
+     when attached, records its own [wal] trace right after) *)
+  let trace =
+    List.rev (M.recent_traces m)
+    |> List.find_opt (fun (tr : M.trace) -> tr.M.tr_root.M.sp_kind <> "wal")
+  in
+  (result, trace)
+
+(** EXPLAIN ANALYZE: execute the statement with tracing on and annotate the
+    static plan with actual per-node rows and timings, cross-checked against
+    the executed result's own row attribution. Note the statement really
+    runs — a write writes. *)
+let explain_analyze (db : Db.t) (gen : G.t) sql =
+  let static = explain db gen sql in
+  let result, trace = run_traced db sql in
+  let executed = result_rows result in
+  let buf = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  add "%s" static;
+  match trace with
+  | None -> add "actual execution: no trace recorded@."; Buffer.contents buf
+  | Some tr ->
+    let root = tr.M.tr_root in
+    add "actual execution (trace %d, %s total):@." root.M.sp_trace
+      (pp_dur root.M.sp_ns);
+    add "%s" (trace_tree_text tr);
+    (* per-plan-node actuals against the static access paths *)
+    (try
+       match Minidb.Sql_parser.statement_of_string sql with
+       | Sql.Query q -> (
+         match Minidb.Exec.access_paths db q with
+         | [] -> ()
+         | paths ->
+           add "per-node actuals:@.";
+           List.iter
+             (fun (obj, path) ->
+               let actual =
+                 List.find_opt
+                   (fun (sp : M.span) ->
+                     (sp.M.sp_kind = "scan" || sp.M.sp_kind = "view")
+                     && sp.M.sp_detail = obj)
+                   tr.M.tr_spans
+               in
+               match actual with
+               | Some sp ->
+                 add "  %s: %s (planned %s) rows=%d %s@." obj sp.M.sp_path path
+                   sp.M.sp_rows (pp_dur sp.M.sp_ns)
+               | None -> add "  %s: %s (not reached)@." obj path)
+             paths)
+       | _ -> ()
+     with _ -> ());
+    add "cross-check: trace root rows=%d, executed rows=%d -> %s@."
+      root.M.sp_rows executed
+      (if root.M.sp_rows = executed then "exact match" else "MISMATCH");
+    Buffer.contents buf
+
+(** [inverda_cli profile <stmt>]: execute with tracing and render the trace
+    tree plus a one-line summary. *)
+let profile (db : Db.t) sql =
+  let result, trace = run_traced db sql in
+  match trace with
+  | None -> "no trace recorded (statement not observable?)\n"
+  | Some tr ->
+    let root = tr.M.tr_root in
+    Fmt.str "%s%s: %s, %d spans, rows=%d\n" (trace_tree_text tr)
+      root.M.sp_kind (pp_dur root.M.sp_ns)
+      (List.length tr.M.tr_spans)
+      (result_rows result)

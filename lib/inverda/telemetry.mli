@@ -37,6 +37,19 @@ val span_json : Minidb.Metrics.span -> string
 val recent_spans :
   ?limit:int -> Minidb.Database.t -> Minidb.Metrics.span list
 
+val recent_traces :
+  ?limit:int -> Minidb.Database.t -> Minidb.Metrics.trace list
+(** Complete hierarchical traces still held in the span ring, oldest first;
+    traces with evicted spans are dropped whole. *)
+
+val trace_tree_text : Minidb.Metrics.trace -> string
+(** One trace as an indented tree (root first, children in open order):
+    kind, object, path, duration, row counts. *)
+
+val trace_json : Minidb.Metrics.trace -> string
+(** One trace as a JSON object ([{"trace":id,"spans":[...]}], completion
+    order, root last). *)
+
 val stats_json : Minidb.Database.t -> Genealogy.t -> string
 (** The unified stats document ([inverda_cli stats --json]): switch state,
     statement counts, cache hits/misses, flatten fallbacks, per-version and
@@ -52,3 +65,18 @@ val explain : Minidb.Database.t -> Genealogy.t -> string -> string
     DML the trigger cascade. Raises on unparsable SQL. *)
 
 val explain_json : Minidb.Database.t -> Genealogy.t -> string -> string
+
+val metrics_text : Minidb.Database.t -> Genealogy.t -> string
+(** OpenMetrics/Prometheus text exposition: engine counters, per-schema-
+    version traffic, view-cache outcomes, comat maintenance time and the
+    latency histograms (cumulative [le] buckets, [_sum]/[_count]),
+    terminated by [# EOF]. *)
+
+val explain_analyze : Minidb.Database.t -> Genealogy.t -> string -> string
+(** Execute the statement with profile-mode tracing and annotate the static
+    plan with actual per-node rows and timings, cross-checked against the
+    executed result's row attribution. The statement really runs. *)
+
+val profile : Minidb.Database.t -> string -> string
+(** Execute with tracing forced on and render the statement's trace tree
+    plus a one-line summary. *)

@@ -16,7 +16,25 @@ let fire_sink db stmt sql_thunk =
   | Some sink
     when db.Database.trigger_depth = 0
          && db.Database.metrics.Metrics.internal_depth = 0 ->
-    sink stmt (sql_thunk ())
+    (* the sink runs after the statement's own trace closed, so its cost
+       (changeset framing, append, fsync) gets a trace of its own, with the
+       WAL observer's append/fsync spans as children *)
+    let m = db.Database.metrics in
+    if Metrics.collecting m then begin
+      let t0 = Metrics.now_ns () in
+      Metrics.begin_trace m;
+      (try sink stmt (sql_thunk ())
+       with exn ->
+         Metrics.abort_trace m;
+         raise exn);
+      ignore
+        (Metrics.end_trace m ~kind:"wal"
+           ~targets:(snd (Exec.span_shape stmt))
+           ~start_ns:t0
+           ~ns:(Metrics.now_ns () - t0)
+           ~rows:0 ())
+    end
+    else sink stmt (sql_thunk ())
   | _ -> ()
 
 (** Execute one SQL statement given as text. When telemetry is collecting,

@@ -914,6 +914,9 @@ and object_relation ctx name : relation =
       match Db.find_object ctx.db name with
       | Some (Db.Obj_table tbl) ->
         record_scan_once ctx k tbl;
+        let m = ctx.db.Db.metrics in
+        let tr = Metrics.child_active m in
+        let ts = if tr then Metrics.now_ns () else 0 in
         let rows =
           if ctx.db.Db.batch_enabled then
             (* ascending-rowid order off the shared columnar snapshot; the
@@ -922,10 +925,15 @@ and object_relation ctx name : relation =
             Batch.rows_of (Batch.of_table tbl)
           else Hashtbl.fold (fun _ row acc -> row :: acc) tbl.Table.rows []
         in
+        let n = Table.cardinality tbl in
+        if tr then
+          Metrics.record_child m ~kind:"scan" ~detail:k
+            ~path:(if ctx.db.Db.batch_enabled then "batch" else "row")
+            ~start_ns:ts ~ns:(Metrics.now_ns () - ts) ~rows_in:n ~rows:n;
         {
           rel_cols = Schema.names tbl.Table.schema;
           rel_rows = rows;
-          rel_count = Table.cardinality tbl;
+          rel_count = n;
         }
       | Some (Db.Obj_view v) -> view_relation ctx k v
       | None -> error "no such table or view %s" name
@@ -939,11 +947,24 @@ and object_relation ctx name : relation =
    closure cannot be established (impure functions, dangling references) are
    evaluated afresh every statement, as before. *)
 and view_relation ctx k (v : Db.view) : relation =
+  let m = ctx.db.Db.metrics in
+  let fr = if Metrics.child_active m then Some (Metrics.open_span m) else None in
+  let finish path rel =
+    (match fr with
+    | Some fr ->
+      let rows =
+        if rel.rel_count >= 0 then rel.rel_count
+        else if m.Metrics.detail then List.length rel.rel_rows
+        else -1
+      in
+      Metrics.close_span m fr ~kind:"view" ~detail:k ~path ~rows_in:(-1) ~rows
+    | None -> ());
+    rel
+  in
   let compute () =
     (* expansion-depth bookkeeping for spans; the statement prologue resets
        the depth, so an exception unwinding through here cannot skew later
        statements *)
-    let m = ctx.db.Db.metrics in
     let d = m.Metrics.cur_view_depth + 1 in
     m.Metrics.cur_view_depth <- d;
     if d > m.Metrics.max_view_depth then m.Metrics.max_view_depth <- d;
@@ -952,10 +973,10 @@ and view_relation ctx k (v : Db.view) : relation =
     m.Metrics.cur_view_depth <- d - 1;
     { rel with rel_cols = v.Db.view_cols }
   in
-  if not ctx.db.Db.view_cache_enabled then compute ()
+  if not ctx.db.Db.view_cache_enabled then finish "computed" (compute ())
   else
     match Db.cache_lookup ctx.db k with
-    | Some rel -> rel
+    | Some rel -> finish "cache-hit" rel
     | None ->
       (* epochs are pinned before evaluation; view bodies cannot write. The
          registry resolves base-table handles once per registration, so the
@@ -976,7 +997,7 @@ and view_relation ctx k (v : Db.view) : relation =
       (match deps with
       | Some deps -> Db.cache_store ctx.db k rel deps
       | None -> ());
-      rel
+      finish "computed" rel
 
 (* --- batch pipeline ------------------------------------------------------- *)
 
@@ -1340,7 +1361,8 @@ and compile_from ctx outer_scopes from :
         | exception Exec_error _ -> None)
       | _ -> None
     in
-    (match right_index_probe with
+    let entries, produce =
+      match right_index_probe with
     | Some (tbl, idx, lkey_expr) when keys <> [] ->
       let flkey = key_reader lscopes lkey_expr in
       (* the index buckets by structural value equality, so with a single
@@ -1515,7 +1537,35 @@ and compile_from ctx outer_scopes from :
               match kind, combined with
               | Left_outer, [] -> [ combine lrow null_right ]
               | _ -> combined)
-            lrows ))))
+            lrows )))
+    in
+    (* one span per evaluation; the strategy label is decided at compile
+       time, mirroring [access_paths] *)
+    let jpath =
+      if right_index_probe <> None && keys <> [] then "index"
+      else if batch_join <> None then "batch"
+      else if keys <> [] then "hash"
+      else "loop"
+    in
+    let jdetail =
+      let rec leaf = function
+        | From_table (n, _) -> Db.key n
+        | From_select (_, a) -> a
+        | From_join (l, _, _, _) -> leaf l
+      in
+      leaf left ^ "*" ^ leaf right
+    in
+    let m = ctx.db.Db.metrics in
+    ( entries,
+      fun env ->
+        if Metrics.child_active m then (
+          let fr = Metrics.open_span m in
+          let rows = produce env in
+          let n = if m.Metrics.detail then List.length rows else -1 in
+          Metrics.close_span m fr ~kind:"join" ~detail:jdetail ~path:jpath
+            ~rows_in:(-1) ~rows:n;
+          rows)
+        else produce env )
 
 (* --- output column naming ------------------------------------------------- *)
 
@@ -1799,7 +1849,8 @@ and compile_select ctx outer_scopes sel : env -> relation =
         (fun row -> bool3 (f { env with rows = row :: env.rows }) = Some true)
         rows
   in
-  if not aggregating then begin
+  let eval =
+    if not aggregating then begin
     let direct_positions = positional_items entries scopes sel.items in
     let identity_projection =
       (* SELECT * re-emits produced rows unchanged: the passthrough layers of
@@ -1957,8 +2008,29 @@ and compile_select ctx outer_scopes sel : env -> relation =
         let out, n = dedupe out in
         { rel_cols = cols; rel_rows = out; rel_count = n }
       else { rel_cols = cols; rel_rows = out; rel_count = !n }
-  end
-  else compile_aggregate ctx scopes sel cols produce filter
+    end
+    else compile_aggregate ctx scopes sel cols produce filter
+  in
+  (* profile mode records one [select] node per plan with its exact output
+     cardinality; off the hot path otherwise *)
+  let plan_label =
+    if Option.is_some vpd then "pushdown"
+    else if Option.is_some ifp then "index"
+    else if Option.is_some batch_pipe then "batch"
+    else "row"
+  in
+  let m = ctx.db.Db.metrics in
+  fun env ->
+    if m.Metrics.detail && Metrics.child_active m then (
+      let fr = Metrics.open_span m in
+      let rel = eval env in
+      let rows =
+        if rel.rel_count >= 0 then rel.rel_count else List.length rel.rel_rows
+      in
+      Metrics.close_span m fr ~kind:"select" ~detail:"" ~path:plan_label
+        ~rows_in:(-1) ~rows;
+      rel)
+    else eval env
 
 and dedupe rows =
   (* rows are immutable by convention; the generic hash/equality on arrays is
@@ -2009,10 +2081,22 @@ and index_fast_path ctx sel scope scopes =
       | None -> None
       | Some (idx, key_expr) ->
         let fkey = compile_expr ctx (List.tl scopes) key_expr in
+        let m = ctx.db.Db.metrics in
         Some
           (fun env ->
-            let v = fkey env in
-            if Value.is_null v then [] else Table.index_probe tbl idx v)))
+            if Metrics.child_active m then (
+              let t0 = Metrics.now_ns () in
+              let v = fkey env in
+              let rows =
+                if Value.is_null v then [] else Table.index_probe tbl idx v
+              in
+              Metrics.record_child m ~kind:"scan" ~detail:(Db.key tname)
+                ~path:"index" ~start_ns:t0 ~ns:(Metrics.now_ns () - t0)
+                ~rows_in:(Table.cardinality tbl) ~rows:(List.length rows);
+              rows)
+            else
+              let v = fkey env in
+              if Value.is_null v then [] else Table.index_probe tbl idx v)))
   | _ -> None
 
 (* Key-filter pushdown into views: a select over a single *view* whose WHERE
@@ -2157,9 +2241,17 @@ and view_pushdown ctx sel =
               let fq =
                 compile_query ctx [] { body; order_by = []; limit = None }
               in
+              let m = ctx.db.Db.metrics in
               Some
                 (fun (env : env) ->
-                  (fq { env with rows = [] }).rel_rows)))))
+                  if Metrics.child_active m then (
+                    let fr = Metrics.open_span m in
+                    let rows = (fq { env with rows = [] }).rel_rows in
+                    Metrics.close_span m fr ~kind:"view" ~detail:(Db.key vname)
+                      ~path:"pushdown" ~rows_in:(-1)
+                      ~rows:(List.length rows);
+                    rows)
+                  else (fq { env with rows = [] }).rel_rows)))))
 
 and compile_aggregate ctx scopes sel cols produce filter =
   let group_fns = List.map (compile_expr ctx scopes) sel.group_by in
@@ -2571,12 +2663,13 @@ let finish_span db (m : Metrics.t) stmt result ~t0 ~hits0 ~misses0 ~hops0 =
   m.Metrics.statements <- m.Metrics.statements + 1;
   let parse_ns = m.Metrics.pending_parse_ns in
   m.Metrics.pending_parse_ns <- 0;
-  Metrics.record_span m ~kind ~targets ~ns ~parse_ns
-    ~compile_ns:m.Metrics.last_compile_ns ~rows
-    ~cache_hits:(db.Db.view_cache_hits - hits0)
-    ~cache_misses:(db.Db.view_cache_misses - misses0)
-    ~trigger_hops:(m.Metrics.trigger_hops_total - hops0)
-    ~view_depth:m.Metrics.max_view_depth
+  ignore
+    (Metrics.end_trace m ~kind ~targets ~start_ns:t0 ~ns ~parse_ns
+       ~compile_ns:m.Metrics.last_compile_ns ~rows
+       ~cache_hits:(db.Db.view_cache_hits - hits0)
+       ~cache_misses:(db.Db.view_cache_misses - misses0)
+       ~trigger_hops:(m.Metrics.trigger_hops_total - hops0)
+       ~view_depth:m.Metrics.max_view_depth ())
 
 let view_columns ctx (q : query) explicit =
   match explicit with Some cols -> cols | None -> query_columns ctx q
@@ -2612,7 +2705,8 @@ let rec exec_statement db ?(params = no_params) stmt : result =
   if observe then begin
     m.Metrics.cur_view_depth <- 0;
     m.Metrics.max_view_depth <- 0;
-    m.Metrics.last_compile_ns <- 0
+    m.Metrics.last_compile_ns <- 0;
+    Metrics.begin_trace m
   end;
   let run () =
     match stmt with
@@ -2681,7 +2775,12 @@ let rec exec_statement db ?(params = no_params) stmt : result =
     result
   | exception exn ->
     if top_level then Db.rollback_to db mark;
-    if observe then m.Metrics.pending_parse_ns <- 0;
+    if observe then begin
+      m.Metrics.pending_parse_ns <- 0;
+      (* a rolled-back statement leaves no spans: erase anything the trace
+         recorded and rewind the ring *)
+      Metrics.abort_trace m
+    end;
     raise exn
 
 and relation_of_query db params q =
@@ -2720,12 +2819,21 @@ and run_trigger db trig ~new_row ~old_row cols =
   in
   bind "NEW" new_row;
   bind "OLD" old_row;
+  let m = db.Db.metrics in
+  let fr = if Metrics.child_active m then Some (Metrics.open_span m) else None in
   Fun.protect
     ~finally:(fun () -> db.Db.trigger_depth <- db.Db.trigger_depth - 1)
     (fun () ->
       List.iter
         (fun stmt -> ignore (exec_statement db ~params stmt))
-        trig.Db.body)
+        trig.Db.body);
+  match fr with
+  | Some fr ->
+    (* only reached on success; an exception unwinds to the statement's
+       abort_trace, which erases the half-open span wholesale *)
+    Metrics.close_span m fr ~kind:"trigger" ~detail:(Db.key trig.Db.trig_name)
+      ~path:(Db.key trig.Db.target) ~rows_in:(-1) ~rows:(-1)
+  | None -> ()
 
 and exec_insert db params table columns source =
   let rows_of_source cols_expected =

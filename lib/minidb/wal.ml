@@ -163,6 +163,8 @@ type t = {
   mutable sync : sync_mode;
   mutable appended : int;  (** records appended through this handle *)
   buf : Buffer.t;  (** records encoded but not yet written to [fd] *)
+  mutable observer : (op:string -> start_ns:int -> ns:int -> unit) option;
+      (** telemetry hook: called after each timed append/flush/fsync *)
 }
 
 (** Open the log for appending. [next_lsn] must be one past the highest LSN
@@ -174,7 +176,30 @@ let open_append ?(sync = Flush) ~next_lsn dir =
       [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
       0o644
   in
-  { dir; fd; next_lsn; sync; appended = 0; buf = Buffer.create 256 }
+  {
+    dir;
+    fd;
+    next_lsn;
+    sync;
+    appended = 0;
+    buf = Buffer.create 256;
+    observer = None;
+  }
+
+let set_observer t obs = t.observer <- obs
+
+let observer_now () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* zero-cost when no observer is installed: the hot path pays one physical
+   equality against [None] *)
+let observed t op f =
+  match t.observer with
+  | None -> f ()
+  | Some obs ->
+    let t0 = observer_now () in
+    let r = f () in
+    obs ~op ~start_ns:t0 ~ns:(observer_now () - t0);
+    r
 
 let write_buf t =
   let n = Buffer.length t.buf in
@@ -191,22 +216,24 @@ let write_buf t =
     record sits in the handle's buffer, so a multi-statement transaction
     reaches the file in one write. *)
 let append t ~kind ~tag ~payload =
-  let lsn = t.next_lsn in
-  t.next_lsn <- lsn + 1;
-  t.appended <- t.appended + 1;
-  let r = { lsn; kind; tag; payload } in
-  encode t.buf r;
-  if Buffer.length t.buf >= 65_536 then write_buf t;
-  r
+  observed t "append" (fun () ->
+      let lsn = t.next_lsn in
+      t.next_lsn <- lsn + 1;
+      t.appended <- t.appended + 1;
+      let r = { lsn; kind; tag; payload } in
+      encode t.buf r;
+      if Buffer.length t.buf >= 65_536 then write_buf t;
+      r)
 
 (** Make everything appended so far durable per the sync mode. *)
 let commit t =
   match t.sync with
   | No_sync -> ()
-  | Flush -> write_buf t
+  | Flush -> observed t "flush" (fun () -> write_buf t)
   | Fsync ->
-    write_buf t;
-    Unix.fsync t.fd
+    observed t "fsync" (fun () ->
+        write_buf t;
+        Unix.fsync t.fd)
 
 (** Push buffered records to the file without changing the sync mode: lets
     a [No_sync] handle be read back (e.g. for history listings) without

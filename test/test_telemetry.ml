@@ -128,7 +128,10 @@ let test_disabled_counts_nothing () =
   Alcotest.(check int) "no spans" 0 (List.length (I.recent_spans t));
   I.set_telemetry t true;
   ignore (I.query_rows t "SELECT * FROM TasKy.Task");
-  Alcotest.(check int) "collection resumes" 1 (List.length (I.recent_spans t));
+  let spans = I.recent_spans t in
+  Alcotest.(check bool) "collection resumes" true (spans <> []);
+  Alcotest.(check int) "one statement, one trace root" 1
+    (List.length (List.filter (fun (sp : M.span) -> sp.M.sp_parent < 0) spans));
   I.reset_telemetry t;
   Alcotest.(check int) "reset clears spans" 0 (List.length (I.recent_spans t));
   Alcotest.(check (list (pair string (float 0.0)))) "reset clears profile" []
@@ -152,8 +155,10 @@ let test_span_ring_bounded_and_monotone () =
     | _ -> true
   in
   Alcotest.(check bool) "consecutive sequence numbers" true (monotone seqs);
-  (* the newest span is the last statement ever recorded *)
-  Alcotest.(check int) "newest span has seq = total - 1" (ops - 1)
+  (* the newest span is the root of the last statement ever recorded:
+     children close before their parent, so the root lands in the ring last *)
+  let recorded = M.total_spans (I.database t).Minidb.Database.metrics in
+  Alcotest.(check int) "newest span has seq = total - 1" (recorded - 1)
     (List.nth seqs (List.length seqs - 1));
   let sp = List.hd (I.recent_spans ~limit:1 t) in
   Alcotest.(check string) "kind" "query" sp.M.sp_kind;
@@ -184,11 +189,13 @@ let test_stats_documents () =
       "enabled"; "observed_statements"; "engine_statements"; "trigger_hops";
       "cache"; "flatten_fallbacks"; "versions"; "table_versions";
       "observed_profile"; "read_latency_ns"; "write_latency_ns"; "spans";
+      "latency_quantiles_ns"; "\"p50\""; "\"p95\""; "\"p99\"";
     ];
   Alcotest.(check bool) "one observed statement" true
     (contains js "\"observed_statements\":1,");
   let txt = I.stats_text t in
-  Alcotest.(check bool) "text mentions TasKy2" true (contains txt "TasKy2")
+  Alcotest.(check bool) "text mentions TasKy2" true (contains txt "TasKy2");
+  Alcotest.(check bool) "text shows quantiles" true (contains txt "p95")
 
 (* --- EXPLAIN ------------------------------------------------------------------- *)
 
@@ -213,6 +220,207 @@ let test_explain_insert_cascade () =
   Alcotest.(check bool) "shows the trigger cascade" true
     (contains out "trigger cascade");
   Alcotest.(check bool) "shows a fired trigger" true (contains out "trg!")
+
+(* --- hierarchical traces -------------------------------------------------------- *)
+
+let test_trace_invariants () =
+  let t = Scenarios.Tasky.setup_full ~tasks:8 () in
+  I.reset_telemetry t;
+  ignore (I.query_rows t "SELECT author, task FROM Do!.Todo");
+  ignore
+    (I.exec_sql t "INSERT INTO Do!.Todo (author, task) VALUES ('Zed', 'tr')");
+  ignore (I.query_rows t "SELECT task FROM TasKy2.Task");
+  let traces = I.recent_traces t in
+  Alcotest.(check bool) "at least three traces" true (List.length traces >= 3);
+  let ids = List.map (fun tr -> tr.M.tr_root.M.sp_trace) traces in
+  Alcotest.(check int) "unique trace ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun tr ->
+      let root = tr.M.tr_root in
+      List.iter
+        (fun (sp : M.span) ->
+          Alcotest.(check int) "span belongs to its trace" root.M.sp_trace
+            sp.M.sp_trace;
+          if sp.M.sp_parent >= 0 then
+            match
+              List.find_opt
+                (fun (p : M.span) -> p.M.sp_id = sp.M.sp_parent)
+                tr.M.tr_spans
+            with
+            | None -> Alcotest.fail "orphaned child span"
+            | Some p ->
+              (* the child's interval lies within the parent's *)
+              Alcotest.(check bool) "child starts after its parent" true
+                (sp.M.sp_start_ns >= p.M.sp_start_ns);
+              Alcotest.(check bool) "child ends before its parent" true
+                (sp.M.sp_start_ns + sp.M.sp_ns
+                <= p.M.sp_start_ns + p.M.sp_ns))
+        tr.M.tr_spans)
+    traces
+
+let test_failed_statement_leaves_no_spans () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  ignore (I.query_rows t "SELECT task FROM TasKy.Task");
+  let m = (I.database t).Minidb.Database.metrics in
+  let seq0 = m.M.span_seq in
+  let held0 = List.length (I.recent_spans t) in
+  (match I.query_rows t "SELECT nosuch FROM TasKy.Task" with
+  | _ -> Alcotest.fail "unknown column must raise"
+  | exception _ -> ());
+  Alcotest.(check int) "span sequence rewound to the trace start" seq0
+    m.M.span_seq;
+  Alcotest.(check int) "no spans recorded by the failed statement" held0
+    (List.length (I.recent_spans t));
+  (* collection is live again for the next statement *)
+  ignore (I.query_rows t "SELECT task FROM TasKy.Task");
+  Alcotest.(check bool) "collection live after the abort" true
+    (m.M.span_seq > seq0)
+
+(* Overrun the ring with multi-span statements so it wraps mid-stream: every
+   trace [recent_traces] still surfaces must be whole — all parent references
+   resolve inside it and its root's first sequence number is still held. *)
+let test_ring_wrap_no_orphans () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  for _ = 1 to M.span_capacity do
+    ignore (I.query_rows t "SELECT author, task FROM Do!.Todo")
+  done;
+  let spans = I.recent_spans t in
+  Alcotest.(check int) "ring full" M.span_capacity (List.length spans);
+  let traces = I.recent_traces t in
+  Alcotest.(check bool) "complete traces survive the wrap" true (traces <> []);
+  let oldest_seq = (List.hd spans).M.sp_seq in
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool) "no truncated trace surfaces" true
+        (tr.M.tr_root.M.sp_first_seq >= oldest_seq);
+      List.iter
+        (fun (sp : M.span) ->
+          if sp.M.sp_parent >= 0 then
+            Alcotest.(check bool) "every parent reference resolves" true
+              (List.exists
+                 (fun (p : M.span) -> p.M.sp_id = sp.M.sp_parent)
+                 tr.M.tr_spans))
+        tr.M.tr_spans)
+    traces
+
+(* --- OpenMetrics exposition ------------------------------------------------------ *)
+
+let test_openmetrics_document () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  I.reset_telemetry t;
+  ignore (I.query_rows t "SELECT task FROM TasKy2.Task");
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('a', 'b', 1)");
+  let om = I.metrics_text t in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Fmt.str "openmetrics has %S" k) true (contains om k))
+    [
+      "# TYPE inverda_statements_total counter";
+      "# TYPE inverda_read_latency_seconds histogram";
+      "inverda_version_reads_total{version=\"TasKy2\"} 1";
+      "inverda_version_writes_total{version=\"TasKy\"} 1";
+      "le=\"+Inf\"";
+      "inverda_read_latency_seconds_sum";
+      "inverda_write_latency_seconds_count 1";
+    ];
+  let n = String.length om in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (n >= 6 && String.sub om (n - 6) 6 = "# EOF\n")
+
+(* --- EXPLAIN ANALYZE: actual rows equal the attributed count ---------------------- *)
+
+let analyze_queries =
+  [|
+    "SELECT * FROM TasKy.Task";
+    "SELECT task FROM TasKy.Task WHERE prio = 1";
+    "SELECT author, task FROM Do!.Todo";
+    "SELECT task, prio FROM TasKy2.Task";
+    "SELECT name FROM TasKy2.Author";
+  |]
+
+(* The per-node actuals come from the trace; the cross-check line compares
+   the trace root's row count against the executed result's [rel_count]
+   attribution. They must agree exactly on both executor paths. *)
+let explain_analyze_rows_match =
+  QCheck.Test.make
+    ~name:"EXPLAIN ANALYZE rows match rel_count (batch on and off)" ~count:20
+    QCheck.(pair (int_bound (Array.length analyze_queries - 1)) bool)
+    (fun (qi, batch) ->
+      let t = Scenarios.Tasky.setup_full ~tasks:12 () in
+      I.set_batch t batch;
+      let sql = analyze_queries.(qi) in
+      let rows = List.length (I.query_rows t sql) in
+      let out = I.explain_analyze t sql in
+      contains out "-> exact match"
+      && contains out (Fmt.str "executed rows=%d" rows))
+
+(* The same exactness must hold away from TasKy: the synthetic Wikimedia
+   genealogy exercises much deeper view stacks (filler tables, long SMO
+   chains) than the three-version demo. *)
+let test_explain_analyze_wikimedia () =
+  let t, names = Scenarios.Wikimedia.build ~versions:6 () in
+  let n = Array.length names in
+  let v_mid = names.(n / 2) in
+  Scenarios.Wikimedia.load t ~version:v_mid ~pages:10 ~links:15;
+  List.iter
+    (fun batch ->
+      I.set_batch t batch;
+      List.iter
+        (fun v ->
+          let sql = Scenarios.Wikimedia.query_page_by_title ~version:v ~i:3 in
+          let rows = List.length (I.query_rows t sql) in
+          let out = I.explain_analyze t sql in
+          let label = Fmt.str "%s batch=%b" v batch in
+          Alcotest.(check bool)
+            (label ^ ": exact match")
+            true
+            (contains out "-> exact match");
+          Alcotest.(check bool)
+            (label ^ ": executed rows")
+            true
+            (contains out (Fmt.str "executed rows=%d" rows)))
+        [ names.(0); v_mid; names.(n - 1) ])
+    [ true; false ]
+
+(* With a 1ns threshold and sample 1, every statement's root span must land
+   in the slow-query log as one self-contained JSON line (threshold 0 keeps
+   the sink disabled). *)
+let test_slow_log_jsonl () =
+  let t = Scenarios.Tasky.setup_full ~tasks:5 () in
+  let path = Filename.temp_file "inverda_slow" ".jsonl" in
+  I.set_slow_log t (Some (path, 1, 1));
+  ignore (I.query_rows t "SELECT task FROM TasKy.Task");
+  ignore (I.query_rows t "SELECT author, task FROM Do!.Todo");
+  ignore
+    (I.exec_sql t
+       "INSERT INTO TasKy.Task (author, task, prio) VALUES ('S', 'x', 1)");
+  I.set_slow_log t None;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "at least three sampled roots" true
+    (List.length lines >= 3);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line is a span object" true
+        (contains line "\"kind\":" && contains line "\"trace\":");
+      Alcotest.(check bool) "line is a root span" true
+        (contains line "\"parent\":-1"))
+    lines;
+  Alcotest.(check bool) "roots cover both statement kinds" true
+    (List.exists (fun l -> contains l "\"kind\":\"query\"") lines
+    && List.exists (fun l -> contains l "\"kind\":\"insert\"") lines)
 
 (* --- suite ---------------------------------------------------------------------- *)
 
@@ -240,11 +448,25 @@ let () =
           tc "ring bounded and monotone" test_span_ring_bounded_and_monotone;
           tc "trigger cascade recorded" test_span_records_trigger_cascade;
         ] );
+      ( "traces",
+        [
+          tc "containment, unique ids, trace membership" test_trace_invariants;
+          tc "failed statement leaves no spans"
+            test_failed_statement_leaves_no_spans;
+          tc "ring wrap never orphans children" test_ring_wrap_no_orphans;
+          tc "slow-query log samples root spans as JSONL" test_slow_log_jsonl;
+        ] );
       ( "stats",
-        [ tc "json and text documents" test_stats_documents ] );
+        [
+          tc "json and text documents" test_stats_documents;
+          tc "openmetrics exposition" test_openmetrics_document;
+        ] );
       ( "explain",
         [
           tc "select path" test_explain_select;
           tc "insert cascade" test_explain_insert_cascade;
+          QCheck_alcotest.to_alcotest explain_analyze_rows_match;
+          tc "analyze exact on Wikimedia genealogy"
+            test_explain_analyze_wikimedia;
         ] );
     ]

@@ -196,6 +196,36 @@ let test_recover_genesis () =
   I.detach_wal r;
   F.rm_rf dir
 
+(* Audit annotations ride inside the frame tag: who/why must round-trip
+   through the log, leave the displayed tag bare, and never disturb replay. *)
+let test_audit_annotations () =
+  let dir = F.fresh_dir () in
+  let t = build_tasky dir in
+  I.set_author t ~who:"alice" ~why:"backfill sprint 12";
+  ignore
+    (I.exec_sql t "INSERT INTO TasKy.Task (author, task, prio) VALUES ('A', 'a-1', 1)");
+  I.set_author t ~who:"" ~why:"";
+  ignore
+    (I.exec_sql t "INSERT INTO TasKy.Task (author, task, prio) VALUES ('B', 'a-2', 1)");
+  let records = I.history t in
+  let annotated =
+    List.filter (fun r -> I.record_audit r <> None) records
+  in
+  Alcotest.(check int) "exactly one annotated record" 1 (List.length annotated);
+  let r = List.hd annotated in
+  Alcotest.(check (option (pair string string))) "who/why round-trip"
+    (Some ("alice", "backfill sprint 12"))
+    (I.record_audit r);
+  Alcotest.(check string) "displayed tag is bare" "tasky.task" (I.record_tag r);
+  Alcotest.(check bool) "raw tag carries the annotation" true
+    (String.length r.W.tag > String.length "tasky.task");
+  (* the annotation is invisible to recovery *)
+  I.detach_wal t;
+  let rec_t = I.recover dir in
+  check_recovered ~label:"audited log" t rec_t;
+  I.detach_wal rec_t;
+  F.rm_rf dir
+
 let test_recover_checkpoint () =
   let dir = F.fresh_dir () in
   let t = build_tasky dir in
@@ -379,6 +409,7 @@ let () =
       ( "recovery",
         [
           tc "genesis replay" test_recover_genesis;
+          tc "audit annotations" test_audit_annotations;
           tc "checkpoint + tail" test_recover_checkpoint;
           tc "torn tail" test_recover_torn_tail;
           tc "transaction buffering" test_txn_buffering;
